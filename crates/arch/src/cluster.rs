@@ -1,0 +1,111 @@
+//! The five cluster modes of KNL (§II-D of the paper).
+//!
+//! All cluster modes keep the full chip cache-coherent; they differ only in
+//! how cache-line addresses are assigned to the distributed tag directories
+//! (one Cache/Home Agent per tile) and, for SNC modes, in whether the
+//! resulting affinity is exposed to the OS as NUMA domains.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster (NUMA-exposure) mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterMode {
+    /// All-to-all: line addresses uniformly hashed across *all* directories.
+    A2A,
+    /// Quadrant: lines homed in the quadrant of the memory they map to;
+    /// software-transparent.
+    Quadrant,
+    /// Hemisphere: like quadrant but with two halves.
+    Hemisphere,
+    /// Sub-NUMA Clustering with 4 clusters: quadrant affinity exposed to the
+    /// OS as four NUMA domains.
+    Snc4,
+    /// Sub-NUMA Clustering with 2 clusters.
+    Snc2,
+}
+
+impl ClusterMode {
+    /// All five modes, in the column order of the paper's Tables I and II
+    /// (SNC4, SNC2, Quadrant, Hemisphere, A2A).
+    pub const ALL: [ClusterMode; 5] = [
+        ClusterMode::Snc4,
+        ClusterMode::Snc2,
+        ClusterMode::Quadrant,
+        ClusterMode::Hemisphere,
+        ClusterMode::A2A,
+    ];
+
+    /// Number of affinity clusters the directory hash respects
+    /// (1 for A2A — no affinity).
+    pub fn num_clusters(self) -> usize {
+        match self {
+            ClusterMode::A2A => 1,
+            ClusterMode::Hemisphere | ClusterMode::Snc2 => 2,
+            ClusterMode::Quadrant | ClusterMode::Snc4 => 4,
+        }
+    }
+
+    /// Whether the affinity is exposed to software as NUMA domains
+    /// ("Software NUMA" columns of Tables I/II).
+    pub fn software_numa(self) -> bool {
+        matches!(self, ClusterMode::Snc4 | ClusterMode::Snc2)
+    }
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterMode::A2A => "A2A",
+            ClusterMode::Quadrant => "QUAD",
+            ClusterMode::Hemisphere => "HEM",
+            ClusterMode::Snc4 => "SNC4",
+            ClusterMode::Snc2 => "SNC2",
+        }
+    }
+
+    /// The paper notes SNC2 "is still experimental" and shows higher
+    /// variance; the simulator widens its timing jitter accordingly.
+    pub fn experimental(self) -> bool {
+        matches!(self, ClusterMode::Snc2)
+    }
+}
+
+impl std::fmt::Display for ClusterMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_counts() {
+        assert_eq!(ClusterMode::A2A.num_clusters(), 1);
+        assert_eq!(ClusterMode::Hemisphere.num_clusters(), 2);
+        assert_eq!(ClusterMode::Snc2.num_clusters(), 2);
+        assert_eq!(ClusterMode::Quadrant.num_clusters(), 4);
+        assert_eq!(ClusterMode::Snc4.num_clusters(), 4);
+    }
+
+    #[test]
+    fn software_numa_only_snc() {
+        for m in ClusterMode::ALL {
+            assert_eq!(m.software_numa(), matches!(m, ClusterMode::Snc4 | ClusterMode::Snc2));
+        }
+    }
+
+    #[test]
+    fn all_has_five_distinct() {
+        let mut names: Vec<&str> = ClusterMode::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn snc2_is_experimental() {
+        assert!(ClusterMode::Snc2.experimental());
+        assert!(!ClusterMode::Snc4.experimental());
+    }
+}

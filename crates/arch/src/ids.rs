@@ -1,0 +1,117 @@
+//! Strongly-typed identifiers for hardware entities.
+//!
+//! A KNL tile holds two cores; each core has four hardware threads
+//! (HyperThreads). Identifiers are dense indices over the *active* entities
+//! (yield-disabled tiles are excluded from the `TileId` space).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an active tile (0-based, dense over the active tiles only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TileId(pub u16);
+
+/// Index of a core. Core `c` lives on tile `c / 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+/// Index of a hardware thread. HW thread `h` lives on core `h / 4` when all
+/// four HyperThreads are exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HwThreadId(pub u16);
+
+/// One of the (up to) four quadrants a tile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QuadrantId(pub u8);
+
+/// Number of cores per tile on KNL.
+pub const CORES_PER_TILE: u16 = 2;
+/// Number of hardware threads per core on KNL.
+pub const THREADS_PER_CORE: u16 = 4;
+
+impl CoreId {
+    /// The tile this core belongs to.
+    pub fn tile(self) -> TileId {
+        TileId(self.0 / CORES_PER_TILE)
+    }
+
+    /// Local index of the core within its tile (0 or 1).
+    pub fn slot_in_tile(self) -> u16 {
+        self.0 % CORES_PER_TILE
+    }
+}
+
+impl TileId {
+    /// The two cores on this tile.
+    pub fn cores(self) -> [CoreId; 2] {
+        [CoreId(self.0 * CORES_PER_TILE), CoreId(self.0 * CORES_PER_TILE + 1)]
+    }
+}
+
+impl HwThreadId {
+    /// The core this hardware thread belongs to.
+    pub fn core(self) -> CoreId {
+        CoreId(self.0 / THREADS_PER_CORE)
+    }
+
+    /// Local index within the core (0..4).
+    pub fn slot_in_core(self) -> u16 {
+        self.0 % THREADS_PER_CORE
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl std::fmt::Display for QuadrantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_tile_mapping() {
+        assert_eq!(CoreId(0).tile(), TileId(0));
+        assert_eq!(CoreId(1).tile(), TileId(0));
+        assert_eq!(CoreId(2).tile(), TileId(1));
+        assert_eq!(CoreId(63).tile(), TileId(31));
+        assert_eq!(CoreId(5).slot_in_tile(), 1);
+    }
+
+    #[test]
+    fn tile_cores_roundtrip() {
+        for t in 0..32u16 {
+            let tile = TileId(t);
+            for c in tile.cores() {
+                assert_eq!(c.tile(), tile);
+            }
+        }
+    }
+
+    #[test]
+    fn hwthread_core_mapping() {
+        assert_eq!(HwThreadId(0).core(), CoreId(0));
+        assert_eq!(HwThreadId(3).core(), CoreId(0));
+        assert_eq!(HwThreadId(4).core(), CoreId(1));
+        assert_eq!(HwThreadId(7).slot_in_core(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TileId(3).to_string(), "T3");
+        assert_eq!(CoreId(7).to_string(), "C7");
+        assert_eq!(QuadrantId(1).to_string(), "Q1");
+    }
+}

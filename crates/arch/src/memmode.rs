@@ -1,0 +1,123 @@
+//! The three memory modes of the on-package MCDRAM (§II-C of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache/flat split of the hybrid mode. KNL offers 4 GB or 8 GB of the 16 GB
+/// MCDRAM as cache (i.e. 1/4 or 1/2 of capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HybridSplit {
+    /// 4 GB cache + 12 GB flat (25% cache).
+    Quarter,
+    /// 8 GB cache + 8 GB flat (50% cache).
+    Half,
+}
+
+impl HybridSplit {
+    /// Fraction of MCDRAM capacity operating as cache.
+    pub fn cache_fraction(self) -> f64 {
+        match self {
+            HybridSplit::Quarter => 0.25,
+            HybridSplit::Half => 0.5,
+        }
+    }
+}
+
+/// Memory mode of the MCDRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryMode {
+    /// Flat: DDR and MCDRAM form one address space; MCDRAM appears as a
+    /// separate NUMA node above the DDR range.
+    Flat,
+    /// Cache: MCDRAM is a direct-mapped, memory-side cache in front of DDR.
+    Cache,
+    /// Hybrid: part cache, part flat.
+    Hybrid(HybridSplit),
+}
+
+impl MemoryMode {
+    /// The three canonical modes (hybrid represented by its Half split), in
+    /// the order used when enumerating the 15 configurations.
+    pub const CANONICAL: [MemoryMode; 3] =
+        [MemoryMode::Flat, MemoryMode::Cache, MemoryMode::Hybrid(HybridSplit::Half)];
+
+    /// Bytes of MCDRAM operating as memory-side cache, given total capacity.
+    pub fn mcdram_cache_bytes(self, mcdram_total: u64) -> u64 {
+        match self {
+            MemoryMode::Flat => 0,
+            MemoryMode::Cache => mcdram_total,
+            MemoryMode::Hybrid(split) => {
+                (mcdram_total as f64 * split.cache_fraction()).round() as u64
+            }
+        }
+    }
+
+    /// Bytes of MCDRAM addressable as flat memory.
+    pub fn mcdram_flat_bytes(self, mcdram_total: u64) -> u64 {
+        mcdram_total - self.mcdram_cache_bytes(mcdram_total)
+    }
+
+    /// Whether any MCDRAM is directly addressable.
+    pub fn has_flat_mcdram(self) -> bool {
+        !matches!(self, MemoryMode::Cache)
+    }
+
+    /// Whether any MCDRAM acts as memory-side cache.
+    pub fn has_mcdram_cache(self) -> bool {
+        !matches!(self, MemoryMode::Flat)
+    }
+
+    /// Short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryMode::Flat => "flat",
+            MemoryMode::Cache => "cache",
+            MemoryMode::Hybrid(HybridSplit::Quarter) => "hybrid25",
+            MemoryMode::Hybrid(HybridSplit::Half) => "hybrid50",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB16: u64 = 16 << 30;
+
+    #[test]
+    fn flat_has_no_cache() {
+        assert_eq!(MemoryMode::Flat.mcdram_cache_bytes(GB16), 0);
+        assert_eq!(MemoryMode::Flat.mcdram_flat_bytes(GB16), GB16);
+        assert!(MemoryMode::Flat.has_flat_mcdram());
+        assert!(!MemoryMode::Flat.has_mcdram_cache());
+    }
+
+    #[test]
+    fn cache_is_all_cache() {
+        assert_eq!(MemoryMode::Cache.mcdram_cache_bytes(GB16), GB16);
+        assert_eq!(MemoryMode::Cache.mcdram_flat_bytes(GB16), 0);
+        assert!(!MemoryMode::Cache.has_flat_mcdram());
+    }
+
+    #[test]
+    fn hybrid_splits() {
+        let h4 = MemoryMode::Hybrid(HybridSplit::Quarter);
+        let h8 = MemoryMode::Hybrid(HybridSplit::Half);
+        assert_eq!(h4.mcdram_cache_bytes(GB16), 4 << 30);
+        assert_eq!(h4.mcdram_flat_bytes(GB16), 12 << 30);
+        assert_eq!(h8.mcdram_cache_bytes(GB16), 8 << 30);
+        assert_eq!(h8.mcdram_flat_bytes(GB16), 8 << 30);
+        assert!(h8.has_flat_mcdram() && h8.has_mcdram_cache());
+    }
+
+    #[test]
+    fn names_unique() {
+        assert_eq!(MemoryMode::Flat.name(), "flat");
+        assert_eq!(MemoryMode::Hybrid(HybridSplit::Quarter).name(), "hybrid25");
+    }
+}

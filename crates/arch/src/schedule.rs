@@ -1,0 +1,168 @@
+//! Thread-pinning schedules used throughout the paper's evaluation.
+//!
+//! * **Scatter**: "first one thread per tile, and then per core" (§IV-B.3) —
+//!   round-robin over tiles, then over the second core of each tile, then
+//!   over HyperThreads.
+//! * **FillTiles**: "one thread per core" filling tile after tile (§IV-B.3,
+//!   Fig. 9b); beyond one thread per core it wraps onto HyperThreads.
+//! * **FillCores** (compact): "filling cores with up to four threads"
+//!   (§V-A, Fig. 9a) — all four HyperThreads of core 0, then core 1, ...
+
+use crate::ids::{CoreId, HwThreadId, THREADS_PER_CORE};
+use serde::{Deserialize, Serialize};
+
+/// A thread→hardware-thread placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// One thread per tile first, then second cores, then HyperThreads.
+    Scatter,
+    /// One thread per core in core order, wrapping onto HyperThreads.
+    FillTiles,
+    /// All four HyperThreads of a core before moving to the next (compact).
+    FillCores,
+}
+
+impl Schedule {
+    /// All three schedules the paper sweeps.
+    pub const ALL: [Schedule; 3] = [Schedule::Scatter, Schedule::FillTiles, Schedule::FillCores];
+
+    /// Short name used in tables and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Scatter => "scatter",
+            Schedule::FillTiles => "fill-tiles",
+            Schedule::FillCores => "fill-cores",
+        }
+    }
+
+    /// Hardware thread for logical thread `i` on a machine with `num_cores`
+    /// active cores (two per tile, four HyperThreads per core).
+    ///
+    /// # Panics
+    /// Panics if `i >= num_cores * 4` (no hardware thread left).
+    pub fn place(self, i: usize, num_cores: usize) -> HwThreadId {
+        let capacity = num_cores * THREADS_PER_CORE as usize;
+        assert!(i < capacity, "thread {i} exceeds {capacity} hardware threads");
+        let num_tiles = num_cores / 2;
+        match self {
+            Schedule::Scatter => {
+                // Phase 0: core 0 of each tile; phase 1: core 1 of each tile;
+                // phases 2..8: HyperThread slots in the same tile sweep.
+                let phase = i / num_tiles;
+                let tile = i % num_tiles;
+                let core_slot = phase % 2;
+                let ht_slot = phase / 2;
+                let core = tile * 2 + core_slot;
+                HwThreadId((core * THREADS_PER_CORE as usize + ht_slot) as u16)
+            }
+            Schedule::FillTiles => {
+                // One thread per core in core order, then wrap onto the next
+                // HyperThread slot.
+                let ht_slot = i / num_cores;
+                let core = i % num_cores;
+                HwThreadId((core * THREADS_PER_CORE as usize + ht_slot) as u16)
+            }
+            Schedule::FillCores => {
+                HwThreadId(i as u16) // dense: 4 HT of core 0, then core 1, ...
+            }
+        }
+    }
+
+    /// Convenience: the core for logical thread `i`.
+    pub fn core(self, i: usize, num_cores: usize) -> CoreId {
+        self.place(i, num_cores).core()
+    }
+
+    /// Number of distinct cores used by the first `n` threads.
+    pub fn cores_used(self, n: usize, num_cores: usize) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..n {
+            set.insert(self.core(i, num_cores));
+        }
+        set.len()
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORES: usize = 64; // 32 tiles
+
+    #[test]
+    fn scatter_one_per_tile_first() {
+        // First 32 threads land on distinct tiles, core slot 0.
+        let mut tiles = std::collections::HashSet::new();
+        for i in 0..32 {
+            let hw = Schedule::Scatter.place(i, CORES);
+            assert_eq!(hw.slot_in_core(), 0);
+            assert_eq!(hw.core().slot_in_tile(), 0);
+            tiles.insert(hw.core().tile());
+        }
+        assert_eq!(tiles.len(), 32);
+        // Threads 32..64 fill the second core of each tile.
+        for i in 32..64 {
+            let hw = Schedule::Scatter.place(i, CORES);
+            assert_eq!(hw.core().slot_in_tile(), 1);
+            assert_eq!(hw.slot_in_core(), 0);
+        }
+        // Thread 64 starts HyperThreads.
+        assert_eq!(Schedule::Scatter.place(64, CORES).slot_in_core(), 1);
+    }
+
+    #[test]
+    fn fill_tiles_one_per_core() {
+        for i in 0..64 {
+            let hw = Schedule::FillTiles.place(i, CORES);
+            assert_eq!(hw.core(), CoreId(i as u16));
+            assert_eq!(hw.slot_in_core(), 0);
+        }
+        // 128 threads → 2 per core (Fig. 9b's "128/64").
+        let hw = Schedule::FillTiles.place(64, CORES);
+        assert_eq!(hw.core(), CoreId(0));
+        assert_eq!(hw.slot_in_core(), 1);
+    }
+
+    #[test]
+    fn fill_cores_compact() {
+        // Fig. 9a's "4/1": four threads on one core.
+        for i in 0..4 {
+            assert_eq!(Schedule::FillCores.place(i, CORES).core(), CoreId(0));
+        }
+        assert_eq!(Schedule::FillCores.place(4, CORES).core(), CoreId(1));
+        assert_eq!(Schedule::FillCores.cores_used(8, CORES), 2);
+        assert_eq!(Schedule::FillCores.cores_used(256, CORES), 64);
+    }
+
+    #[test]
+    fn no_hardware_thread_reused() {
+        for sched in Schedule::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..CORES * 4 {
+                let hw = sched.place(i, CORES);
+                assert!(seen.insert(hw), "{sched}: thread {i} reuses {hw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cores_used_counts() {
+        assert_eq!(Schedule::Scatter.cores_used(32, CORES), 32);
+        assert_eq!(Schedule::Scatter.cores_used(64, CORES), 64);
+        assert_eq!(Schedule::Scatter.cores_used(128, CORES), 64);
+        assert_eq!(Schedule::FillTiles.cores_used(16, CORES), 16);
+        assert_eq!(Schedule::FillCores.cores_used(16, CORES), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overflow_panics() {
+        Schedule::Scatter.place(256, CORES);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests on the architecture layer: address maps, schedules, and
+//! topology invariants across random configurations.
+
+use knl_arch::{
+    ClusterMode, HybridSplit, MachineConfig, MemoryMode, NumaKind, Schedule, TileId, Topology,
+};
+use proptest::prelude::*;
+
+fn arb_cluster() -> impl Strategy<Value = ClusterMode> {
+    prop_oneof![
+        Just(ClusterMode::A2A),
+        Just(ClusterMode::Quadrant),
+        Just(ClusterMode::Hemisphere),
+        Just(ClusterMode::Snc4),
+        Just(ClusterMode::Snc2),
+    ]
+}
+
+fn arb_memory() -> impl Strategy<Value = MemoryMode> {
+    prop_oneof![
+        Just(MemoryMode::Flat),
+        Just(MemoryMode::Cache),
+        Just(MemoryMode::Hybrid(HybridSplit::Quarter)),
+        Just(MemoryMode::Hybrid(HybridSplit::Half)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every address in range resolves deterministically to a device and a
+    /// home directory within the active tiles, in every mode combination.
+    #[test]
+    fn address_map_total_and_deterministic(
+        cm in arb_cluster(),
+        mm in arb_memory(),
+        offsets in proptest::collection::vec(0.0f64..1.0, 16),
+    ) {
+        let cfg = MachineConfig::knl7210(cm, mm);
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let span = map.addressable_bytes();
+        for off in offsets {
+            let addr = ((span as f64 * off) as u64).min(span - 64) & !63;
+            let t1 = map.mem_target(addr);
+            let t2 = map.mem_target(addr);
+            prop_assert_eq!(t1, t2);
+            let h1 = map.home_directory(addr);
+            let h2 = map.home_directory(addr);
+            prop_assert_eq!(h1, h2);
+            prop_assert!((h1.0 as usize) < cfg.active_tiles);
+        }
+    }
+
+    /// SNC cluster-locality: lines in a cluster's range are homed in that
+    /// cluster's tiles.
+    #[test]
+    fn snc4_homes_stay_in_cluster(cluster in 0u8..4, frac in 0.0f64..1.0) {
+        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let r = map.region(NumaKind::Mcdram, cluster).unwrap();
+        let addr = (r.start + ((r.end - r.start - 64) as f64 * frac) as u64) & !63;
+        let home = map.home_directory(addr);
+        prop_assert_eq!(
+            topo.tile_cluster(home, ClusterMode::Snc4),
+            cluster,
+            "MCDRAM line homed outside its cluster"
+        );
+    }
+
+    /// Schedules are injective over hardware threads for any thread count
+    /// that fits the machine.
+    #[test]
+    fn schedules_injective(n in 1usize..=256) {
+        for sched in Schedule::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                prop_assert!(seen.insert(sched.place(i, 64)), "{sched} reuses a hw thread");
+            }
+        }
+    }
+
+    /// Any active-tile count up to 38 yields a consistent topology:
+    /// quadrants partition the tiles and hop distances are a metric.
+    #[test]
+    fn topology_consistent(tiles in 4usize..=38, seed in 0u64..500) {
+        let topo = Topology::new(tiles, seed);
+        prop_assert_eq!(topo.num_tiles(), tiles);
+        let mut per_quadrant = [0usize; 4];
+        for t in 0..tiles as u16 {
+            per_quadrant[topo.tile_quadrant(TileId(t)).0 as usize] += 1;
+        }
+        prop_assert_eq!(per_quadrant.iter().sum::<usize>(), tiles);
+        // Metric properties on a random triple.
+        let a = TileId((seed % tiles as u64) as u16);
+        let b = TileId(((seed / 7) % tiles as u64) as u16);
+        let c = TileId(((seed / 49) % tiles as u64) as u16);
+        prop_assert_eq!(topo.tile_hops(a, b), topo.tile_hops(b, a));
+        prop_assert!(topo.tile_hops(a, c) <= topo.tile_hops(a, b) + topo.tile_hops(b, c));
+    }
+
+    /// DDR channel interleave is near-uniform in the transparent modes.
+    #[test]
+    fn ddr_interleave_uniform(cm in prop_oneof![Just(ClusterMode::A2A), Just(ClusterMode::Quadrant)]) {
+        let cfg = MachineConfig::knl7210(cm, MemoryMode::Flat);
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let mut counts = [0usize; 6];
+        let n = 24_000u64;
+        for i in 0..n {
+            if let knl_arch::MemTarget::Ddr { imc, chan } = map.mem_target(i * 64) {
+                counts[imc as usize * 3 + chan as usize] += 1;
+            }
+        }
+        for (ch, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            prop_assert!((frac - 1.0 / 6.0).abs() < 0.03, "channel {ch}: {frac}");
+        }
+    }
+}

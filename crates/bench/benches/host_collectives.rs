@@ -1,0 +1,112 @@
+//! Host-thread collective benchmarks: model-tuned structures vs the
+//! OpenMP-like and MPI-like baselines on this machine's threads.
+//!
+//! Note: on oversubscribed hosts (fewer cores than ranks) absolute numbers
+//! reflect scheduler behaviour; the KNL-scale comparison lives in the
+//! fig6–fig8 binaries on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knl_collectives::plan::RankPlan;
+use knl_collectives::{
+    CentralReduce, CentralizedBarrier, DisseminationBarrier, FlatBroadcast, Team, TreeBroadcast,
+    TreeReduce,
+};
+use knl_core::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
+use std::sync::Arc;
+
+const ITERS: usize = 200;
+
+fn ranks() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 4)
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let n = ranks();
+    let model = CapabilityModel::paper_reference();
+    let team = Team::new(n);
+    let mut g = c.benchmark_group(format!("barrier_{n}ranks"));
+    g.sample_size(10);
+
+    let plan = optimize_barrier(&model, n);
+    let tuned = Arc::new(DisseminationBarrier::new(n, plan.m));
+    g.bench_function("dissemination_tuned", |b| {
+        b.iter_custom(|iters| {
+            let bar = Arc::clone(&tuned);
+            team.time(iters as usize * ITERS, move |rank, _| bar.wait(rank)) / ITERS as u32
+        })
+    });
+
+    let central = Arc::new(CentralizedBarrier::new(n));
+    g.bench_function("centralized_openmp_like", |b| {
+        b.iter_custom(|iters| {
+            let bar = Arc::clone(&central);
+            team.time(iters as usize * ITERS, move |rank, _| bar.wait(rank)) / ITERS as u32
+        })
+    });
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let n = ranks();
+    let model = CapabilityModel::paper_reference();
+    let team = Team::new(n);
+    let mut g = c.benchmark_group(format!("broadcast_{n}ranks"));
+    g.sample_size(10);
+
+    let tree = Arc::new(TreeBroadcast::new(RankPlan::direct(
+        &optimize_tree(&model, n, TreeKind::Broadcast).tree,
+    )));
+    g.bench_function("tree_tuned", |b| {
+        b.iter_custom(|iters| {
+            let t = Arc::clone(&tree);
+            team.time(iters as usize * ITERS, move |rank, it| {
+                t.run(rank, (rank == 0).then_some([it as u64; 7]));
+            }) / ITERS as u32
+        })
+    });
+
+    let flat = Arc::new(FlatBroadcast::new(n));
+    g.bench_function("flat_openmp_like", |b| {
+        b.iter_custom(|iters| {
+            let f = Arc::clone(&flat);
+            team.time(iters as usize * ITERS, move |rank, it| {
+                f.run(rank, (rank == 0).then_some([it as u64; 7]));
+            }) / ITERS as u32
+        })
+    });
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let n = ranks();
+    let model = CapabilityModel::paper_reference();
+    let team = Team::new(n);
+    let mut g = c.benchmark_group(format!("reduce_{n}ranks"));
+    g.sample_size(10);
+
+    let tree = Arc::new(TreeReduce::new(RankPlan::direct(
+        &optimize_tree(&model, n, TreeKind::Reduce).tree,
+    )));
+    g.bench_function("tree_tuned", |b| {
+        b.iter_custom(|iters| {
+            let t = Arc::clone(&tree);
+            team.time(iters as usize * ITERS, move |rank, it| {
+                t.run(rank, rank as u64 + it as u64);
+            }) / ITERS as u32
+        })
+    });
+
+    let central = Arc::new(CentralReduce::new(n));
+    g.bench_function("central_openmp_like", |b| {
+        b.iter_custom(|iters| {
+            let r = Arc::clone(&central);
+            team.time(iters as usize * ITERS, move |rank, it| {
+                r.run(rank, rank as u64 + it as u64);
+            }) / ITERS as u32
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers, bench_broadcast, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! How fast is the simulator itself? Accesses and streamed lines per
+//! second of host time (guards against regressions that would make the
+//! paper-scale sweeps impractical).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
+use knl_sim::{AccessKind, Machine, Op, Program, Runner, StreamKind};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat))
+}
+
+fn bench_single_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_access");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("l1_hit", |b| {
+        let mut m = machine();
+        let out = m.access(CoreId(0), 4096, AccessKind::Read, 0);
+        let mut now = out.complete;
+        b.iter(|| {
+            now = m.access(CoreId(0), 4096, AccessKind::Read, now).complete;
+            now
+        })
+    });
+
+    g.bench_function("memory_miss", |b| {
+        let mut m = machine();
+        let mut addr = 1u64 << 22;
+        let mut now = 0;
+        b.iter(|| {
+            addr += 4096;
+            if addr > (1 << 29) {
+                addr = 1 << 22;
+                m.reset_caches();
+            }
+            now = m.access(CoreId(0), addr, AccessKind::Read, now).complete;
+            now
+        })
+    });
+
+    g.bench_function("remote_transfer", |b| {
+        let mut m = machine();
+        let mut now = 0;
+        let mut flip = false;
+        b.iter(|| {
+            // Ping-pong one line between two tiles: every access is a
+            // remote ownership transfer.
+            let core = if flip { CoreId(0) } else { CoreId(30) };
+            flip = !flip;
+            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
+            now
+        })
+    });
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_stream");
+    g.sample_size(10);
+    let lines = 64 * 1024u64;
+    g.throughput(Throughput::Elements(lines * 8));
+    g.bench_function("8_threads_triad", |b| {
+        b.iter(|| {
+            let mut m = machine();
+            let progs: Vec<Program> = (0..8usize)
+                .map(|i| {
+                    let mut p = Program::new(Schedule::FillTiles.place(i, 64));
+                    p.push(Op::Stream {
+                        kind: StreamKind::Triad,
+                        a: (i as u64) << 24,
+                        b: (i as u64) << 24 | 1 << 23,
+                        c: (i as u64) << 24 | 1 << 22,
+                        lines,
+                        vectorized: true,
+                    });
+                    p
+                })
+                .collect();
+            Runner::new(&mut m, progs).run().end_time
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_access, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Runs every table/figure regenerator in sequence (quick sweeps unless
+//! `--paper`). Equivalent to invoking each binary; useful for EXPERIMENTS.md
+//! refreshes: `cargo run --release -p knl-bench --bin all_experiments`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1",
+        "table2",
+        "fig1_tree",
+        "fig4_latency_map",
+        "fig5_cachebw",
+        "fig6_barrier",
+        "fig7_broadcast",
+        "fig8_reduce",
+        "fig9_triad",
+        "fig10_sort",
+        "speedups",
+        "ablation",
+        "hybrid_explorer",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for b in bins {
+        println!("\n######## {b} ########");
+        let status = Command::new(exe_dir.join(b))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e} (build with --bins first)"));
+        if !status.success() {
+            failed.push(b);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; CSVs under results/");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

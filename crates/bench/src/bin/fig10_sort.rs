@@ -1,0 +1,120 @@
+//! Regenerates **Fig. 10**: merge-sort performance vs thread count for
+//! 1 KB / 4 MB / "1 GB" inputs in SNC4-flat, compared against the four
+//! model lines (memory model with latency / bandwidth cost, full model =
+//! memory + overhead), with the 10% efficiency marker, and the MCDRAM vs
+//! DRAM comparison the paper's headline insight rests on.
+//!
+//! Capacity note: the simulated machine scales capacities by 1/64 (1 GiB
+//! DDR, 256 MiB MCDRAM), so the paper's 1 GB panel is regenerated at
+//! 128 MiB ("1GB/8" label) unless --paper is given (256 MiB); shapes are
+//! size-relative so the crossovers are preserved.
+
+use knl_arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind, Schedule};
+use knl_bench::modelfit::fit_model;
+use knl_bench::output::{secs, Table};
+use knl_bench::runconf::{effort_from_args, Effort};
+use knl_core::efficiency::{efficiency_sweep, EFFICIENCY_THRESHOLD};
+use knl_core::overhead::OverheadModel;
+use knl_core::sortmodel::{CostBasis, SortModel};
+use knl_sim::Machine;
+use knl_sort::simsort::{run_simsort, SimSortSpec};
+
+fn main() {
+    let effort = effort_from_args();
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    eprintln!("fitting capability model on {} ...", cfg.label());
+    let model = fit_model(&cfg, &effort.suite_params(), true);
+
+    let threads: Vec<usize> = match effort {
+        Effort::Paper => vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+        Effort::Quick => vec![1, 4, 16, 64],
+    };
+    let sizes: Vec<(&str, u64)> = match effort {
+        Effort::Paper => vec![("1KB", 1 << 10), ("4MB", 4 << 20), ("1GB/4", 256 << 20)],
+        Effort::Quick => vec![("1KB", 1 << 10), ("4MB", 4 << 20), ("64MB", 64 << 20)],
+    };
+
+    // Measure (simulate) the 1 KB sorts to fit the overhead model, exactly
+    // as §V-B.2 prescribes.
+    let measure = |bytes: u64, threads: usize, mem: NumaKind| -> f64 {
+        let mut m = Machine::new(cfg.clone());
+        let spec = SimSortSpec { bytes, threads, schedule: Schedule::FillTiles, memory: mem };
+        run_simsort(&mut m, &spec)
+    };
+
+    let dram_model = SortModel::new(&model, "DRAM");
+    // Fit on one measurement per distinct worker count (beyond 64 the sort
+    // uses 64 workers; duplicating those points would flatten the slope).
+    let small: Vec<(usize, f64)> = threads
+        .iter()
+        .copied()
+        .filter(|&t| t <= 64)
+        .map(|t| (t, measure(1 << 10, t, NumaKind::Ddr)))
+        .collect();
+    let overhead = OverheadModel::fit(&small, |t| {
+        dram_model.sort_seconds(1 << 10, t.next_power_of_two(), CostBasis::Bandwidth)
+    });
+    eprintln!(
+        "overhead model: {:.2} µs + {:.3} µs/thread (r² {:.3})",
+        overhead.fit.alpha * 1e6,
+        overhead.fit.beta * 1e6,
+        overhead.fit.r2
+    );
+
+    for (label, bytes) in &sizes {
+        let mut table = Table::new(
+            &format!("Fig. 10 — sorting {label} of integers, SNC4-flat"),
+            &[
+                "threads", "measured DRAM", "measured MCDRAM", "mem model (lat)",
+                "mem model (BW)", "full model (BW)", "overhead/mem", "efficient?",
+            ],
+        );
+        let usable: Vec<usize> = threads.iter().copied().filter(|&t| t <= 64).collect();
+        let mem_model = |t: usize| dram_model.sort_seconds(*bytes, t, CostBasis::Bandwidth);
+        let (effs, last_eff) = efficiency_sweep(mem_model, &overhead, &usable);
+        for (i, &t) in usable.iter().enumerate() {
+            let meas_d = measure(*bytes, t, NumaKind::Ddr);
+            let meas_m = if (*bytes as u128) < (200u128 << 20) {
+                measure(*bytes, t, NumaKind::Mcdram)
+            } else {
+                f64::NAN // exceeds scaled MCDRAM capacity
+            };
+            let lat = dram_model.sort_seconds(*bytes, t, CostBasis::Latency);
+            let bw = mem_model(t);
+            let full = overhead.full(bw, t);
+            table.row(vec![
+                t.to_string(),
+                secs(meas_d),
+                if meas_m.is_nan() { "-".into() } else { secs(meas_m) },
+                secs(lat),
+                secs(bw),
+                secs(full),
+                format!("{:.0}%", effs[i].ratio() * 100.0),
+                if effs[i].is_efficient() { "yes".into() } else { "NO".into() },
+            ]);
+            eprint!(".");
+        }
+        eprintln!();
+        table.print();
+        match last_eff {
+            Some(t) => println!(
+                "memory-bound (overhead ≤ {:.0}%) up to {t} threads",
+                EFFICIENCY_THRESHOLD * 100.0
+            ),
+            None => println!("never memory-bound at this size"),
+        }
+        let path = table.write_csv(&format!("fig10_sort_{label}").replace('/', "_"));
+        eprintln!("csv: {}", path.display());
+        println!();
+    }
+
+    // Headline check: MCDRAM vs DRAM at the largest size that fits both.
+    let bytes = 64u64 << 20;
+    let d = measure(bytes, 32, NumaKind::Ddr);
+    let c = measure(bytes, 32, NumaKind::Mcdram);
+    println!(
+        "MCDRAM speedup for the sort (64 MiB, 32 threads): {:.2}x — the paper predicts ≈1 \
+         (no benefit despite 4-5x bandwidth)",
+        d / c
+    );
+}

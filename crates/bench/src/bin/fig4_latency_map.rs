@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 4**: latency of cache-line transfers between core 0
+//! and every other core in SNC4-flat mode, for M, E, and I states.
+
+use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
+use knl_bench::output::{f1, Table};
+use knl_bench::runconf::{effort_from_args, Effort};
+use knl_benchsuite::pointer_chase::latency_map;
+use knl_sim::{Machine, MesifState};
+
+fn main() {
+    let effort = effort_from_args();
+    let iters = if effort == Effort::Paper { 21 } else { 5 };
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let mut m = Machine::new(cfg);
+    eprintln!("measuring 63 partners x 3 states x {iters} iterations ...");
+    let map = latency_map(
+        &mut m,
+        CoreId(0),
+        &[MesifState::Modified, MesifState::Exclusive, MesifState::Invalid],
+        iters,
+    );
+
+    let mut table = Table::new(
+        "Fig. 4 — latency core 0 -> core c, SNC4-flat [ns]",
+        &["core", "tile", "quadrant", "M", "E", "I"],
+    );
+    let topo = m.topology();
+    let num_cores = m.config().num_cores() as u16;
+    for c in 1..num_cores {
+        let get = |st: char| {
+            map.iter().find(|(p, s, _)| *p == c && *s == st).map(|(_, _, l)| *l).unwrap_or(f64::NAN)
+        };
+        let core = CoreId(c);
+        table.row(vec![
+            c.to_string(),
+            core.tile().to_string(),
+            topo.tile_quadrant(core.tile()).to_string(),
+            f1(get('M')),
+            f1(get('E')),
+            f1(get('I')),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv("fig4_latency_map");
+    eprintln!("csv: {}", path.display());
+
+    // Shape summary: same-tile fast, remote flat-ish, I = memory.
+    let tile_m = map.iter().find(|(p, s, _)| *p == 1 && *s == 'M').unwrap().2;
+    let remote_m: Vec<f64> =
+        map.iter().filter(|(p, s, _)| *p > 1 && *s == 'M').map(|(_, _, l)| *l).collect();
+    let rm_min = remote_m.iter().copied().fold(f64::INFINITY, f64::min);
+    let rm_max = remote_m.iter().copied().fold(0.0, f64::max);
+    println!();
+    println!("tile M: {tile_m:.1} ns; remote M range: {rm_min:.1}-{rm_max:.1} ns (paper: 34 vs 107-122)");
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 5**: bandwidth of cache-to-cache copies in
+//! SNC4-cache mode vs message size (64 B – 256 KB), for M and E states and
+//! three partner locations (same tile / same quadrant / remote quadrant).
+
+use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
+use knl_bench::output::{f2, Table};
+use knl_bench::runconf::{effort_from_args, Effort};
+use knl_benchsuite::cachebw::{copy_bandwidth, fig5_partners};
+use knl_sim::{Machine, MesifState};
+
+fn main() {
+    let effort = effort_from_args();
+    let (iters, sizes): (usize, Vec<u64>) = match effort {
+        Effort::Paper => (11, (6..=18).map(|p| 1u64 << p).collect()),
+        Effort::Quick => (5, vec![64, 1 << 10, 16 << 10, 256 << 10]),
+    };
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+    let mut m = Machine::new(cfg);
+    let reader = CoreId(0);
+    let partners = fig5_partners(&m, reader);
+
+    let mut table = Table::new(
+        "Fig. 5 — copy bandwidth, SNC4-cache [GB/s]",
+        &["bytes", "location", "state", "GB/s"],
+    );
+    for (loc, owner) in &partners {
+        // Helper on a tile distinct from both reader and owner.
+        let helper = (0..m.config().num_cores() as u16)
+            .map(CoreId)
+            .find(|c| c.tile() != reader.tile() && c.tile() != owner.tile())
+            .expect("helper tile");
+        for st in [MesifState::Modified, MesifState::Exclusive] {
+            for &bytes in &sizes {
+                let s = copy_bandwidth(&mut m, *owner, reader, helper, st, bytes, iters);
+                table.row(vec![
+                    bytes.to_string(),
+                    loc.to_string(),
+                    st.letter().to_string(),
+                    f2(s.median()),
+                ]);
+                eprint!(".");
+            }
+        }
+    }
+    eprintln!();
+    table.print();
+    let path = table.write_csv("fig5_cachebw");
+    eprintln!("csv: {}", path.display());
+}

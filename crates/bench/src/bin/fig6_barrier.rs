@@ -1,0 +1,10 @@
+//! Regenerates **Fig. 6**: barrier performance in SNC4-flat (MCDRAM) —
+//! model-tuned dissemination barrier vs OpenMP-like centralized and
+//! MPI-like tree barriers, with the min–max model band, for the filling-
+//! tiles and scatter schedules.
+
+use knl_bench::collective_fig::{run_binary, CollectiveKind};
+
+fn main() {
+    run_binary("fig6_barrier", CollectiveKind::Barrier);
+}

@@ -1,0 +1,9 @@
+//! Regenerates **Fig. 7**: broadcast performance in SNC4-flat (MCDRAM) —
+//! model-tuned tree vs OpenMP-like flat and MPI-like binomial broadcasts,
+//! with the min–max model band, for both schedules.
+
+use knl_bench::collective_fig::{run_binary, CollectiveKind};
+
+fn main() {
+    run_binary("fig7_broadcast", CollectiveKind::Broadcast);
+}

@@ -1,0 +1,9 @@
+//! Regenerates **Fig. 8**: reduce performance in SNC4-flat (MCDRAM) —
+//! model-tuned tree vs OpenMP-like centralized and MPI-like binomial
+//! reduces, with the min–max model band, for both schedules.
+
+use knl_bench::collective_fig::{run_binary, CollectiveKind};
+
+fn main() {
+    run_binary("fig8_reduce", CollectiveKind::Reduce);
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 9**: memory bandwidth of the triad kernel in
+//! SNC4-flat mode vs thread count, for MCDRAM and DRAM, under the
+//! filling-cores (compact, 4 HT/core) and filling-tiles schedules.
+
+use knl_arch::{ClusterMode, MachineConfig, MemoryMode, Schedule};
+use knl_bench::output::{f1, Table};
+use knl_bench::runconf::{effort_from_args, Effort};
+use knl_benchsuite::membw::{bandwidth_sample, Target};
+use knl_sim::{Machine, StreamKind};
+
+fn main() {
+    let effort = effort_from_args();
+    let mut params = effort.suite_params();
+    if effort == Effort::Quick {
+        params.mem_lines_per_thread = 1024;
+        params.iters = 5;
+    }
+    // The paper's x-axis: 1/1, 4/1, 8/2 ... 256/64 for filling cores and
+    // 1/1, 4/4 ... 256/64 for filling tiles.
+    let threads: Vec<usize> = match effort {
+        Effort::Paper => vec![1, 4, 8, 16, 32, 64, 128, 256],
+        Effort::Quick => vec![1, 8, 32, 64],
+    };
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+
+    let mut table = Table::new(
+        "Fig. 9 — triad bandwidth, SNC4-flat [GB/s]",
+        &["schedule", "threads", "cores", "MCDRAM", "DRAM"],
+    );
+    for sched in [Schedule::FillCores, Schedule::FillTiles] {
+        for &t in &threads {
+            if t > cfg.num_hw_threads() {
+                continue;
+            }
+            let cores = sched.cores_used(t, cfg.num_cores());
+            let mut m = Machine::new(cfg.clone());
+            let mc = bandwidth_sample(&mut m, StreamKind::Triad, Target::Mcdram, t, sched, &params);
+            m.reset_devices();
+            m.reset_caches();
+            let dd = bandwidth_sample(&mut m, StreamKind::Triad, Target::Ddr, t, sched, &params);
+            table.row(vec![
+                sched.name().to_string(),
+                t.to_string(),
+                cores.to_string(),
+                f1(mc.median()),
+                f1(dd.median()),
+            ]);
+            eprint!(".");
+        }
+    }
+    eprintln!();
+    table.print();
+    let path = table.write_csv("fig9_triad");
+    eprintln!("csv: {}", path.display());
+}

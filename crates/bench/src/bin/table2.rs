@@ -1,0 +1,58 @@
+//! Regenerates **Table II**: memory latency and bandwidth per cluster mode,
+//! flat and cache memory modes (medians; "peak" = best iteration anywhere
+//! in the sweep, the STREAM column analogue).
+
+use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
+use knl_bench::output::{f1, Table};
+use knl_bench::runconf::effort_from_args;
+use knl_benchsuite::{run_memory_suite, MemResults};
+use knl_sim::{Machine, StreamKind};
+
+fn main() {
+    let effort = effort_from_args();
+    let params = effort.suite_params();
+
+    for mm in [MemoryMode::Flat, MemoryMode::Cache] {
+        let mut columns: Vec<MemResults> = Vec::new();
+        for cm in ClusterMode::ALL {
+            eprintln!("running memory suite for {}-{} ...", cm.name(), mm.name());
+            let cfg = MachineConfig::knl7210(cm, mm);
+            let mut m = Machine::new(cfg);
+            columns.push(run_memory_suite(&mut m, &params));
+        }
+
+        let mut table = Table::new(
+            &format!("Table II ({} mode) — memory capabilities", mm.name()),
+            &["metric", "SNC4", "SNC2", "QUAD", "HEM", "A2A"],
+        );
+        let metric = |name: &str, f: &dyn Fn(&MemResults) -> f64| -> Vec<String> {
+            let mut row = vec![name.to_string()];
+            row.extend(columns.iter().map(|c| f1(f(c))));
+            row
+        };
+
+        let targets: &[&str] = match mm {
+            MemoryMode::Flat => &["DRAM", "MCDRAM"],
+            _ => &["cache"],
+        };
+        for t in targets {
+            table.row(metric(&format!("Latency {t} [ns]"), &|c| {
+                c.latency(t).unwrap_or(f64::NAN)
+            }));
+        }
+        for kind in StreamKind::ALL {
+            for t in targets {
+                table.row(metric(&format!("BW {} {t} median [GB/s]", kind.name()), &|c| {
+                    c.table_cell(kind, t).unwrap_or(f64::NAN)
+                }));
+                table.row(metric(&format!("BW {} {t} peak [GB/s]", kind.name()), &|c| {
+                    c.peak_cell(kind, t).unwrap_or(f64::NAN)
+                }));
+            }
+        }
+        table.print();
+        let path = table.write_csv(&format!("table2_{}", mm.name()));
+        eprintln!("csv: {}", path.display());
+        println!();
+    }
+}

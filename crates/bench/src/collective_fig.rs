@@ -1,0 +1,355 @@
+//! Shared driver for Figs. 6–8: model-tuned collectives vs OpenMP-like and
+//! MPI-like baselines on the simulated KNL, with the min–max model band.
+
+use knl_arch::{MachineConfig, NumaKind, Schedule};
+use knl_collectives::plan::{tile_groups, RankPlan};
+use knl_collectives::simspec::{self, SimLayout};
+use knl_core::predict::{intra_tile_stage, predict_barrier, predict_broadcast, predict_reduce};
+use knl_core::tree_opt::binomial_tree;
+use knl_core::{optimize_barrier, optimize_tree, CapabilityModel, MinMax, TreeKind};
+use knl_sim::Machine;
+use knl_stats::{boxplot, median, BoxplotSummary, Sample};
+
+/// Which collective the figure shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    Barrier,
+    Broadcast,
+    Reduce,
+}
+
+impl CollectiveKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Reduce => "reduce",
+        }
+    }
+}
+
+/// One point of the figure.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    pub threads: usize,
+    pub schedule: Schedule,
+    /// Model-tuned implementation, per-iteration maxima (ns).
+    pub tuned: BoxplotSummary,
+    pub tuned_sample: Sample,
+    /// OpenMP-like baseline median (ns).
+    pub openmp_ns: f64,
+    /// MPI-like baseline median (ns).
+    pub mpi_ns: f64,
+    /// Min–max model envelope (ns).
+    pub model: MinMax,
+}
+
+impl SeriesPoint {
+    pub fn openmp_speedup(&self) -> f64 {
+        self.openmp_ns / self.tuned.median
+    }
+
+    pub fn mpi_speedup(&self) -> f64 {
+        self.mpi_ns / self.tuned.median
+    }
+}
+
+/// Run one collective figure on `cfg` (the paper: SNC4-flat, MCDRAM).
+pub fn run_figure(
+    cfg: &MachineConfig,
+    model: &CapabilityModel,
+    kind: CollectiveKind,
+    threads_list: &[usize],
+    schedules: &[Schedule],
+    iters: usize,
+) -> Vec<SeriesPoint> {
+    let mut out = Vec::new();
+    let num_cores = cfg.num_cores();
+    for &sched in schedules {
+        for &n in threads_list {
+            if n > num_cores {
+                continue;
+            }
+            let mut m = Machine::new(cfg.clone());
+            let mut arena = m.arena();
+            let layout = SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
+
+            let tuned_vals = run_tuned(&mut m, model, kind, n, sched, num_cores, &layout, iters);
+            m.reset_caches();
+            let openmp = run_openmp(&mut m, kind, n, sched, num_cores, &layout, iters);
+            m.reset_caches();
+            let mpi = run_mpi(&mut m, kind, n, sched, num_cores, &layout, iters);
+
+            let envelope = model_envelope(model, kind, n, sched, num_cores);
+            let sample = Sample::from_values(tuned_vals.clone());
+            out.push(SeriesPoint {
+                threads: n,
+                schedule: sched,
+                tuned: boxplot(&tuned_vals),
+                tuned_sample: sample,
+                openmp_ns: median(&openmp),
+                mpi_ns: median(&mpi),
+                model: envelope,
+            });
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tuned(
+    m: &mut Machine,
+    model: &CapabilityModel,
+    kind: CollectiveKind,
+    n: usize,
+    sched: Schedule,
+    num_cores: usize,
+    layout: &SimLayout,
+    iters: usize,
+) -> Vec<f64> {
+    let progs = match kind {
+        CollectiveKind::Barrier => {
+            let plan = optimize_barrier(model, n);
+            simspec::dissemination_barrier_programs(n, plan.m, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Broadcast => {
+            let plan = tuned_tree_plan(model, TreeKind::Broadcast, n, sched, num_cores);
+            simspec::tree_broadcast_programs(&plan, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Reduce => {
+            let plan = tuned_tree_plan(model, TreeKind::Reduce, n, sched, num_cores);
+            simspec::tree_reduce_programs(&plan, layout, sched, num_cores, iters)
+        }
+    };
+    simspec::run_collective(m, progs, iters)
+}
+
+/// Model-tuned hierarchical plan: inter-tile tree over tile-leader ranks,
+/// flat fan-out within a tile.
+pub fn tuned_tree_plan(
+    model: &CapabilityModel,
+    kind: TreeKind,
+    n: usize,
+    sched: Schedule,
+    num_cores: usize,
+) -> RankPlan {
+    let groups = tile_groups(n, sched, num_cores);
+    let tree = optimize_tree(model, groups.len(), kind).tree;
+    RankPlan::hierarchical(&tree, n, sched, num_cores)
+}
+
+fn run_openmp(
+    m: &mut Machine,
+    kind: CollectiveKind,
+    n: usize,
+    sched: Schedule,
+    num_cores: usize,
+    layout: &SimLayout,
+    iters: usize,
+) -> Vec<f64> {
+    let progs = match kind {
+        CollectiveKind::Barrier => {
+            simspec::central_barrier_programs(n, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Broadcast => {
+            simspec::flat_broadcast_programs(n, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Reduce => {
+            simspec::central_reduce_programs(n, layout, sched, num_cores, iters)
+        }
+    };
+    simspec::run_collective(m, progs, iters)
+}
+
+fn run_mpi(
+    m: &mut Machine,
+    kind: CollectiveKind,
+    n: usize,
+    sched: Schedule,
+    num_cores: usize,
+    layout: &SimLayout,
+    iters: usize,
+) -> Vec<f64> {
+    let plan = RankPlan::direct(&binomial_tree(n));
+    let progs = match kind {
+        CollectiveKind::Barrier => {
+            simspec::mpi_barrier_programs(&plan, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Broadcast => {
+            simspec::mpi_broadcast_programs(&plan, layout, sched, num_cores, iters)
+        }
+        CollectiveKind::Reduce => {
+            simspec::mpi_reduce_programs(&plan, layout, sched, num_cores, iters)
+        }
+    };
+    simspec::run_collective(m, progs, iters)
+}
+
+fn model_envelope(
+    model: &CapabilityModel,
+    kind: CollectiveKind,
+    n: usize,
+    sched: Schedule,
+    num_cores: usize,
+) -> MinMax {
+    match kind {
+        CollectiveKind::Barrier => predict_barrier(model, n),
+        CollectiveKind::Broadcast | CollectiveKind::Reduce => {
+            let groups = tile_groups(n, sched, num_cores);
+            let base = if kind == CollectiveKind::Broadcast {
+                predict_broadcast(model, groups.len())
+            } else {
+                predict_reduce(model, groups.len())
+            };
+            let widest = groups.iter().map(|g| g.len() - 1).max().unwrap_or(0);
+            let intra = intra_tile_stage(model, widest);
+            base.add(MinMax::point(intra))
+        }
+    }
+}
+
+/// Complete binary body for one collective figure: fit the model, run both
+/// schedules, print the table, dump the CSV, summarize speedups.
+pub fn run_binary(name: &str, kind: CollectiveKind) {
+    use crate::output::{f1, Table};
+    let effort = crate::runconf::effort_from_args();
+    let cfg = crate::modelfit::snc4_flat();
+    eprintln!("fitting capability model on {} ...", cfg.label());
+    let model = crate::modelfit::fit_model(&cfg, &effort.suite_params(), true);
+    let threads = effort.collective_threads();
+    let iters = effort.collective_iters();
+    eprintln!("running {} figure ({} iters) ...", kind.name(), iters);
+    let pts = run_figure(
+        &cfg,
+        &model,
+        kind,
+        &threads,
+        &[Schedule::FillTiles, Schedule::Scatter],
+        iters,
+    );
+
+    let mut table = Table::new(
+        &format!("{name} — {} in SNC4-flat (MCDRAM) [ns]", kind.name()),
+        &[
+            "schedule", "threads", "tuned q1", "tuned med", "tuned q3", "OpenMP-like",
+            "MPI-like", "model best", "model worst", "x OpenMP", "x MPI",
+        ],
+    );
+    for p in &pts {
+        table.row(vec![
+            p.schedule.name().to_string(),
+            p.threads.to_string(),
+            f1(p.tuned.q1),
+            f1(p.tuned.median),
+            f1(p.tuned.q3),
+            f1(p.openmp_ns),
+            f1(p.mpi_ns),
+            f1(p.model.best),
+            f1(p.model.worst),
+            format!("{:.1}x", p.openmp_speedup()),
+            format!("{:.1}x", p.mpi_speedup()),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv(name);
+    eprintln!("csv: {}", path.display());
+
+    // Terminal chart of the scatter-schedule series (threads vs ns).
+    let scatter: Vec<&SeriesPoint> =
+        pts.iter().filter(|p| p.schedule == Schedule::Scatter).collect();
+    if scatter.len() >= 2 {
+        let series = vec![
+            crate::plot::Series::new(
+                "model-tuned (median)",
+                scatter.iter().map(|p| (p.threads as f64, p.tuned.median)).collect(),
+            ),
+            crate::plot::Series::new(
+                "OpenMP-like",
+                scatter.iter().map(|p| (p.threads as f64, p.openmp_ns)).collect(),
+            ),
+            crate::plot::Series::new(
+                "MPI-like",
+                scatter.iter().map(|p| (p.threads as f64, p.mpi_ns)).collect(),
+            ),
+            crate::plot::Series::new(
+                "model worst",
+                scatter.iter().map(|p| (p.threads as f64, p.model.worst)).collect(),
+            ),
+        ];
+        println!();
+        print!(
+            "{}",
+            crate::plot::ascii_plot(
+                &format!("{} latency [ns] vs threads (scatter)", kind.name()),
+                &series,
+                56,
+                14,
+            )
+        );
+    }
+
+    let best_omp = pts.iter().map(SeriesPoint::openmp_speedup).fold(0.0, f64::max);
+    let best_mpi = pts.iter().map(SeriesPoint::mpi_speedup).fold(0.0, f64::max);
+    println!();
+    println!(
+        "max speedup of model-tuned {} over OpenMP-like: {best_omp:.1}x, over MPI-like: {best_mpi:.1}x",
+        kind.name()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelfit::snc4_flat;
+
+    #[test]
+    fn figure_points_ordering_holds() {
+        let cfg = snc4_flat();
+        let model = CapabilityModel::paper_reference();
+        let pts = run_figure(
+            &cfg,
+            &model,
+            CollectiveKind::Broadcast,
+            &[8, 32],
+            &[Schedule::Scatter],
+            5,
+        );
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.openmp_speedup() > 1.0, "tuned must beat OpenMP-like: {p:?}");
+            assert!(p.mpi_speedup() > 1.0, "tuned must beat MPI-like: {p:?}");
+            assert!(p.model.best > 0.0);
+        }
+        assert!(pts[1].tuned.median > pts[0].tuned.median, "cost grows with threads");
+    }
+
+    #[test]
+    fn barrier_figure_runs_both_schedules() {
+        let cfg = snc4_flat();
+        let model = CapabilityModel::paper_reference();
+        let pts = run_figure(
+            &cfg,
+            &model,
+            CollectiveKind::Barrier,
+            &[16],
+            &[Schedule::Scatter, Schedule::FillTiles],
+            5,
+        );
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.mpi_ns > p.tuned.median, "MPI-like barrier must lag");
+        }
+    }
+
+    #[test]
+    fn tuned_plan_hierarchy_counts() {
+        let model = CapabilityModel::paper_reference();
+        // 64 ranks fill-tiles → 32 tile groups of 2.
+        let plan = tuned_tree_plan(&model, TreeKind::Broadcast, 64, Schedule::FillTiles, 64);
+        plan.validate();
+        assert_eq!(plan.num_ranks(), 64);
+        // Every odd rank (tile mate) hangs under its even leader.
+        assert_eq!(plan.parent[1], Some(0));
+        assert_eq!(plan.parent[3], Some(2));
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! One binary per artifact (see `src/bin/`); shared machinery here:
+//!
+//! * [`output`] — aligned console tables + CSV dumps under `results/`,
+//! * [`modelfit`] — fit a [`knl_core::CapabilityModel`] by running the
+//!   capability suite on the simulated machine,
+//! * [`collective_fig`] — the shared driver for Figs. 6–8 (model-tuned vs
+//!   OpenMP-like vs MPI-like, with the min–max model band),
+//! * [`runconf`] — `--quick` / `--paper` argument handling.
+//!
+//! Absolute numbers come from the simulator, not the authors' testbed; the
+//! *shape* (who wins, by what factor, where crossovers fall) is the
+//! reproduction target (see EXPERIMENTS.md).
+
+pub mod collective_fig;
+pub mod modelfit;
+pub mod output;
+pub mod plot;
+pub mod runconf;

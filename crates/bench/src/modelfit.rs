@@ -1,0 +1,70 @@
+//! Fitting a capability model from a (possibly reduced) suite run.
+
+use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
+use knl_benchsuite::{run_full_suite, SuiteParams, SuiteResults};
+use knl_core::CapabilityModel;
+use std::path::PathBuf;
+
+/// Run the capability suite for `cfg` and fit the model. When `cache_path`
+/// is given, results are cached as JSON (rerunning a figure binary skips
+/// the simulation pass).
+pub fn fit_model(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> CapabilityModel {
+    let results = suite_results(cfg, params, cache);
+    CapabilityModel::from_suite(&results)
+}
+
+/// Suite results with optional JSON caching under `results/suite-cache/`.
+pub fn suite_results(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> SuiteResults {
+    let path = cache_path(cfg, params);
+    if cache {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(r) = serde_json::from_slice::<SuiteResults>(&bytes) {
+                return r;
+            }
+        }
+    }
+    let r = run_full_suite(cfg, params);
+    if cache {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(json) = serde_json::to_vec(&r) {
+            let _ = std::fs::write(&path, json);
+        }
+    }
+    r
+}
+
+fn cache_path(cfg: &MachineConfig, params: &SuiteParams) -> PathBuf {
+    crate::output::results_dir()
+        .join("suite-cache")
+        .join(format!("{}-i{}.json", cfg.label(), params.iters))
+}
+
+/// The standard machine of the paper's collective figures: SNC4-flat.
+pub fn snc4_flat() -> MachineConfig {
+    MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_quick_model() {
+        std::env::set_var("KNL_RESULTS_DIR", std::env::temp_dir().join("knl_modelfit_test"));
+        let cfg = snc4_flat();
+        let mut p = SuiteParams::quick();
+        p.iters = 3;
+        p.mem_threads = vec![1, 8];
+        p.mem_lines_per_thread = 256;
+        p.memlat_lines = 8 << 10;
+        let m1 = fit_model(&cfg, &p, true);
+        assert!(m1.rr_ns > 50.0);
+        // Second call hits the cache (must produce identical numbers).
+        let m2 = fit_model(&cfg, &p, true);
+        assert_eq!(m1.rr_ns, m2.rr_ns);
+        assert_eq!(m1.contention.beta, m2.contention.beta);
+        std::env::remove_var("KNL_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,152 @@
+//! Console tables and CSV output.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}", c, w = widths[i] + 2));
+                let _ = i;
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV under `results/<name>.csv` (creating the directory).
+    pub fn write_csv(&self, name: &str) -> PathBuf {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).unwrap();
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(",")).unwrap();
+        }
+        path
+    }
+}
+
+/// `results/` at the workspace root (env override: `KNL_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("KNL_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    // Walk up from the crate dir to the workspace root.
+    let mut p = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    p.pop();
+    p.pop();
+    p.join("results")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format seconds in engineering units.
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2} s")
+    } else if x >= 1e-3 {
+        format!("{:.2} ms", x * 1e3)
+    } else if x >= 1e-6 {
+        format!("{:.2} µs", x * 1e6)
+    } else {
+        format!("{:.0} ns", x * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["xx".into(), "1".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("a"));
+        assert!(r.contains("xx"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_panics() {
+        Table::new("t", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_written() {
+        std::env::set_var("KNL_RESULTS_DIR", std::env::temp_dir().join("knl_test_results"));
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let p = t.write_csv("unit_test_table");
+        let s = std::fs::read_to_string(p).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+        std::env::remove_var("KNL_RESULTS_DIR");
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(secs(2.5), "2.50 s");
+        assert_eq!(secs(0.0025), "2.50 ms");
+        assert_eq!(secs(2.5e-6), "2.50 µs");
+        assert_eq!(secs(250e-9), "250 ns");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.254), "1.25");
+    }
+}

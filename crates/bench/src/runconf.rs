@@ -1,0 +1,71 @@
+//! Command-line handling shared by the figure/table binaries.
+
+use knl_benchsuite::SuiteParams;
+
+/// Effort level of a regeneration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small sweeps, fast (~seconds per artifact). Default.
+    Quick,
+    /// The paper's sweeps (minutes per artifact).
+    Paper,
+}
+
+impl Effort {
+    pub fn suite_params(self) -> SuiteParams {
+        match self {
+            Effort::Quick => SuiteParams::quick(),
+            Effort::Paper => SuiteParams::paper(),
+        }
+    }
+
+    /// Iterations for collective measurements.
+    pub fn collective_iters(self) -> usize {
+        match self {
+            Effort::Quick => 9,
+            Effort::Paper => 41,
+        }
+    }
+
+    /// Thread counts for the collective figures (Figs. 6–8).
+    pub fn collective_threads(self) -> Vec<usize> {
+        match self {
+            Effort::Quick => vec![4, 16, 64],
+            Effort::Paper => vec![2, 4, 8, 16, 32, 64],
+        }
+    }
+}
+
+/// Parse `--paper` / `--quick` from argv (quick is the default).
+pub fn effort_from_args() -> Effort {
+    let mut effort = Effort::Quick;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--paper" | "--full" => effort = Effort::Paper,
+            "--quick" => effort = Effort::Quick,
+            "--help" | "-h" => {
+                eprintln!("usage: [--quick|--paper]  (quick sweeps are the default)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    effort
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_is_bigger() {
+        assert!(Effort::Paper.collective_iters() > Effort::Quick.collective_iters());
+        assert!(
+            Effort::Paper.collective_threads().len() > Effort::Quick.collective_threads().len()
+        );
+        assert!(Effort::Paper.suite_params().iters > Effort::Quick.suite_params().iters);
+    }
+}

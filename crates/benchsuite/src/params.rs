@@ -1,0 +1,84 @@
+//! Benchmark sweep parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls the size of the benchmark sweeps. `quick()` keeps unit tests
+/// fast; `paper()` matches the paper's reported sweeps (message sizes
+/// 64 B–256 KB, threads 1–256, two schedules, 1000 iterations scaled down to
+/// keep simulation time reasonable — medians stabilize far earlier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteParams {
+    /// Iterations per measured configuration.
+    pub iters: usize,
+    /// Message sizes (bytes) for cache-to-cache bandwidth sweeps.
+    pub c2c_sizes: Vec<u64>,
+    /// Reader counts for the contention benchmark.
+    pub contention_n: Vec<usize>,
+    /// Pair counts for the congestion benchmark.
+    pub congestion_pairs: Vec<usize>,
+    /// Thread counts for memory bandwidth sweeps.
+    pub mem_threads: Vec<usize>,
+    /// Lines per thread and per iteration of a memory-bandwidth stream.
+    pub mem_lines_per_thread: u64,
+    /// Number of random buffers in the pool each iteration samples from.
+    pub mem_pool_buffers: usize,
+    /// Lines of the memory-latency chase buffer (must exceed L2 capacity).
+    pub memlat_lines: u64,
+    /// RNG seed for buffer randomization.
+    pub seed: u64,
+}
+
+impl SuiteParams {
+    /// Small sweep for unit/integration tests.
+    pub fn quick() -> Self {
+        SuiteParams {
+            iters: 9,
+            c2c_sizes: vec![64, 1 << 10, 16 << 10, 64 << 10],
+            contention_n: vec![1, 4, 8, 16],
+            congestion_pairs: vec![1, 4, 8],
+            mem_threads: vec![1, 8, 32],
+            mem_lines_per_thread: 1024,
+            mem_pool_buffers: 4,
+            memlat_lines: 32 << 10, // 2 MB
+            seed: 0xBE7C
+        }
+    }
+
+    /// The paper's sweep (sizes 64 B–256 KB; threads 1..256). Iteration
+    /// counts are scaled down from the paper's 1000 — the simulator is
+    /// deterministic up to seeded jitter, so medians stabilize within ~15
+    /// iterations.
+    pub fn paper() -> Self {
+        SuiteParams {
+            iters: 15,
+            c2c_sizes: (6..=18).map(|p| 1u64 << p).collect(), // 64 B .. 256 KB
+            contention_n: vec![1, 2, 4, 8, 12, 16, 24, 31],
+            congestion_pairs: vec![1, 2, 4, 8, 16, 31],
+            mem_threads: vec![1, 8, 32, 64, 128, 256],
+            mem_lines_per_thread: 2048, // 128 KB per thread per iteration
+            mem_pool_buffers: 8,
+            memlat_lines: 128 << 10, // 8 MB
+            seed: 0xBE7C,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_span_64b_to_256kb() {
+        let p = SuiteParams::paper();
+        assert_eq!(*p.c2c_sizes.first().unwrap(), 64);
+        assert_eq!(*p.c2c_sizes.last().unwrap(), 256 << 10);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = SuiteParams::quick();
+        let p = SuiteParams::paper();
+        assert!(q.iters < p.iters);
+        assert!(q.memlat_lines < p.memlat_lines);
+    }
+}

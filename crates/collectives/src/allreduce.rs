@@ -1,0 +1,107 @@
+//! Allreduce as the composition of the paper's two model-tuned primitives:
+//! a tuned reduce tree up, then a tuned broadcast tree down. An extension
+//! beyond the paper's evaluation, but built entirely from its parts — the
+//! shapes can differ (reduce pays the operator per child, so its optimal
+//! tree is slightly bushier near the leaves).
+
+use crate::broadcast::TreeBroadcast;
+use crate::plan::RankPlan;
+use crate::reduce::TreeReduce;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Model-tuned allreduce (sum of one u64 per rank; every rank receives the
+/// total).
+pub struct TreeAllreduce {
+    reduce: TreeReduce,
+    bcast: TreeBroadcast,
+    /// The root's total for the current epoch (handed from the reduce to
+    /// the broadcast phase).
+    total: CachePadded<AtomicU64>,
+}
+
+impl TreeAllreduce {
+    /// Compose from (possibly different) reduce and broadcast plans. Both
+    /// must span the same rank count and share the root.
+    pub fn new(reduce_plan: RankPlan, bcast_plan: RankPlan) -> Self {
+        assert_eq!(
+            reduce_plan.num_ranks(),
+            bcast_plan.num_ranks(),
+            "plans must span the same ranks"
+        );
+        assert_eq!(reduce_plan.root, bcast_plan.root, "plans must share the root");
+        TreeAllreduce {
+            reduce: TreeReduce::new(reduce_plan),
+            bcast: TreeBroadcast::new(bcast_plan),
+            total: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of participating ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.reduce.plan().num_ranks()
+    }
+
+    /// Participate as `rank`; returns the global sum on every rank.
+    pub fn run(&self, rank: usize, contribution: u64) -> u64 {
+        let root = self.reduce.plan().root;
+        if let Some(total) = self.reduce.run(rank, contribution) {
+            self.total.store(total, Ordering::Relaxed);
+        }
+        let payload = if rank == root {
+            Some([self.total.load(Ordering::Relaxed), 0, 0, 0, 0, 0, 0])
+        } else {
+            None
+        };
+        self.bcast.run(rank, payload)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_core::{optimize_tree, CapabilityModel, TreeKind};
+
+    fn allreduce(n: usize) -> TreeAllreduce {
+        let model = CapabilityModel::paper_reference();
+        TreeAllreduce::new(
+            RankPlan::direct(&optimize_tree(&model, n, TreeKind::Reduce).tree),
+            RankPlan::direct(&optimize_tree(&model, n, TreeKind::Broadcast).tree),
+        )
+    }
+
+    #[test]
+    fn every_rank_gets_the_sum() {
+        let n = 8;
+        let a = allreduce(n);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let a = &a;
+                s.spawn(move || {
+                    for it in 0..100u64 {
+                        let expect: u64 = (0..n as u64).map(|r| r * 3 + it).sum();
+                        let got = a.run(rank, rank as u64 * 3 + it);
+                        assert_eq!(got, expect, "rank {rank} iter {it}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_identity() {
+        let a = allreduce(1);
+        assert_eq!(a.run(0, 42), 42);
+        assert_eq!(a.num_ranks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same ranks")]
+    fn mismatched_plans_rejected() {
+        let model = CapabilityModel::paper_reference();
+        TreeAllreduce::new(
+            RankPlan::direct(&optimize_tree(&model, 4, TreeKind::Reduce).tree),
+            RankPlan::direct(&optimize_tree(&model, 8, TreeKind::Broadcast).tree),
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Host-thread barriers: the model-tuned dissemination barrier and the
+//! centralized (OpenMP-like) baseline.
+//!
+//! All hot-path state is cache-line padded; synchronization uses acquire/
+//! release atomics with generation counters so the structures are reusable
+//! without reinitialization (sense reversal generalized to a u64 epoch).
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Generalized dissemination barrier with radix `m + 1`: in each of `r`
+/// rounds, thread `i` signals `m` partners `(i + j·(m+1)^round)` and waits
+/// for the `m` partners that signal it (Eq. 2's communication pattern).
+pub struct DisseminationBarrier {
+    n: usize,
+    m: usize,
+    rounds: usize,
+    /// flags[round * n + thread]: epoch counter.
+    flags: Vec<CachePadded<AtomicU64>>,
+    /// Per-thread epoch (not shared; indexed copy kept by callers).
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl DisseminationBarrier {
+    /// `m` partners per round (radix m+1). Use
+    /// `knl_core::optimize_barrier(..).m` for the model-tuned radix.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n >= 1 && m >= 1);
+        let rounds = knl_core::barrier_opt::rounds(n, m);
+        let mut flags = Vec::new();
+        flags.resize_with(rounds.max(1) * n, || CachePadded::new(AtomicU64::new(0)));
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        DisseminationBarrier { n, m, rounds, flags, epochs }
+    }
+
+    /// Number of dissemination rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Partners contacted per round.
+    pub fn radix_m(&self) -> usize {
+        self.m
+    }
+
+    /// Enter the barrier as thread `tid`. Returns after all `n` threads of
+    /// the current epoch have entered.
+    pub fn wait(&self, tid: usize) {
+        debug_assert!(tid < self.n);
+        let epoch = self.epochs[tid].fetch_add(1, Ordering::Relaxed) + 1;
+        let radix = self.m + 1;
+        let mut stride = 1usize;
+        for round in 0..self.rounds {
+            // Signal my flag for this round with the epoch.
+            self.flags[round * self.n + tid].store(epoch, Ordering::Release);
+            // Wait for the m partners signalling me: (tid − j·stride) mod n.
+            for j in 1..=self.m {
+                let partner = (tid + self.n - (j * stride) % self.n) % self.n;
+                if partner == tid {
+                    continue;
+                }
+                let f = &self.flags[round * self.n + partner];
+                crate::spin::wait_until(|| f.load(Ordering::Acquire) >= epoch);
+            }
+            stride *= radix;
+        }
+    }
+}
+
+/// Centralized sense-reversing barrier (the OpenMP-like baseline): one
+/// shared counter all threads hammer, plus a broadcast release flag.
+pub struct CentralizedBarrier {
+    n: usize,
+    count: CachePadded<AtomicU64>,
+    release: CachePadded<AtomicU64>,
+}
+
+impl CentralizedBarrier {
+    /// Barrier over `n` threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        CentralizedBarrier {
+            n,
+            count: CachePadded::new(AtomicU64::new(0)),
+            release: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Enter the barrier; returns when all `n` threads have entered.
+    pub fn wait(&self, _tid: usize) {
+        let epoch = self.release.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n as u64 {
+            self.count.store(0, Ordering::Relaxed);
+            self.release.store(epoch + 1, Ordering::Release);
+        } else {
+            crate::spin::wait_until(|| self.release.load(Ordering::Acquire) != epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn hammer_barrier(n: usize, iters: usize, wait: impl Fn(usize) + Sync) {
+        // Correctness harness: a shared phase counter must never be observed
+        // more than one phase apart across threads.
+        let phase = AtomicUsize::new(0);
+        let counts: Vec<AtomicUsize> = (0..iters).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let wait = &wait;
+                let counts = &counts;
+                let phase = &phase;
+                s.spawn(move || {
+                    for (it, count) in counts.iter().enumerate() {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        wait(tid);
+                        // After the barrier, everyone must have arrived.
+                        assert_eq!(
+                            count.load(Ordering::SeqCst),
+                            n,
+                            "iteration {it}: barrier released early"
+                        );
+                        wait(tid);
+                        let _ = phase.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn dissemination_radix2_correct() {
+        let b = DisseminationBarrier::new(7, 1);
+        hammer_barrier(7, 50, |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn dissemination_radix4_correct() {
+        let b = DisseminationBarrier::new(8, 3);
+        assert_eq!(b.rounds(), 2); // 4^2 ≥ 8
+        hammer_barrier(8, 50, |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn dissemination_large_radix() {
+        let b = DisseminationBarrier::new(6, 5);
+        assert_eq!(b.rounds(), 1);
+        hammer_barrier(6, 50, |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn centralized_correct() {
+        let b = CentralizedBarrier::new(6);
+        hammer_barrier(6, 50, |tid| b.wait(tid));
+    }
+
+    #[test]
+    fn single_thread_barriers_trivial() {
+        let d = DisseminationBarrier::new(1, 1);
+        d.wait(0);
+        let c = CentralizedBarrier::new(1);
+        c.wait(0);
+    }
+
+    #[test]
+    fn reusable_across_many_epochs() {
+        let b = Arc::new(DisseminationBarrier::new(4, 2));
+        hammer_barrier(4, 200, |tid| b.wait(tid));
+    }
+}

@@ -1,0 +1,246 @@
+//! Host-thread broadcasts: model-tuned tree, flat (OpenMP-like), and
+//! MPI-like binomial with staging copies.
+//!
+//! The payload is one cache line (8×u64); the protocol matches the paper's
+//! Eq. 1 structure: a parent writes the data and a flag in the same cache
+//! line's neighbourhood, children poll the flag, copy the data, notify
+//! their own children, and acknowledge so the structure is reusable.
+
+use crate::plan::RankPlan;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One payload slot: 7 data words + an epoch flag, all in one padded line.
+#[derive(Debug)]
+struct Slot {
+    data: [AtomicU64; 7],
+    flag: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { data: std::array::from_fn(|_| AtomicU64::new(0)), flag: AtomicU64::new(0) }
+    }
+
+    fn publish(&self, value: &[u64; 7], epoch: u64) {
+        for (d, v) in self.data.iter().zip(value) {
+            d.store(*v, Ordering::Relaxed);
+        }
+        self.flag.store(epoch, Ordering::Release);
+    }
+
+    fn consume(&self, epoch: u64) -> [u64; 7] {
+        crate::spin::wait_until(|| self.flag.load(Ordering::Acquire) >= epoch);
+        std::array::from_fn(|i| self.data[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Tree broadcast over an arbitrary [`RankPlan`] (use the model-tuned tree).
+pub struct TreeBroadcast {
+    plan: RankPlan,
+    slots: Vec<CachePadded<Slot>>,
+    acks: Vec<CachePadded<AtomicU64>>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl TreeBroadcast {
+    /// Broadcast structure over a validated plan.
+    pub fn new(plan: RankPlan) -> Self {
+        plan.validate();
+        let n = plan.num_ranks();
+        let mut slots = Vec::new();
+        slots.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut acks = Vec::new();
+        acks.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        TreeBroadcast { plan, slots, acks, epochs }
+    }
+
+    /// The plan the structure was built over.
+    pub fn plan(&self) -> &RankPlan {
+        &self.plan
+    }
+
+    /// Participate as `rank`. The root passes `Some(value)`; everyone
+    /// returns the broadcast value once the whole tree has it.
+    pub fn run(&self, rank: usize, value: Option<[u64; 7]>) -> [u64; 7] {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        let v = if rank == self.plan.root {
+            let v = value.expect("root provides the value");
+            self.slots[rank].publish(&v, epoch);
+            v
+        } else {
+            let parent = self.plan.parent[rank].expect("non-root has parent");
+            let v = self.slots[parent].consume(epoch);
+            self.slots[rank].publish(&v, epoch);
+            v
+        };
+        // Wait for subtree acknowledgements, then ack upward.
+        for &c in &self.plan.children[rank] {
+            let ack = &self.acks[c];
+            crate::spin::wait_until(|| ack.load(Ordering::Acquire) >= epoch);
+        }
+        self.acks[rank].store(epoch, Ordering::Release);
+        v
+    }
+}
+
+/// Flat broadcast (OpenMP-like): the root publishes once; all ranks poll
+/// the root's slot; a central arrival counter closes the epoch.
+pub struct FlatBroadcast {
+    n: usize,
+    slot: CachePadded<Slot>,
+    arrived: CachePadded<AtomicU64>,
+    done: CachePadded<AtomicU64>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl FlatBroadcast {
+    /// Flat broadcast over `n` ranks (rank 0 is the root).
+    pub fn new(n: usize) -> Self {
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        FlatBroadcast {
+            n,
+            slot: CachePadded::new(Slot::new()),
+            arrived: CachePadded::new(AtomicU64::new(0)),
+            done: CachePadded::new(AtomicU64::new(0)),
+            epochs,
+        }
+    }
+
+    /// Participate as `rank`; the root passes `Some(value)`.
+    pub fn run(&self, rank: usize, value: Option<[u64; 7]>) -> [u64; 7] {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        let v = if rank == 0 {
+            let v = value.expect("root provides the value");
+            self.slot.publish(&v, epoch);
+            v
+        } else {
+            self.slot.consume(epoch)
+        };
+        let arrived = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == (self.n as u64) * epoch {
+            self.done.store(epoch, Ordering::Release);
+        }
+        crate::spin::wait_until(|| self.done.load(Ordering::Acquire) >= epoch);
+        v
+    }
+}
+
+/// MPI-like binomial broadcast: pairwise sends through *staging* buffers —
+/// every hop costs two copies (in and out of the staging area), modelling
+/// the separate address spaces the paper attributes MPI's disadvantage to,
+/// plus a per-message envelope word (matching overhead).
+pub struct MpiBroadcast {
+    plan: RankPlan,
+    /// Staging slot per rank (the "receive queue").
+    staging: Vec<CachePadded<Slot>>,
+    /// Private destination per rank (the user buffer).
+    dest: Vec<CachePadded<Slot>>,
+    envelope: Vec<CachePadded<AtomicU64>>,
+    acks: Vec<CachePadded<AtomicU64>>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl MpiBroadcast {
+    /// `plan` is typically the binomial tree
+    /// (`knl_core::tree_opt::binomial_tree`).
+    pub fn new(plan: RankPlan) -> Self {
+        plan.validate();
+        let n = plan.num_ranks();
+        let mut staging = Vec::new();
+        staging.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut dest = Vec::new();
+        dest.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut envelope = Vec::new();
+        envelope.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        let mut acks = Vec::new();
+        acks.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        MpiBroadcast { plan, staging, dest, envelope, acks, epochs }
+    }
+
+    /// Participate as `rank`; the root passes `Some(value)`.
+    pub fn run(&self, rank: usize, value: Option<[u64; 7]>) -> [u64; 7] {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        let v = if rank == self.plan.root {
+            let v = value.expect("root provides the value");
+            self.dest[rank].publish(&v, epoch);
+            v
+        } else {
+            // Receive: match envelope, then copy staging → user buffer
+            // (second copy of the double-copy protocol).
+            let env = &self.envelope[rank];
+            crate::spin::wait_until(|| env.load(Ordering::Acquire) >= epoch);
+            let v = self.staging[rank].consume(epoch);
+            self.dest[rank].publish(&v, epoch);
+            v
+        };
+        // Send to children: copy user buffer → child's staging (first copy),
+        // then post the envelope.
+        for &c in &self.plan.children[rank] {
+            self.staging[c].publish(&v, epoch);
+            self.envelope[c].store(epoch, Ordering::Release);
+        }
+        for &c in &self.plan.children[rank] {
+            let ack = &self.acks[c];
+            crate::spin::wait_until(|| ack.load(Ordering::Acquire) >= epoch);
+        }
+        self.acks[rank].store(epoch, Ordering::Release);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_core::tree_opt::binomial_tree;
+    use knl_core::{optimize_tree, CapabilityModel, TreeKind};
+
+    fn run_bcast<F: Fn(usize, Option<[u64; 7]>) -> [u64; 7] + Sync>(n: usize, iters: usize, f: F) {
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let f = &f;
+                s.spawn(move || {
+                    for it in 0..iters as u64 {
+                        let expect = [it + 1, it + 2, it + 3, it + 4, it + 5, it + 6, it + 7];
+                        let v = if rank == 0 { f(rank, Some(expect)) } else { f(rank, None) };
+                        assert_eq!(v, expect, "rank {rank} iteration {it}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn tree_broadcast_delivers() {
+        let model = CapabilityModel::paper_reference();
+        let plan = RankPlan::direct(&optimize_tree(&model, 8, TreeKind::Broadcast).tree);
+        let b = TreeBroadcast::new(plan);
+        run_bcast(8, 100, |r, v| b.run(r, v));
+    }
+
+    #[test]
+    fn flat_broadcast_delivers() {
+        let b = FlatBroadcast::new(6);
+        run_bcast(6, 100, |r, v| b.run(r, v));
+    }
+
+    #[test]
+    fn mpi_broadcast_delivers() {
+        let plan = RankPlan::direct(&binomial_tree(8));
+        let b = MpiBroadcast::new(plan);
+        run_bcast(8, 100, |r, v| b.run(r, v));
+    }
+
+    #[test]
+    fn single_rank_trivial() {
+        let model = CapabilityModel::paper_reference();
+        let plan = RankPlan::direct(&optimize_tree(&model, 1, TreeKind::Broadcast).tree);
+        let b = TreeBroadcast::new(plan);
+        assert_eq!(b.run(0, Some([9; 7])), [9; 7]);
+    }
+}

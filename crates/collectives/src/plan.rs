@@ -1,0 +1,143 @@
+//! Mapping an optimized tree onto thread ranks.
+//!
+//! The paper distinguishes inter-tile from intra-tile communication: the
+//! optimized tree spans one *leader* rank per tile, and the remaining ranks
+//! of a tile hang off their leader as a flat subtree ("when there is more
+//! than one thread per tile, we make a flat tree within the tile"). On the
+//! host (no tile information) every rank is its own leader.
+
+use knl_arch::Schedule;
+use knl_core::Tree;
+
+/// Per-rank parent/children derived from a tree + tile grouping.
+#[derive(Debug, Clone)]
+pub struct RankPlan {
+    /// Parent rank of each rank (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Children ranks of each rank, in notification order.
+    pub children: Vec<Vec<usize>>,
+    /// Rank acting as tree root.
+    pub root: usize,
+}
+
+impl RankPlan {
+    /// Flat mapping: tree node BFS id == rank (host collectives; also used
+    /// in the simulator when there is exactly one thread per tile).
+    pub fn direct(tree: &Tree) -> Self {
+        let parent = tree.bfs_parents();
+        let children = tree.bfs_children();
+        RankPlan { parent, children, root: 0 }
+    }
+
+    /// Hierarchical mapping for `n` ranks pinned by `schedule` on a machine
+    /// with `num_cores` cores: ranks sharing a tile form a group; the tree
+    /// (over `groups.len()` nodes) connects the group leaders; members
+    /// attach flat under their leader.
+    pub fn hierarchical(tree: &Tree, n: usize, schedule: Schedule, num_cores: usize) -> Self {
+        let groups = tile_groups(n, schedule, num_cores);
+        assert_eq!(tree.size(), groups.len(), "tree must span one node per tile group");
+        let leader_parent = tree.bfs_parents();
+        let leader_children = tree.bfs_children();
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        for (g, group) in groups.iter().enumerate() {
+            let leader = group[0];
+            parent[leader] = leader_parent[g].map(|pg| groups[pg][0]);
+            children[leader] = leader_children[g].iter().map(|&cg| groups[cg][0]).collect();
+            for &member in &group[1..] {
+                parent[member] = Some(leader);
+                children[leader].push(member);
+            }
+        }
+        RankPlan { parent, children, root: groups[0][0] }
+    }
+
+    /// Number of ranks the plan spans.
+    pub fn num_ranks(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Sanity: every non-root rank has a parent, and parent/children agree.
+    pub fn validate(&self) {
+        let n = self.num_ranks();
+        let mut seen = vec![false; n];
+        seen[self.root] = true;
+        assert!(self.parent[self.root].is_none(), "root must have no parent");
+        for r in 0..n {
+            for &c in &self.children[r] {
+                assert_eq!(self.parent[c], Some(r), "child {c} of {r} disagrees");
+                assert!(!seen[c], "rank {c} reachable twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unreachable ranks: {seen:?}");
+    }
+}
+
+/// Group ranks by the tile their schedule pin lands on; groups ordered by
+/// first appearance, each group led by its first rank.
+pub fn tile_groups(n: usize, schedule: Schedule, num_cores: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(u16, Vec<usize>)> = Vec::new();
+    for rank in 0..n {
+        let tile = schedule.core(rank, num_cores).tile().0;
+        match groups.iter_mut().find(|(t, _)| *t == tile) {
+            Some((_, g)) => g.push(rank),
+            None => groups.push((tile, vec![rank])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_core::tree_opt::{binomial_tree, flat_tree};
+
+    #[test]
+    fn direct_plan_valid() {
+        for n in [1usize, 2, 7, 16] {
+            let p = RankPlan::direct(&binomial_tree(n));
+            assert_eq!(p.num_ranks(), n);
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn tile_groups_fill_tiles() {
+        // FillTiles on 64 cores: ranks 0,1 share tile 0; 2,3 tile 1; ...
+        let g = tile_groups(8, Schedule::FillTiles, 64);
+        assert_eq!(g, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+    }
+
+    #[test]
+    fn tile_groups_scatter() {
+        // Scatter: first 32 ranks on distinct tiles.
+        let g = tile_groups(8, Schedule::Scatter, 64);
+        assert_eq!(g.len(), 8);
+        assert!(g.iter().all(|grp| grp.len() == 1));
+        // 40 ranks: 32 tiles, 8 of them with 2 ranks.
+        let g = tile_groups(40, Schedule::Scatter, 64);
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.iter().filter(|grp| grp.len() == 2).count(), 8);
+    }
+
+    #[test]
+    fn hierarchical_plan_valid() {
+        let n = 16;
+        let groups = tile_groups(n, Schedule::FillTiles, 64);
+        let tree = binomial_tree(groups.len());
+        let p = RankPlan::hierarchical(&tree, n, Schedule::FillTiles, 64);
+        p.validate();
+        // Leader of group 0 is rank 0 = root.
+        assert_eq!(p.root, 0);
+        // Rank 1 (tile mate of 0) hangs under 0.
+        assert_eq!(p.parent[1], Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per tile group")]
+    fn mismatched_tree_rejected() {
+        let tree = flat_tree(3);
+        RankPlan::hierarchical(&tree, 16, Schedule::FillTiles, 64);
+    }
+}

@@ -1,0 +1,219 @@
+//! Host-thread reductions (sum of one u64 per rank): model-tuned tree,
+//! centralized atomic (OpenMP-like), and MPI-like binomial with staging.
+
+use crate::plan::RankPlan;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One contribution slot: value + epoch flag in a padded line.
+#[derive(Debug)]
+struct Slot {
+    value: AtomicU64,
+    flag: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { value: AtomicU64::new(0), flag: AtomicU64::new(0) }
+    }
+
+    fn publish(&self, v: u64, epoch: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.flag.store(epoch, Ordering::Release);
+    }
+
+    fn consume(&self, epoch: u64) -> u64 {
+        crate::spin::wait_until(|| self.flag.load(Ordering::Acquire) >= epoch);
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Tree reduce over a [`RankPlan`]: children publish their partial sums
+/// into per-child buffers ("extra buffering to hold the data collected from
+/// the descendants"); parents accumulate and forward. The root returns the
+/// total; other ranks return after the root's release flag (so the
+/// operation is externally synchronized, like `MPI_Reduce` + a flag).
+pub struct TreeReduce {
+    plan: RankPlan,
+    slots: Vec<CachePadded<Slot>>,
+    release: CachePadded<AtomicU64>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl TreeReduce {
+    /// Reduce structure over a validated plan.
+    pub fn new(plan: RankPlan) -> Self {
+        plan.validate();
+        let n = plan.num_ranks();
+        let mut slots = Vec::new();
+        slots.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        TreeReduce { plan, slots, release: CachePadded::new(AtomicU64::new(0)), epochs }
+    }
+
+    /// The plan the structure was built over.
+    pub fn plan(&self) -> &RankPlan {
+        &self.plan
+    }
+
+    /// Participate as `rank` with `contribution`; returns the global sum at
+    /// the root and `None` elsewhere.
+    pub fn run(&self, rank: usize, contribution: u64) -> Option<u64> {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut acc = contribution;
+        for &c in &self.plan.children[rank] {
+            acc = acc.wrapping_add(self.slots[c].consume(epoch));
+        }
+        if rank == self.plan.root {
+            self.release.store(epoch, Ordering::Release);
+            Some(acc)
+        } else {
+            self.slots[rank].publish(acc, epoch);
+            crate::spin::wait_until(|| self.release.load(Ordering::Acquire) >= epoch);
+            None
+        }
+    }
+}
+
+/// Centralized reduce (OpenMP-like): every rank `fetch_add`s into one
+/// shared accumulator; the last arrival publishes the epoch's result.
+pub struct CentralReduce {
+    n: usize,
+    acc: CachePadded<AtomicU64>,
+    arrived: CachePadded<AtomicU64>,
+    result: CachePadded<Slot>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl CentralReduce {
+    /// Centralized reduce over `n` ranks.
+    pub fn new(n: usize) -> Self {
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        CentralReduce {
+            n,
+            acc: CachePadded::new(AtomicU64::new(0)),
+            arrived: CachePadded::new(AtomicU64::new(0)),
+            result: CachePadded::new(Slot::new()),
+            epochs,
+        }
+    }
+
+    /// Contribute and synchronize; the root (rank 0) gets the sum.
+    pub fn run(&self, rank: usize, contribution: u64) -> Option<u64> {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        self.acc.fetch_add(contribution, Ordering::AcqRel);
+        let arrived = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n as u64 * epoch {
+            let total = self.acc.swap(0, Ordering::AcqRel);
+            self.result.publish(total, epoch);
+        }
+        let total = self.result.consume(epoch);
+        if rank == 0 {
+            Some(total)
+        } else {
+            None
+        }
+    }
+}
+
+/// MPI-like binomial reduce: partial sums travel through staging buffers
+/// with an envelope per hop (double copy + matching, as in `MpiBroadcast`).
+pub struct MpiReduce {
+    plan: RankPlan,
+    staging: Vec<CachePadded<Slot>>,
+    /// Per-rank private receive buffer (the second copy's destination).
+    recv: Vec<CachePadded<Slot>>,
+    release: CachePadded<AtomicU64>,
+    epochs: Vec<CachePadded<AtomicU64>>,
+}
+
+impl MpiReduce {
+    /// MPI-like reduce over a validated plan (typically binomial).
+    pub fn new(plan: RankPlan) -> Self {
+        plan.validate();
+        let n = plan.num_ranks();
+        let mut staging = Vec::new();
+        staging.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut recv = Vec::new();
+        recv.resize_with(n, || CachePadded::new(Slot::new()));
+        let mut epochs = Vec::new();
+        epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        MpiReduce { plan, staging, recv, release: CachePadded::new(AtomicU64::new(0)), epochs }
+    }
+
+    /// Contribute and synchronize; the root gets the sum.
+    pub fn run(&self, rank: usize, contribution: u64) -> Option<u64> {
+        let epoch = self.epochs[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut acc = contribution;
+        for (i, &c) in self.plan.children[rank].iter().enumerate() {
+            // Receive from child: staging → private recv buffer, then read.
+            let v = self.staging[c].consume(epoch);
+            self.recv[rank].publish(v, epoch * 64 + i as u64); // distinct sub-epoch per message
+            acc = acc.wrapping_add(self.recv[rank].value.load(Ordering::Relaxed));
+        }
+        if rank == self.plan.root {
+            self.release.store(epoch, Ordering::Release);
+            Some(acc)
+        } else {
+            self.staging[rank].publish(acc, epoch);
+            crate::spin::wait_until(|| self.release.load(Ordering::Acquire) >= epoch);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_core::tree_opt::binomial_tree;
+    use knl_core::{optimize_tree, CapabilityModel, TreeKind};
+
+    fn run_reduce<F: Fn(usize, u64) -> Option<u64> + Sync>(n: usize, iters: usize, f: F) {
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let f = &f;
+                s.spawn(move || {
+                    for it in 0..iters as u64 {
+                        let contribution = (rank as u64 + 1) * (it + 1);
+                        let expect: u64 = (1..=n as u64).map(|r| r * (it + 1)).sum();
+                        match f(rank, contribution) {
+                            Some(total) => assert_eq!(total, expect, "iter {it}"),
+                            None => assert_ne!(rank, 0),
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn tree_reduce_sums() {
+        let model = CapabilityModel::paper_reference();
+        let plan = RankPlan::direct(&optimize_tree(&model, 8, TreeKind::Reduce).tree);
+        let r = TreeReduce::new(plan);
+        run_reduce(8, 100, |rank, c| r.run(rank, c));
+    }
+
+    #[test]
+    fn central_reduce_sums() {
+        let r = CentralReduce::new(6);
+        run_reduce(6, 100, |rank, c| r.run(rank, c));
+    }
+
+    #[test]
+    fn mpi_reduce_sums() {
+        let plan = RankPlan::direct(&binomial_tree(8));
+        let r = MpiReduce::new(plan);
+        run_reduce(8, 100, |rank, c| r.run(rank, c));
+    }
+
+    #[test]
+    fn singleton_reduce() {
+        let model = CapabilityModel::paper_reference();
+        let plan = RankPlan::direct(&optimize_tree(&model, 1, TreeKind::Reduce).tree);
+        let r = TreeReduce::new(plan);
+        assert_eq!(r.run(0, 42), Some(42));
+    }
+}

@@ -1,0 +1,45 @@
+//! Bounded spin-then-yield waiting.
+//!
+//! On the paper's KNL every rank owns a core, so pure spinning is right; on
+//! oversubscribed hosts (CI boxes, laptops) pure spinning livelocks the
+//! scheduler. All host collectives wait through this helper: a short pure
+//! spin (the common uncontended case), then cooperative yields.
+
+/// Spin until `ready()` is true.
+#[inline]
+pub fn wait_until<F: Fn() -> bool>(ready: F) {
+    for _ in 0..128 {
+        if ready() {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    while !ready() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn returns_immediately_when_ready() {
+        wait_until(|| true);
+    }
+
+    #[test]
+    fn waits_for_other_thread() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            f2.store(true, Ordering::Release);
+        });
+        wait_until(|| flag.load(Ordering::Acquire));
+        h.join().unwrap();
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

@@ -1,0 +1,164 @@
+//! A persistent thread team for timing collectives on the host.
+//!
+//! Workers spin on a generation counter; `Team::time` publishes a closure
+//! that every worker executes `iters` times, and returns the wall-clock
+//! duration from release to the last worker's completion. Measuring many
+//! iterations per generation keeps the harness handshake out of the
+//! measured cost.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Job = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+struct Shared {
+    generation: CachePadded<AtomicU64>,
+    done: Vec<CachePadded<AtomicU64>>,
+    stop: AtomicBool,
+}
+
+/// A fixed-size team of spinning worker threads (ranks `1..n`; rank 0 is
+/// the caller's thread).
+pub struct Team {
+    n: usize,
+    shared: Arc<Shared>,
+    job: Arc<parking_lot::RwLock<Option<(Job, usize)>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Team {
+    /// Spawn a team of `n` ranks (n−1 worker threads + the caller).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            generation: CachePadded::new(AtomicU64::new(0)),
+            done: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            stop: AtomicBool::new(false),
+        });
+        let job: Arc<parking_lot::RwLock<Option<(Job, usize)>>> =
+            Arc::new(parking_lot::RwLock::new(None));
+        let mut workers = Vec::new();
+        for rank in 1..n {
+            let shared = Arc::clone(&shared);
+            let job = Arc::clone(&job);
+            workers.push(std::thread::spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    let gen = shared.generation.load(Ordering::Acquire);
+                    if gen == seen {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    seen = gen;
+                    let guard = job.read();
+                    if let Some((f, iters)) = guard.as_ref() {
+                        for it in 0..*iters {
+                            f(rank, it);
+                        }
+                    }
+                    drop(guard);
+                    shared.done[rank].store(gen, Ordering::Release);
+                }
+            }));
+        }
+        Team { n, shared, job, workers }
+    }
+
+    /// Team size (including the caller's rank 0).
+    pub fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Run `f(rank, iteration)` `iters` times on every rank (including the
+    /// caller as rank 0) and return the elapsed wall time.
+    pub fn time<F: Fn(usize, usize) + Send + Sync + 'static>(&self, iters: usize, f: F) -> Duration {
+        *self.job.write() = Some((Arc::new(f), iters));
+        let gen = self.shared.generation.load(Ordering::Relaxed) + 1;
+        let start = Instant::now();
+        self.shared.generation.store(gen, Ordering::Release);
+        {
+            let guard = self.job.read();
+            if let Some((f, iters)) = guard.as_ref() {
+                for it in 0..*iters {
+                    f(0, it);
+                }
+            }
+        }
+        self.shared.done[0].store(gen, Ordering::Release);
+        for rank in 1..self.n {
+            let done = &self.shared.done[rank];
+            crate::spin::wait_until(|| done.load(Ordering::Acquire) >= gen);
+        }
+        start.elapsed()
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_ranks_run_all_iterations() {
+        let team = Team::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let d = team.time(10, move |_rank, _it| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn reusable_for_multiple_jobs() {
+        let team = Team::new(3);
+        for _ in 0..3 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            team.time(5, move |_r, _i| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 15);
+        }
+    }
+
+    #[test]
+    fn single_rank_team() {
+        let team = Team::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        team.time(7, move |rank, _| {
+            assert_eq!(rank, 0);
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn barrier_through_team() {
+        use crate::barrier::DisseminationBarrier;
+        let n = 4;
+        let team = Team::new(n);
+        let b = Arc::new(DisseminationBarrier::new(n, 2));
+        let b2 = Arc::clone(&b);
+        let d = team.time(100, move |rank, _| {
+            b2.wait(rank);
+        });
+        assert!(d.as_micros() > 0);
+    }
+}

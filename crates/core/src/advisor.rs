@@ -1,0 +1,161 @@
+//! Memory-mode advisor: "when using a flat mode, we need performance models
+//! in order to decide which data has to be allocated in which memory"
+//! (§VII). Given an application's access profile, the advisor predicts the
+//! MCDRAM-over-DRAM speedup from the capability model and recommends a
+//! placement.
+
+use crate::model::CapabilityModel;
+use knl_sim::StreamKind;
+use serde::{Deserialize, Serialize};
+
+/// A coarse application phase profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Closest streaming kernel to the phase's access mix.
+    pub kind: StreamKind,
+    /// Threads concurrently accessing memory in this phase.
+    pub threads: usize,
+    /// Fraction of total runtime spent in this phase (weights the mean).
+    pub weight: f64,
+    /// Whether the phase is latency-bound (dependent accesses) rather than
+    /// bandwidth-bound.
+    pub latency_bound: bool,
+}
+
+/// Recommendation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Allocate the hot data in MCDRAM.
+    Mcdram,
+    /// Leave it in DRAM (MCDRAM buys nothing or hurts).
+    Dram,
+    /// Within noise either way.
+    Indifferent,
+}
+
+/// Advice with the predicted speedup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Advice {
+    /// Recommended placement.
+    pub placement: Placement,
+    /// Predicted DRAM-time / MCDRAM-time (>1 favours MCDRAM).
+    pub speedup: f64,
+    /// Human-readable justification.
+    pub reason: String,
+}
+
+/// Weighted speedup estimate over the application's phases.
+///
+/// Weights are *time shares on DRAM*; the overall speedup is therefore the
+/// harmonic composition `Σw / Σ(w/s)` (a phase that takes 60% of the time
+/// and speeds up 1× pins the total near 1× no matter how fast the rest
+/// gets — Amdahl over memory phases).
+pub fn advise(model: &CapabilityModel, phases: &[PhaseProfile]) -> Advice {
+    assert!(!phases.is_empty(), "need at least one phase");
+    let mut wsum = 0.0;
+    let mut inv = 0.0;
+    let mut latency_weight = 0.0;
+    for p in phases {
+        let s = phase_speedup(model, p);
+        wsum += p.weight;
+        inv += p.weight / s.max(1e-9);
+        if p.latency_bound {
+            latency_weight += p.weight;
+        }
+    }
+    let den = wsum;
+    let speedup = wsum / inv;
+    let placement = if speedup > 1.15 {
+        Placement::Mcdram
+    } else if speedup < 0.95 {
+        Placement::Dram
+    } else {
+        Placement::Indifferent
+    };
+    let reason = if latency_weight / den > 0.5 && speedup <= 1.0 {
+        "dominantly latency-bound: MCDRAM's higher access latency erases its bandwidth advantage"
+            .to_string()
+    } else if speedup > 1.15 {
+        format!("bandwidth-bound at high thread counts: predicted {speedup:.2}× from the capability curves")
+    } else {
+        format!(
+            "thread-level parallelism too low to exploit MCDRAM bandwidth (predicted {speedup:.2}×)"
+        )
+    };
+    Advice { placement, speedup, reason }
+}
+
+fn phase_speedup(model: &CapabilityModel, p: &PhaseProfile) -> f64 {
+    if p.latency_bound {
+        // Latency-bound phases: time scales with access latency, and MCDRAM's
+        // is *higher*, so speedup = lat_DRAM / lat_MCDRAM < 1.
+        let d = model.mem_latency_ns("DRAM").unwrap_or(f64::NAN);
+        let m = model.mem_latency_ns("MCDRAM").unwrap_or(d);
+        return d / m;
+    }
+    let d = model.mem.gbps(p.kind, "DRAM", p.threads);
+    let m = model.mem.gbps(p.kind, "MCDRAM", p.threads);
+    match (d, m) {
+        (Some(d), Some(m)) if d > 0.0 => m / d,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapabilityModel {
+        CapabilityModel::paper_reference()
+    }
+
+    #[test]
+    fn streaming_many_threads_wants_mcdram() {
+        let a = advise(
+            &model(),
+            &[PhaseProfile { kind: StreamKind::Triad, threads: 64, weight: 1.0, latency_bound: false }],
+        );
+        assert_eq!(a.placement, Placement::Mcdram);
+        assert!(a.speedup > 3.0, "triad @64: {}", a.speedup);
+    }
+
+    #[test]
+    fn single_thread_indifferent() {
+        let a = advise(
+            &model(),
+            &[PhaseProfile { kind: StreamKind::Copy, threads: 1, weight: 1.0, latency_bound: false }],
+        );
+        assert!(
+            a.placement != Placement::Mcdram,
+            "one thread gets ~8 GB/s from either memory: {a:?}"
+        );
+    }
+
+    #[test]
+    fn latency_bound_prefers_dram() {
+        let a = advise(
+            &model(),
+            &[PhaseProfile { kind: StreamKind::Read, threads: 8, weight: 1.0, latency_bound: true }],
+        );
+        assert!(a.speedup <= 1.0, "latency-bound speedup {}", a.speedup);
+        assert_ne!(a.placement, Placement::Mcdram);
+    }
+
+    #[test]
+    fn mixed_phases_weighted() {
+        let a = advise(
+            &model(),
+            &[
+                PhaseProfile { kind: StreamKind::Triad, threads: 64, weight: 0.1, latency_bound: false },
+                PhaseProfile { kind: StreamKind::Read, threads: 2, weight: 0.9, latency_bound: true },
+            ],
+        );
+        assert!(a.speedup < 1.5, "mostly latency-bound: {}", a.speedup);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_rejected() {
+        advise(&model(), &[]);
+    }
+}

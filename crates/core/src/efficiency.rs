@@ -1,0 +1,91 @@
+//! Efficiency assessment (§V-B.3): "We mark [...] when the overhead is over
+//! 10% of the memory model, meaning that we are no longer bounded by the
+//! memory bandwidth achievable by this algorithm, but instead we are
+//! introducing extra overhead and not using our resources efficiently."
+
+use crate::overhead::OverheadModel;
+use serde::{Deserialize, Serialize};
+
+/// The paper's efficiency threshold.
+pub const EFFICIENCY_THRESHOLD: f64 = 0.10;
+
+/// Verdict for one (size, threads) operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Thread count of the operating point.
+    pub threads: usize,
+    /// Memory-model prediction, seconds.
+    pub memory_s: f64,
+    /// Modeled overhead, seconds.
+    pub overhead_s: f64,
+}
+
+impl Efficiency {
+    /// overhead / memory-model ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.memory_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.overhead_s / self.memory_s
+    }
+
+    /// Memory-bound (efficient) per the 10% rule.
+    pub fn is_efficient(&self) -> bool {
+        self.ratio() <= EFFICIENCY_THRESHOLD
+    }
+}
+
+/// Evaluate the rule over a thread sweep; returns per-thread verdicts and
+/// the largest thread count that is still efficient (the vertical line in
+/// Fig. 10), if any.
+pub fn efficiency_sweep<F: Fn(usize) -> f64>(
+    memory_model: F,
+    overhead: &OverheadModel,
+    threads: &[usize],
+) -> (Vec<Efficiency>, Option<usize>) {
+    let points: Vec<Efficiency> = threads
+        .iter()
+        .map(|&t| Efficiency { threads: t, memory_s: memory_model(t), overhead_s: overhead.seconds(t) })
+        .collect();
+    let last_efficient = points.iter().filter(|p| p.is_efficient()).map(|p| p.threads).max();
+    (points, last_efficient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_stats::LinearFit;
+
+    fn overhead() -> OverheadModel {
+        OverheadModel { fit: LinearFit { alpha: 1e-6, beta: 1e-6, r2: 1.0, n: 5 } }
+    }
+
+    #[test]
+    fn ratio_and_rule() {
+        let e = Efficiency { threads: 4, memory_s: 100e-6, overhead_s: 5e-6 };
+        assert!((e.ratio() - 0.05).abs() < 1e-12);
+        assert!(e.is_efficient());
+        let bad = Efficiency { threads: 64, memory_s: 10e-6, overhead_s: 5e-6 };
+        assert!(!bad.is_efficient());
+    }
+
+    #[test]
+    fn sweep_finds_threshold() {
+        // Memory model shrinking with threads; overhead growing: efficiency
+        // dies somewhere in the middle.
+        let mem = |t: usize| 400e-6 / t as f64;
+        let (pts, last) = efficiency_sweep(mem, &overhead(), &[1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(pts.len(), 7);
+        let last = last.expect("small thread counts are efficient");
+        assert!((2..64).contains(&last), "threshold at {last}");
+        // Verdicts flip from efficient to not.
+        assert!(pts[0].is_efficient());
+        assert!(!pts.last().unwrap().is_efficient());
+    }
+
+    #[test]
+    fn zero_memory_model_is_inefficient() {
+        let e = Efficiency { threads: 1, memory_s: 0.0, overhead_s: 1e-9 };
+        assert!(!e.is_efficient());
+    }
+}

@@ -1,0 +1,42 @@
+//! Capability models for manycore memory systems — the paper's primary
+//! contribution.
+//!
+//! A [`CapabilityModel`] condenses the benchmark suite's measurements into
+//! the analytic parameters the paper uses:
+//!
+//! * `R_L` — cost of reading a line from local cache,
+//! * `R_R` — cost of reading a line from a remote cache,
+//! * `R_I` — cost of reading a line from memory,
+//! * the contention law `T_C(N) = α + β·N`,
+//! * the multi-line transfer law `α + β·N`,
+//! * per-state tile/remote latencies, and memory latency/bandwidth curves.
+//!
+//! On top of the model sit the paper's three applications:
+//!
+//! * **model-tuned communication algorithms**: generic broadcast/reduce
+//!   trees optimized under Eq. 1 ([`tree_opt`], producing non-trivial trees
+//!   like the paper's Fig. 1) and the dissemination barrier under Eq. 2
+//!   ([`barrier_opt`]), each with min–max envelopes ([`minmax`], [`predict`]);
+//! * the **merge-sort memory model** of Eqs. 3–5 with the measured-overhead
+//!   extension and the 10% efficiency rule ([`sortmodel`], [`overhead`],
+//!   [`efficiency`]);
+//! * a **memory-mode advisor** that answers "will MCDRAM help this
+//!   application?" from the model alone ([`advisor`]).
+
+pub mod advisor;
+pub mod barrier_opt;
+pub mod efficiency;
+pub mod minmax;
+pub mod model;
+pub mod overhead;
+pub mod predict;
+pub mod sortmodel;
+pub mod tree;
+pub mod tree_opt;
+
+pub use barrier_opt::{optimize_barrier, BarrierPlan};
+pub use minmax::MinMax;
+pub use model::CapabilityModel;
+pub use sortmodel::SortModel;
+pub use tree::Tree;
+pub use tree_opt::{optimize_tree, TreeKind, TreePlan};

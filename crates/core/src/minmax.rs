@@ -1,0 +1,82 @@
+//! Min–max envelopes (§IV-B): "Because we cannot predict which thread wins
+//! and how often a cache line is moved when at least one thread polls the
+//! same variable, we model the best and worst case performance for each
+//! algorithm [...]. We optimize for the best case because the worst rarely
+//! happens in practice."
+
+use serde::{Deserialize, Serialize};
+
+/// A best/worst-case pair (any unit; collectives use nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMax {
+    /// Best-case value.
+    pub best: f64,
+    /// Worst-case value.
+    pub worst: f64,
+}
+
+impl MinMax {
+    /// Degenerate envelope (best == worst).
+    pub fn point(v: f64) -> Self {
+        MinMax { best: v, worst: v }
+    }
+
+    /// Envelope from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if `best > worst`.
+    pub fn new(best: f64, worst: f64) -> Self {
+        assert!(best <= worst, "best {best} must not exceed worst {worst}");
+        MinMax { best, worst }
+    }
+
+    /// Component-wise sum (sequential composition).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: MinMax) -> MinMax {
+        MinMax { best: self.best + other.best, worst: self.worst + other.worst }
+    }
+
+    /// Component-wise max (parallel composition / makespan).
+    pub fn max(self, other: MinMax) -> MinMax {
+        MinMax { best: self.best.max(other.best), worst: self.worst.max(other.worst) }
+    }
+
+    /// Multiply both bounds by `k`.
+    pub fn scale(self, k: f64) -> MinMax {
+        MinMax { best: self.best * k, worst: self.worst * k }
+    }
+
+    /// Does `v` fall inside the envelope (with `slack` fractional margin)?
+    pub fn contains(&self, v: f64, slack: f64) -> bool {
+        v >= self.best * (1.0 - slack) && v <= self.worst * (1.0 + slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition() {
+        let a = MinMax::new(1.0, 2.0);
+        let b = MinMax::new(3.0, 5.0);
+        assert_eq!(a.add(b), MinMax::new(4.0, 7.0));
+        assert_eq!(a.max(b), MinMax::new(3.0, 5.0));
+        assert_eq!(a.scale(2.0), MinMax::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn contains_with_slack() {
+        let e = MinMax::new(10.0, 20.0);
+        assert!(e.contains(15.0, 0.0));
+        assert!(e.contains(9.5, 0.1));
+        assert!(!e.contains(25.0, 0.1));
+        assert!(e.contains(21.9, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_panics() {
+        MinMax::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The overhead model (§V-B.2): "we developed an overhead model by applying
+//! linear regression to the cost of sorting 1 KB messages with multiple
+//! number of threads, after subtracting the cost predicted by the memory
+//! model. Then, we use this overhead for all the message sizes, combined
+//! with the memory model."
+
+use knl_stats::{fit_linear, LinearFit};
+use serde::{Deserialize, Serialize};
+
+/// Linear overhead in seconds as a function of thread count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Fitted `seconds = α + β·threads` line.
+    pub fit: LinearFit,
+}
+
+impl OverheadModel {
+    /// Fit from measured 1 KB sorts: `measured` is (threads, seconds);
+    /// `memory_model(threads)` returns the memory model's prediction in
+    /// seconds for the same 1 KB input.
+    pub fn fit<F: Fn(usize) -> f64>(measured: &[(usize, f64)], memory_model: F) -> Self {
+        assert!(measured.len() >= 2, "need at least two thread counts");
+        let xs: Vec<f64> = measured.iter().map(|(t, _)| *t as f64).collect();
+        let ys: Vec<f64> = measured
+            .iter()
+            .map(|(t, s)| (s - memory_model(*t)).max(0.0))
+            .collect();
+        OverheadModel { fit: fit_linear(&xs, &ys) }
+    }
+
+    /// Overhead (seconds) at `threads`.
+    pub fn seconds(&self, threads: usize) -> f64 {
+        self.fit.eval(threads as f64).max(0.0)
+    }
+
+    /// Full model = memory model + overhead.
+    pub fn full(&self, memory_model_seconds: f64, threads: usize) -> f64 {
+        memory_model_seconds + self.seconds(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_overhead() {
+        // Synthetic: measured = model + (2µs + 1µs·threads).
+        let model = |_t: usize| 10e-6;
+        let measured: Vec<(usize, f64)> =
+            [1usize, 2, 4, 8, 16].iter().map(|&t| (t, 10e-6 + 2e-6 + 1e-6 * t as f64)).collect();
+        let o = OverheadModel::fit(&measured, model);
+        assert!((o.fit.alpha - 2e-6).abs() < 1e-8, "α {}", o.fit.alpha);
+        assert!((o.fit.beta - 1e-6).abs() < 1e-9, "β {}", o.fit.beta);
+        assert!((o.full(10e-6, 8) - (12e-6 + 8e-6)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_residuals_clamped() {
+        let model = |_t: usize| 100e-6; // model above measurement
+        let measured = vec![(1usize, 50e-6), (2, 60e-6)];
+        let o = OverheadModel::fit(&measured, model);
+        assert!(o.seconds(1) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        OverheadModel::fit(&[(1, 1.0)], |_| 0.0);
+    }
+}

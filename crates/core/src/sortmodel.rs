@@ -1,0 +1,258 @@
+//! The merge-sort memory-access model (Eqs. 3–5 of §V-B).
+//!
+//! Every merge producing an output list of `n` lines performs `n` line
+//! reads and `n` line writes. The cost of a merge depends on where its
+//! working set lives:
+//!
+//! ```text
+//! C_L1(n)  = [log2(n) − 1]·2n·costL1 + 2n·costmem            (fits in L1)
+//! C_L2(n)  = (n/n_L1)·C_L1(n_L1) + [log2(n) − log2(n_L1)]·2n·costL2
+//! C_mem(n) = (n/n_L2)·C_L2(n_L2) + [log2(n) − log2(n_L2)]·2n·costmem
+//! ```
+//!
+//! `n_L1`/`n_L2` are the largest output lists fitting in L1/L2 — shrunk by
+//! ping-pong double-buffering and by how many threads share the core/tile.
+//! `costmem` is either the memory *latency* per line (worst case: random
+//! list interleaving defeats streaming) or the inverse of the *achievable
+//! bandwidth* at the current thread count (best case) — the paper's two
+//! model variants shown in Fig. 10. On top of the per-merge cost, the
+//! parallel model adds the inter-stage flag synchronization (`R_L + R_R`)
+//! and the bitonic-network compute cost per line.
+
+use crate::model::CapabilityModel;
+use knl_sim::StreamKind;
+use serde::{Deserialize, Serialize};
+
+/// Which Eq. 3–5 `costmem` variant to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostBasis {
+    /// Worst case: per-line memory latency.
+    Latency,
+    /// Best case: inverse achievable bandwidth at the active thread count.
+    Bandwidth,
+}
+
+/// The sort cost model bound to a capability model and a memory target.
+#[derive(Debug, Clone)]
+pub struct SortModel<'a> {
+    /// Capability model supplying latencies and bandwidth curves.
+    pub model: &'a CapabilityModel,
+    /// "DRAM", "MCDRAM", or "cache".
+    pub target: String,
+    /// Bitonic-network compute cost per line processed (16 lanes of u32;
+    /// ~8 AVX-512 min/max+shuffle stages ≈ 6 ns at 1.3 GHz).
+    pub compute_ns_per_line: f64,
+    /// Threads sharing one core (shrinks the effective L1).
+    pub threads_per_core: usize,
+    /// Threads sharing one tile (shrinks the effective L2).
+    pub threads_per_tile: usize,
+}
+
+const L1_BYTES: f64 = 32.0 * 1024.0;
+const L2_BYTES: f64 = 1024.0 * 1024.0;
+
+impl<'a> SortModel<'a> {
+    /// Model for sorting out of `target` memory with default parameters.
+    pub fn new(model: &'a CapabilityModel, target: &str) -> Self {
+        SortModel {
+            model,
+            target: target.to_string(),
+            compute_ns_per_line: 6.0,
+            threads_per_core: 1,
+            threads_per_tile: 2,
+        }
+    }
+
+    /// Largest output list (lines) fitting in L1: ping-pong halves the
+    /// usable space; input + output coexist (another factor 2).
+    pub fn n_l1(&self) -> f64 {
+        (L1_BYTES / (64.0 * 4.0 * self.threads_per_core as f64)).max(2.0)
+    }
+
+    /// Largest output list (lines) fitting the tile's shared L2.
+    pub fn n_l2(&self) -> f64 {
+        (L2_BYTES / (64.0 * 4.0 * self.threads_per_tile as f64)).max(self.n_l1())
+    }
+
+    /// Per-line memory cost (ns) at `threads` active threads.
+    pub fn costmem_ns(&self, threads: usize, basis: CostBasis) -> f64 {
+        match basis {
+            CostBasis::Latency => self
+                .model
+                .mem_latency_ns(&self.target)
+                .expect("target latency missing from model"),
+            CostBasis::Bandwidth => {
+                // The merge does one read + one write per line; the copy
+                // kernel is the matching capability. Eqs. 3–5 charge
+                // `2n·costmem` (n reads + n writes), so costmem is the cost
+                // of ONE 64 B access at the achievable copy rate (which
+                // already accounts for both directions in its GB/s).
+                let agg = self
+                    .model
+                    .mem
+                    .gbps(StreamKind::Copy, &self.target, threads.max(1))
+                    .expect("copy bandwidth curve missing");
+                let per_thread = agg / threads.max(1) as f64;
+                64.0 / per_thread // ns per access: 64 B / (GB/s) = ns
+            }
+        }
+    }
+
+    /// Eq. 3: merge producing `n` lines entirely in L1 (first touch from
+    /// memory).
+    pub fn c_l1(&self, n: f64, threads: usize, basis: CostBasis) -> f64 {
+        if n < 2.0 {
+            return 0.0;
+        }
+        let passes = (n.log2() - 1.0).max(0.0);
+        passes * 2.0 * n * (self.model.l1_ns + self.compute_ns_per_line)
+            + 2.0 * n * self.costmem_ns(threads, basis)
+    }
+
+    /// Eq. 4: output fits L2 but not L1.
+    pub fn c_l2(&self, n: f64, threads: usize, basis: CostBasis) -> f64 {
+        let nl1 = self.n_l1();
+        if n <= nl1 {
+            return self.c_l1(n, threads, basis);
+        }
+        (n / nl1) * self.c_l1(nl1, threads, basis)
+            + (n.log2() - nl1.log2()).max(0.0)
+                * 2.0
+                * n
+                * (self.model.l2_ns + self.compute_ns_per_line)
+    }
+
+    /// Eq. 5: output exceeds L2.
+    pub fn c_mem(&self, n: f64, threads: usize, basis: CostBasis) -> f64 {
+        let nl2 = self.n_l2();
+        if n <= nl2 {
+            return self.c_l2(n, threads, basis);
+        }
+        (n / nl2) * self.c_l2(nl2, threads, basis)
+            + (n.log2() - nl2.log2()).max(0.0)
+                * 2.0
+                * n
+                * (self.costmem_ns(threads, basis) + self.compute_ns_per_line)
+    }
+
+    /// Full parallel sort model: `bytes` of u32 keys over `p` threads.
+    /// Returns seconds.
+    ///
+    /// Phase A: every thread merge-sorts its `N/p`-line chunk in parallel.
+    /// Phase B: `log2(p)` merge stages; at stage `j` only `p/2^j` threads
+    /// work, each producing a `N·2^j/p`-line run, synchronized by flag
+    /// lines (`R_L + R_R` each).
+    pub fn sort_seconds(&self, bytes: u64, p: usize, basis: CostBasis) -> f64 {
+        assert!(p >= 1 && p.is_power_of_two(), "model assumes power-of-two threads");
+        let total_lines = (bytes as f64 / 64.0).max(1.0);
+        // More threads than lines adds no parallelism (each chunk must hold
+        // at least one line); clamp to keep the model monotone in size.
+        let mut p = p;
+        while p > 1 && (total_lines as usize) < p {
+            p /= 2;
+        }
+        let chunk = (total_lines / p as f64).max(1.0);
+        // Phase A: all p threads sort their chunks concurrently (the
+        // recursive Eq. 5 covers every pass of the chunk sort).
+        let mut ns = self.c_mem(chunk, p, basis);
+        // Phase B: one single merge pass per stage, thread count halving.
+        let stages = (p as f64).log2() as usize;
+        for j in 1..=stages {
+            let active = (p >> j).max(1);
+            let out_lines = chunk * (1u64 << j) as f64;
+            ns += self.single_merge_ns(out_lines, active, basis);
+            ns += self.model.rl_ns + self.model.rr_ns; // flag hand-off
+        }
+        ns * 1e-9
+    }
+
+    /// Cost of ONE merge pass producing `n` lines (no recursion), with the
+    /// per-line cost chosen by where `n` sits in the hierarchy.
+    pub fn single_merge_ns(&self, n: f64, threads: usize, basis: CostBasis) -> f64 {
+        let per_line = if n <= self.n_l1() {
+            self.model.l1_ns
+        } else if n <= self.n_l2() {
+            self.model.l2_ns
+        } else {
+            self.costmem_ns(threads, basis)
+        };
+        2.0 * n * (per_line + self.compute_ns_per_line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CapabilityModel;
+
+    fn model() -> CapabilityModel {
+        CapabilityModel::paper_reference()
+    }
+
+    #[test]
+    fn hierarchy_thresholds() {
+        let m = model();
+        let s = SortModel::new(&m, "DRAM");
+        assert!(s.n_l1() >= 2.0);
+        assert!(s.n_l2() > s.n_l1());
+    }
+
+    #[test]
+    fn latency_basis_costs_more_than_bandwidth_at_scale() {
+        let m = model();
+        let s = SortModel::new(&m, "DRAM");
+        let lat = s.costmem_ns(64, CostBasis::Latency);
+        let bw = s.costmem_ns(64, CostBasis::Bandwidth);
+        assert!(lat > bw, "latency {lat} vs bandwidth {bw} at 64 threads");
+    }
+
+    #[test]
+    fn cost_grows_with_input() {
+        let m = model();
+        let s = SortModel::new(&m, "DRAM");
+        let small = s.sort_seconds(1 << 10, 2, CostBasis::Bandwidth);
+        let big = s.sort_seconds(1 << 22, 2, CostBasis::Bandwidth);
+        assert!(big > small * 100.0, "4 MB {big} vs 1 KB {small}");
+    }
+
+    #[test]
+    fn more_threads_help_large_inputs() {
+        let m = model();
+        let s = SortModel::new(&m, "DRAM");
+        let t1 = s.sort_seconds(64 << 20, 1, CostBasis::Bandwidth);
+        let t16 = s.sort_seconds(64 << 20, 16, CostBasis::Bandwidth);
+        assert!(t16 < t1, "16 threads {t16} vs 1 thread {t1}");
+    }
+
+    #[test]
+    fn mcdram_does_not_beat_dram_headline() {
+        // The paper's headline: the sort does not benefit from MCDRAM —
+        // thread counts halve up the merge tree, and a single thread gets
+        // ~8 GB/s from either memory.
+        let m = model();
+        let dram = SortModel::new(&m, "DRAM");
+        let mc = SortModel::new(&m, "MCDRAM");
+        let bytes = 256u64 << 20;
+        let d = dram.sort_seconds(bytes, 64, CostBasis::Bandwidth);
+        let c = mc.sort_seconds(bytes, 64, CostBasis::Bandwidth);
+        let speedup = d / c;
+        assert!(
+            (0.8..1.35).contains(&speedup),
+            "MCDRAM speedup for merge sort should be ≈1, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn eq3_zero_for_tiny_lists() {
+        let m = model();
+        let s = SortModel::new(&m, "DRAM");
+        assert_eq!(s.c_l1(1.0, 1, CostBasis::Latency), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_threads_rejected() {
+        let m = model();
+        SortModel::new(&m, "DRAM").sort_seconds(1024, 3, CostBasis::Latency);
+    }
+}

@@ -1,0 +1,166 @@
+//! Generic trees for broadcast/reduce plans, with the ASCII rendering used
+//! to display Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+/// A rooted tree. Node identity is positional; the planner later maps
+/// positions onto tiles/threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tree {
+    /// Subtrees, in notification order (earliest child first).
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// A single node with no children.
+    pub fn leaf() -> Self {
+        Tree { children: Vec::new() }
+    }
+
+    /// A node with the given subtrees.
+    pub fn new(children: Vec<Tree>) -> Self {
+        Tree { children }
+    }
+
+    /// Total number of nodes (root included).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Height in edges (leaf = 0).
+    pub fn height(&self) -> usize {
+        self.children.iter().map(|c| 1 + c.height()).max().unwrap_or(0)
+    }
+
+    /// Root degree.
+    pub fn degree(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Degrees per level, root first (a coarse shape signature).
+    pub fn level_widths(&self) -> Vec<usize> {
+        let mut widths = Vec::new();
+        let mut level: Vec<&Tree> = vec![self];
+        while !level.is_empty() {
+            widths.push(level.len());
+            level = level.iter().flat_map(|t| t.children.iter()).collect();
+        }
+        widths
+    }
+
+    /// Assign node ids in BFS order (root = 0) and return, per node, its
+    /// parent id (`None` for the root) — the form collectives consume.
+    pub fn bfs_parents(&self) -> Vec<Option<usize>> {
+        let mut parents = vec![None];
+        let mut queue: std::collections::VecDeque<(&Tree, usize)> =
+            std::collections::VecDeque::new();
+        queue.push_back((self, 0));
+        let mut next_id = 1;
+        while let Some((node, id)) = queue.pop_front() {
+            for c in &node.children {
+                parents.push(Some(id));
+                queue.push_back((c, next_id));
+                next_id += 1;
+            }
+        }
+        parents
+    }
+
+    /// Children lists indexed by BFS id (inverse of [`Tree::bfs_parents`]).
+    pub fn bfs_children(&self) -> Vec<Vec<usize>> {
+        let parents = self.bfs_parents();
+        let mut ch = vec![Vec::new(); parents.len()];
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(i);
+            }
+        }
+        ch
+    }
+
+    /// Compact one-line form, e.g. `(3: (2) (0) (0))` — degree per node.
+    pub fn compact(&self) -> String {
+        if self.children.is_empty() {
+            return "(0)".to_string();
+        }
+        let kids: Vec<String> = self.children.iter().map(Tree::compact).collect();
+        format!("({}: {})", self.children.len(), kids.join(" "))
+    }
+
+    /// Multi-line ASCII rendering (root at the top), as in Fig. 1. Node
+    /// labels are DFS preorder ids with each node's subtree size.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("0 (subtree {})\n", self.size()));
+        let n = self.children.len();
+        let mut next_id = 1;
+        for (i, c) in self.children.iter().enumerate() {
+            c.render_rec(&mut out, "", i == n - 1, &mut next_id);
+        }
+        out
+    }
+
+    fn render_rec(&self, out: &mut String, prefix: &str, last: bool, next_id: &mut usize) {
+        out.push_str(prefix);
+        out.push_str(if last { "└─ " } else { "├─ " });
+        out.push_str(&format!("{} (subtree {})\n", next_id, self.size()));
+        *next_id += 1;
+        let child_prefix = format!("{}{}", prefix, if last { "   " } else { "│  " });
+        let n = self.children.len();
+        for (i, c) in self.children.iter().enumerate() {
+            c.render_rec(out, &child_prefix, i == n - 1, next_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        // root with children [leaf, (leaf leaf)]
+        Tree::new(vec![Tree::leaf(), Tree::new(vec![Tree::leaf(), Tree::leaf()])])
+    }
+
+    #[test]
+    fn size_height_degree() {
+        let t = sample();
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.degree(), 2);
+        assert_eq!(Tree::leaf().size(), 1);
+        assert_eq!(Tree::leaf().height(), 0);
+    }
+
+    #[test]
+    fn level_widths() {
+        assert_eq!(sample().level_widths(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn bfs_parents_roundtrip() {
+        let t = sample();
+        let p = t.bfs_parents();
+        assert_eq!(p, vec![None, Some(0), Some(0), Some(2), Some(2)]);
+        let ch = t.bfs_children();
+        assert_eq!(ch[0], vec![1, 2]);
+        assert_eq!(ch[2], vec![3, 4]);
+        assert!(ch[1].is_empty());
+    }
+
+    #[test]
+    fn compact_form() {
+        assert_eq!(sample().compact(), "(2: (0) (2: (0) (0)))");
+    }
+
+    #[test]
+    fn render_contains_all_nodes() {
+        let r = sample().render();
+        assert!(r.contains("subtree 5"));
+        assert_eq!(r.lines().count(), 5);
+        // Every node id appears exactly once.
+        for id in 0..5 {
+            assert_eq!(r.matches(&format!("{id} (subtree")).count(), 1, "{r}");
+        }
+    }
+}

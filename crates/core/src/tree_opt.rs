@@ -1,0 +1,319 @@
+//! Model-tuned broadcast/reduce trees (Eq. 1 of the paper).
+//!
+//! The paper's cost model for an inter-tile broadcast tree:
+//!
+//! ```text
+//! minimize  T_bc(tree) = T_lev(k0) + max_i T_bc(subtree_i)
+//! T_lev(k0) = R_I + R_L + T_C(k0) + R_I + k0·R_R
+//! ```
+//!
+//! Following the methodology the paper builds on (Ramos & Hoefler, HPDC'13),
+//! children do not all start at the same instant: the i-th child's read of
+//! the parent's line completes after contention over i requests,
+//! `s_i = R_I + R_L + T_C(i)`, and may start its own subtree then. This
+//! staggering is what makes the optimal trees *non-trivial* (Fig. 1):
+//! early children receive larger subtrees than late ones.
+//!
+//! The optimizer is an exact DP over subtree sizes with a makespan
+//! water-filling inner step: for a candidate deadline `T`, child `i` can
+//! host at most the largest `m` with `s_i + best(m) ≤ T`; the smallest
+//! feasible `T` is found by binary search over the candidate cost set.
+
+use crate::model::CapabilityModel;
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// Broadcast or reduce flavour of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// Data flows root → leaves.
+    Broadcast,
+    /// Reduce adds per-child buffering + the reduction operation itself.
+    Reduce,
+}
+
+/// Result of tree optimization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreePlan {
+    /// Operation the tree was optimized for.
+    pub kind: TreeKind,
+    /// Participants (root included).
+    pub n: usize,
+    /// The optimized shape.
+    pub tree: Tree,
+    /// Modeled best-case completion time, ns.
+    pub cost_ns: f64,
+}
+
+/// Cost of applying the reduction operator to one cache line of operands
+/// (vectorized integer/float add: ~2 cycles at 1.3 GHz).
+const REDOP_NS: f64 = 1.6;
+
+/// Optimize a tree over `n` participants (root included) for the given
+/// model. `n` counts inter-tile participants (one per tile); intra-tile
+/// fan-out is flat and handled by the collectives layer.
+pub fn optimize_tree(model: &CapabilityModel, n: usize, kind: TreeKind) -> TreePlan {
+    assert!(n >= 1, "need at least the root");
+    let mut best_cost = vec![0.0f64; n + 1];
+    let mut best_split: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    // best_cost[1] = 0 (a lone node already has/holds the data).
+    for m in 2..=n {
+        let (cost, sizes) = best_level(model, m, &best_cost, kind);
+        best_cost[m] = cost;
+        best_split[m] = sizes;
+    }
+    let tree = build_tree(n, &best_split);
+    debug_assert_eq!(tree.size(), n);
+    TreePlan { kind, n, tree, cost_ns: best_cost[n] }
+}
+
+/// Completion time of child `i` (1-based) reading the parent's data under
+/// contention from `i` earlier-or-equal requests.
+fn child_start(model: &CapabilityModel, i: usize) -> f64 {
+    model.ri_ns + model.rl_ns + model.tc_ns(i)
+}
+
+/// Level cost excluding subtrees: parent publishes (R_I + R_L), children
+/// read under contention (T_C(k)), children ack and the parent collects
+/// (R_I + k·R_R); reduce pays the operator per child.
+fn level_cost(model: &CapabilityModel, k: usize, kind: TreeKind) -> f64 {
+    let redop = match kind {
+        TreeKind::Broadcast => 0.0,
+        TreeKind::Reduce => REDOP_NS * k as f64,
+    };
+    model.ri_ns + model.rl_ns + model.tc_ns(k) + model.ri_ns + k as f64 * model.rr_ns + redop
+}
+
+/// Best (cost, child subtree sizes) for a tree of `m` nodes given optimal
+/// costs of all smaller trees.
+fn best_level(
+    model: &CapabilityModel,
+    m: usize,
+    best_cost: &[f64],
+    kind: TreeKind,
+) -> (f64, Vec<usize>) {
+    let to_place = m - 1;
+    let mut best = (f64::INFINITY, Vec::new());
+    for k in 1..=to_place {
+        // Binary search the smallest feasible deadline.
+        let mut lo = level_cost(model, k, kind);
+        let mut hi = lo + child_start(model, k) + best_cost[to_place] + 1.0;
+        // Feasibility under deadline t: sum of max sizes ≥ to_place.
+        let feasible = |t: f64| -> bool {
+            let mut total = 0usize;
+            for i in 1..=k {
+                let s = child_start(model, i);
+                // Largest m' with best_cost[m'] ≤ t - s.
+                let budget = t - s;
+                if budget < 0.0 {
+                    return false; // children are ordered; later ones worse
+                }
+                let cap = largest_within(best_cost, to_place, budget);
+                if cap == 0 {
+                    return false; // every child must host ≥ 1 node
+                }
+                total += cap;
+                if total >= to_place {
+                    return true;
+                }
+            }
+            total >= to_place
+        };
+        if !feasible(hi) {
+            continue;
+        }
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let t = hi;
+        // Reconstruct sizes: earlier children take the largest feasible
+        // subtree; trim the surplus from the later children.
+        let mut sizes = Vec::with_capacity(k);
+        let mut remaining = to_place;
+        for i in 1..=k {
+            let s = child_start(model, i);
+            let cap = largest_within(best_cost, remaining, (t - s).max(0.0)).max(1);
+            let take = cap.min(remaining.saturating_sub(k - i)); // leave ≥1 per later child
+            sizes.push(take.max(1));
+            remaining -= take.max(1);
+        }
+        debug_assert_eq!(remaining, 0, "k={k} m={m}");
+        // True makespan for these sizes.
+        let mut cost = level_cost(model, k, kind);
+        for (i, &sz) in sizes.iter().enumerate() {
+            cost = cost.max(child_start(model, i + 1) + best_cost[sz]);
+        }
+        if cost < best.0 {
+            best = (cost, sizes);
+        }
+    }
+    best
+}
+
+/// Largest m ≤ cap with best_cost[m] ≤ budget (best_cost is nondecreasing).
+fn largest_within(best_cost: &[f64], cap: usize, budget: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = cap;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if best_cost[mid] <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+fn build_tree(n: usize, split: &[Vec<usize>]) -> Tree {
+    if n <= 1 {
+        return Tree::leaf();
+    }
+    let children = split[n].iter().map(|&sz| build_tree(sz, split)).collect();
+    Tree::new(children)
+}
+
+/// Evaluate Eq. 1 for an *arbitrary* tree (used to compare model-tuned
+/// shapes against fixed baselines such as binomial trees).
+pub fn tree_cost(model: &CapabilityModel, tree: &Tree, kind: TreeKind) -> f64 {
+    if tree.children.is_empty() {
+        return 0.0;
+    }
+    let k = tree.children.len();
+    let mut cost = level_cost(model, k, kind);
+    for (i, c) in tree.children.iter().enumerate() {
+        cost = cost.max(child_start(model, i + 1) + tree_cost(model, c, kind));
+    }
+    cost
+}
+
+/// A binomial tree of `n` nodes (the classic MPI shape, used as baseline).
+pub fn binomial_tree(n: usize) -> Tree {
+    assert!(n >= 1);
+    // Recursive doubling: a binomial tree of 2^k nodes has children of
+    // sizes 2^(k-1), ..., 2, 1. For non-powers of two, split greedily.
+    if n == 1 {
+        return Tree::leaf();
+    }
+    let mut children = Vec::new();
+    let mut remaining = n - 1;
+    while remaining > 0 {
+        let mut sz = 1;
+        while sz * 2 <= remaining {
+            sz *= 2;
+        }
+        children.push(binomial_tree(sz));
+        remaining -= sz;
+    }
+    // Children are built largest-first, matching the earliest start slot.
+    Tree::new(children)
+}
+
+/// A flat tree (root with n−1 leaves; the "centralized" baseline).
+pub fn flat_tree(n: usize) -> Tree {
+    assert!(n >= 1);
+    Tree::new((1..n).map(|_| Tree::leaf()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapabilityModel {
+        CapabilityModel::paper_reference()
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        let m = model();
+        for n in [1usize, 2, 3, 5, 8, 17, 32, 36, 64] {
+            let plan = optimize_tree(&m, n, TreeKind::Broadcast);
+            assert_eq!(plan.tree.size(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_n() {
+        let m = model();
+        let mut prev = 0.0;
+        for n in 2..=40 {
+            let plan = optimize_tree(&m, n, TreeKind::Broadcast);
+            assert!(
+                plan.cost_ns >= prev - 1e-6,
+                "cost must not decrease: n={n} {} < {prev}",
+                plan.cost_ns
+            );
+            prev = plan.cost_ns;
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_fixed_shapes() {
+        let m = model();
+        for n in [8usize, 16, 32, 36] {
+            let tuned = optimize_tree(&m, n, TreeKind::Broadcast).cost_ns;
+            let binom = tree_cost(&m, &binomial_tree(n), TreeKind::Broadcast);
+            let flat = tree_cost(&m, &flat_tree(n), TreeKind::Broadcast);
+            assert!(tuned <= binom + 1e-6, "n={n}: tuned {tuned} vs binomial {binom}");
+            assert!(tuned <= flat + 1e-6, "n={n}: tuned {tuned} vs flat {flat}");
+        }
+    }
+
+    #[test]
+    fn nontrivial_shape_at_32() {
+        // The tuned tree is neither flat nor binary/binomial (Fig. 1 shows
+        // an irregular multi-level shape).
+        let plan = optimize_tree(&model(), 32, TreeKind::Broadcast);
+        let deg = plan.tree.degree();
+        assert!(deg > 1 && deg < 31, "degree {deg}");
+        assert!(plan.tree.height() >= 2, "height {}", plan.tree.height());
+        // Earlier children host subtrees at least as large as later ones.
+        let sizes: Vec<usize> = plan.tree.children.iter().map(Tree::size).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sizes, sorted, "earlier children must get larger subtrees: {sizes:?}");
+    }
+
+    #[test]
+    fn reduce_costs_more_than_broadcast() {
+        let m = model();
+        let b = optimize_tree(&m, 32, TreeKind::Broadcast).cost_ns;
+        let r = optimize_tree(&m, 32, TreeKind::Reduce).cost_ns;
+        assert!(r >= b, "reduce {r} ≥ broadcast {b}");
+    }
+
+    #[test]
+    fn binomial_tree_shape() {
+        let t = binomial_tree(8);
+        assert_eq!(t.size(), 8);
+        let sizes: Vec<usize> = t.children.iter().map(Tree::size).collect();
+        assert_eq!(sizes, vec![4, 2, 1]);
+        assert_eq!(binomial_tree(1).size(), 1);
+        assert_eq!(binomial_tree(6).size(), 6);
+    }
+
+    #[test]
+    fn flat_tree_shape() {
+        let t = flat_tree(5);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.degree(), 4);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn tree_cost_of_leaf_is_zero() {
+        assert_eq!(tree_cost(&model(), &Tree::leaf(), TreeKind::Broadcast), 0.0);
+    }
+
+    #[test]
+    fn singleton_plan() {
+        let p = optimize_tree(&model(), 1, TreeKind::Reduce);
+        assert_eq!(p.cost_ns, 0.0);
+        assert_eq!(p.tree.size(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Event counters collected by the machine during a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate hardware event counts (whole machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Loads/stores satisfied by the requesting core's L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied by the requester's own tile L2.
+    pub l2_hits: u64,
+    /// Misses served by a remote tile's cache (forward/ownership transfer).
+    pub remote_cache_hits: u64,
+    /// Misses served by DDR.
+    pub ddr_accesses: u64,
+    /// Misses served by MCDRAM (flat region or memory-side cache hit).
+    pub mcdram_accesses: u64,
+    /// Memory-side cache hits / misses (cache & hybrid modes).
+    pub mcache_hits: u64,
+    /// Memory-side cache misses (filled from DDR).
+    pub mcache_misses: u64,
+    /// Lines written back due to evictions or downgrades.
+    pub writebacks: u64,
+    /// Invalidation messages sent by writes.
+    pub invalidations: u64,
+    /// Non-temporal stores.
+    pub nt_stores: u64,
+}
+
+impl Counters {
+    /// Total line requests that reached memory devices.
+    pub fn memory_accesses(&self) -> u64 {
+        self.ddr_accesses + self.mcdram_accesses
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            remote_cache_hits: self.remote_cache_hits - earlier.remote_cache_hits,
+            ddr_accesses: self.ddr_accesses - earlier.ddr_accesses,
+            mcdram_accesses: self.mcdram_accesses - earlier.mcdram_accesses,
+            mcache_hits: self.mcache_hits - earlier.mcache_hits,
+            mcache_misses: self.mcache_misses - earlier.mcache_misses,
+            writebacks: self.writebacks - earlier.writebacks,
+            invalidations: self.invalidations - earlier.invalidations,
+            nt_stores: self.nt_stores - earlier.nt_stores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = Counters { l1_hits: 10, ddr_accesses: 4, ..Default::default() };
+        let b = Counters { l1_hits: 25, ddr_accesses: 9, ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.l1_hits, 15);
+        assert_eq!(d.ddr_accesses, 5);
+        assert_eq!(d.memory_accesses(), 5);
+    }
+}

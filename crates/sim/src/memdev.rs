@@ -1,0 +1,291 @@
+//! Memory devices (DDR channels and MCDRAM EDCs) as queueing servers.
+//!
+//! Each device serves one 64 B line per service interval; latency and
+//! occupancy are decoupled so a lone access sees the device latency while a
+//! saturated stream is spaced at the service rate.
+//!
+//! Two device flavours, reflecting the physics the paper's Table II
+//! numbers imply:
+//!
+//! * **DDR channels** are half-duplex: reads and writes share one bus. A
+//!   *write streak* pays the full write service (bus turnaround, ODT — the
+//!   write-only peak is ~36 GB/s, half the read peak), but a write
+//!   *interleaved* with reads hides in read gaps and costs about a read
+//!   slot — which is how copy and triad reach the ~70+ GB/s the paper
+//!   measures despite the low write-only peak.
+//! * **MCDRAM EDCs** (Hybrid-Memory-Cube links) are full-duplex: reads and
+//!   writes run on separate sub-channels, so a copy streams at
+//!   `min(read_peak, write_peak)` per direction concurrently.
+//!
+//! Because the runner executes thread programs in bounded time slices,
+//! arrivals may be *slightly* out of order (bounded by the slice span).
+//! Each server runs a virtual clock `V` with a reorder window: `V` may lag
+//! real time by at most `window`. Total work is conserved exactly, so
+//! saturated throughput equals the service rate regardless of event
+//! ordering.
+
+use crate::SimTime;
+
+/// Direction of the last serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Idle,
+    Read,
+    Write,
+}
+
+/// Static parameters of one device.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceParams {
+    /// Access latency (decoupled from occupancy).
+    pub latency_ps: SimTime,
+    /// Service time per line read.
+    pub read_service_ps: SimTime,
+    /// Service per write within a write streak.
+    pub write_service_ps: SimTime,
+    /// Service per write that interleaves a read stream (half-duplex only).
+    pub write_mixed_ps: SimTime,
+    /// Penalty when a half-duplex bus flips direction.
+    pub turnaround_ps: SimTime,
+    /// Full-duplex devices serve reads and writes on independent channels.
+    pub duplex: bool,
+}
+
+/// One memory device (a DDR channel or an MCDRAM EDC).
+#[derive(Debug, Clone)]
+pub struct MemDevice {
+    p: DeviceParams,
+    /// Virtual service clock for reads (and, when half-duplex, writes too).
+    vclock: SimTime,
+    /// Write-direction virtual clock (duplex devices only).
+    wclock: SimTime,
+    window_ps: SimTime,
+    last: Dir,
+    /// Lines served as reads (utilization reporting).
+    pub served_reads: u64,
+    /// Lines served as writes.
+    pub served_writes: u64,
+}
+
+/// Default reorder window: matches the runner's chunk time-slice bound.
+pub const DEFAULT_REORDER_WINDOW_PS: SimTime = 1_000_000;
+
+impl MemDevice {
+    /// Build a device from its parameters.
+    pub fn new(p: DeviceParams) -> Self {
+        MemDevice {
+            p,
+            vclock: 0,
+            wclock: 0,
+            window_ps: DEFAULT_REORDER_WINDOW_PS,
+            last: Dir::Idle,
+            served_reads: 0,
+            served_writes: 0,
+        }
+    }
+
+    /// Half-duplex device with symmetric mixed writes (tests/back-compat).
+    pub fn simple(
+        latency_ps: SimTime,
+        read_service_ps: SimTime,
+        write_service_ps: SimTime,
+        turnaround_ps: SimTime,
+    ) -> Self {
+        MemDevice::new(DeviceParams {
+            latency_ps,
+            read_service_ps,
+            write_service_ps,
+            write_mixed_ps: write_service_ps,
+            turnaround_ps,
+            duplex: false,
+        })
+    }
+
+    /// Override the reorder window (tests / ablation).
+    pub fn with_window(mut self, window_ps: SimTime) -> Self {
+        self.window_ps = window_ps;
+        self
+    }
+
+    /// Serve one line read arriving at the device at `arrival`.
+    /// Returns the time the data is ready at the device.
+    pub fn read(&mut self, arrival: SimTime) -> SimTime {
+        self.served_reads += 1;
+        let turnaround = if !self.p.duplex && self.last == Dir::Write {
+            self.p.turnaround_ps
+        } else {
+            0
+        };
+        self.last = Dir::Read;
+        let v = self.vclock.max(arrival.saturating_sub(self.window_ps));
+        let start = v + turnaround;
+        self.vclock = start + self.p.read_service_ps;
+        (arrival + self.p.latency_ps).max(arrival.max(start) + self.p.read_service_ps)
+    }
+
+    /// Serve one line write arriving at `arrival`. Returns the time the
+    /// write is accepted (posted writes don't wait for retirement).
+    pub fn write(&mut self, arrival: SimTime) -> SimTime {
+        self.served_writes += 1;
+        if self.p.duplex {
+            // Independent write channel: no interaction with reads.
+            let v = self.wclock.max(arrival.saturating_sub(self.window_ps));
+            self.wclock = v + self.p.write_service_ps;
+            return (arrival + self.p.latency_ps).max(arrival.max(v) + self.p.write_service_ps);
+        }
+        // Half-duplex: a write following a read hides in the read stream's
+        // gaps (mixed cost); consecutive writes pay the streak cost.
+        let service = if self.last == Dir::Write {
+            self.p.write_service_ps
+        } else {
+            self.p.write_mixed_ps
+        };
+        let turnaround = if self.last == Dir::Read { self.p.turnaround_ps } else { 0 };
+        self.last = Dir::Write;
+        let v = self.vclock.max(arrival.saturating_sub(self.window_ps));
+        let start = v + turnaround;
+        self.vclock = start + service;
+        (arrival + self.p.latency_ps).max(arrival.max(start) + service)
+    }
+
+    /// Device latency (exposed for path accounting).
+    pub fn latency_ps(&self) -> SimTime {
+        self.p.latency_ps
+    }
+
+    /// Work committed through this virtual time (read/shared channel).
+    pub fn vclock(&self) -> SimTime {
+        self.vclock
+    }
+
+    /// Forget all queueing state (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.vclock = 0;
+        self.wclock = 0;
+        self.last = Dir::Idle;
+        self.served_reads = 0;
+        self.served_writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> MemDevice {
+        MemDevice::simple(60_000, 5_000, 10_000, 400)
+    }
+
+    #[test]
+    fn lone_read_sees_latency() {
+        let mut d = dev();
+        assert_eq!(d.read(1_000), 61_000);
+    }
+
+    #[test]
+    fn back_to_back_reads_spaced_at_service_rate() {
+        let mut d = dev();
+        let mut last = 0;
+        for i in 0..200u64 {
+            last = d.read(i * 100);
+        }
+        assert!(last >= 1_000_000, "last={last}");
+        assert!(last < 1_000_000 + 70_000);
+        assert_eq!(d.served_reads, 200);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate() {
+        let mut d = dev();
+        let a = d.read(0);
+        let b = d.read(10_000_000);
+        assert_eq!(b - 10_000_000, a, "second lone read sees same latency");
+    }
+
+    #[test]
+    fn write_streak_pays_full_service() {
+        let mut d = dev();
+        for _ in 0..100 {
+            d.write(0);
+        }
+        // First write mixed (10_000? no: last=Idle -> mixed cost), then 99
+        // streak writes at 10_000 each.
+        assert!(d.vclock() >= 99 * 10_000, "streak writes: {}", d.vclock());
+    }
+
+    #[test]
+    fn mixed_write_hides_in_read_stream() {
+        // R W R W ... on a half-duplex device with cheap mixed writes.
+        let mut d = MemDevice::new(DeviceParams {
+            latency_ps: 60_000,
+            read_service_ps: 5_000,
+            write_service_ps: 10_000,
+            write_mixed_ps: 5_000,
+            turnaround_ps: 0,
+            duplex: false,
+        });
+        for _ in 0..50 {
+            d.read(0);
+            d.write(0);
+        }
+        // 50 reads + 50 mixed writes at 5_000 each = 500_000.
+        assert_eq!(d.vclock(), 500_000);
+    }
+
+    #[test]
+    fn duplex_overlaps_reads_and_writes() {
+        let mut d = MemDevice::new(DeviceParams {
+            latency_ps: 88_000,
+            read_service_ps: 1_630,
+            write_service_ps: 3_000,
+            write_mixed_ps: 3_000,
+            turnaround_ps: 400,
+            duplex: true,
+        });
+        let mut last = 0u64;
+        for _ in 0..100 {
+            last = last.max(d.read(0));
+            last = last.max(d.write(0));
+        }
+        // Writes bound the copy: 100 * 3_000 = 300_000, NOT 100*(1_630+3_000).
+        assert!(last <= 300_000 + 88_000 + 5_000, "duplex copy: {last}");
+        assert!(last >= 300_000, "write channel still serializes: {last}");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_conserve_throughput() {
+        let mut d = dev().with_window(1_000_000);
+        let mut last = 0u64;
+        for i in 0..100u64 {
+            last = last.max(d.read(i * 8_000));
+        }
+        for i in 0..100u64 {
+            last = last.max(d.read(i * 8_000));
+        }
+        assert!(last >= 1_000_000, "conservation: {last}");
+        assert!(last <= 1_100_000 + 60_000, "no double counting: {last}");
+    }
+
+    #[test]
+    fn burst_after_idle_still_queues() {
+        let mut d = dev().with_window(1_000);
+        d.read(0);
+        let t0 = 10_000_000_000u64;
+        let mut last = 0;
+        for _ in 0..1000u64 {
+            last = d.read(t0);
+        }
+        assert!(last >= t0 + 5_000 * 1000 - 1_000 - 5_000, "burst must queue: {}", last - t0);
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let mut d = dev();
+        for _ in 0..10 {
+            d.read(0);
+        }
+        d.reset();
+        assert_eq!(d.vclock(), 0);
+        assert_eq!(d.read(0), 60_000);
+    }
+}

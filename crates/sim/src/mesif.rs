@@ -1,0 +1,387 @@
+//! MESIF coherence state, tracked per line at the line's home directory.
+//!
+//! KNL keeps L2 caches coherent with a MESIF protocol run by the distributed
+//! Cache/Home Agents (one per tile). We track the global truth per line in a
+//! [`DirEntry`]: which tiles cache it, who owns it (M/E), and which sharer
+//! holds the F (forward) state. Tag arrays (see `cache`) model capacity; the
+//! directory models permission. Invalidation uses an epoch counter (`version`)
+//! so private L1s never need to be walked.
+
+use knl_arch::TileId;
+use serde::{Deserialize, Serialize};
+
+/// The five MESIF states, from the perspective of one tile's copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesifState {
+    /// Dirty, exclusive to one tile.
+    Modified,
+    /// Clean, exclusive to one tile.
+    Exclusive,
+    /// Clean, possibly replicated.
+    Shared,
+    /// Shared copy designated to answer requests (MESIF's F).
+    Forward,
+    /// Not present.
+    Invalid,
+}
+
+impl MesifState {
+    /// Single-character tag used by benchmark labels (`M`, `E`, `S`, `F`, `I`).
+    pub fn letter(self) -> char {
+        match self {
+            MesifState::Modified => 'M',
+            MesifState::Exclusive => 'E',
+            MesifState::Shared => 'S',
+            MesifState::Forward => 'F',
+            MesifState::Invalid => 'I',
+        }
+    }
+}
+
+/// Global (directory-side) state of a line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum GlobalState {
+    /// No cache holds the line.
+    #[default]
+    Uncached,
+    /// A single tile holds it clean-exclusive.
+    Exclusive {
+        /// The owning tile.
+        owner: TileId,
+    },
+    /// A single tile holds it dirty.
+    Modified {
+        /// The owning tile.
+        owner: TileId,
+    },
+    /// One or more tiles hold it shared; at most one is the F(orward) holder.
+    Shared {
+        /// The designated forwarder, if one survives.
+        forward: Option<TileId>,
+    },
+}
+
+/// Directory entry for one line.
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    /// Global residency/ownership state.
+    pub state: GlobalState,
+    /// Tiles holding the line in S (the F holder is listed here too).
+    pub sharers: Vec<TileId>,
+    /// Coherence epoch: bumped whenever cached copies become invalid, so
+    /// tag-array hits can be validated without eager invalidation walks.
+    pub version: u32,
+    /// The home CHA serializes requests to this line; next free service slot.
+    pub busy_until: u64,
+}
+
+impl DirEntry {
+    /// The MESIF state tile `t` holds this line in (assuming its tag array
+    /// still has a current-version copy).
+    pub fn state_of(&self, t: TileId) -> MesifState {
+        match &self.state {
+            GlobalState::Uncached => MesifState::Invalid,
+            GlobalState::Exclusive { owner } => {
+                if *owner == t {
+                    MesifState::Exclusive
+                } else {
+                    MesifState::Invalid
+                }
+            }
+            GlobalState::Modified { owner } => {
+                if *owner == t {
+                    MesifState::Modified
+                } else {
+                    MesifState::Invalid
+                }
+            }
+            GlobalState::Shared { forward } => {
+                if *forward == Some(t) {
+                    MesifState::Forward
+                } else if self.sharers.contains(&t) {
+                    MesifState::Shared
+                } else {
+                    MesifState::Invalid
+                }
+            }
+        }
+    }
+
+    /// The tile that must supply data (owner or F holder), if any cache can.
+    pub fn supplier(&self) -> Option<TileId> {
+        match &self.state {
+            GlobalState::Uncached => None,
+            GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => Some(*owner),
+            // In MESIF only the F holder responds; if F was dropped (e.g.
+            // evicted), memory supplies the data.
+            GlobalState::Shared { forward } => *forward,
+        }
+    }
+
+    /// Is the line dirty somewhere?
+    pub fn dirty(&self) -> bool {
+        matches!(self.state, GlobalState::Modified { .. })
+    }
+
+    /// Number of tiles holding a copy.
+    pub fn num_holders(&self) -> usize {
+        match &self.state {
+            GlobalState::Uncached => 0,
+            GlobalState::Exclusive { .. } | GlobalState::Modified { .. } => 1,
+            GlobalState::Shared { .. } => self.sharers.len(),
+        }
+    }
+
+    /// Record a read by tile `t` that was satisfied (by cache or memory).
+    /// Returns the new state `t` holds. MESIF: the most recent requester
+    /// becomes the F holder; a previous owner downgrades to S.
+    pub fn grant_read(&mut self, t: TileId) -> MesifState {
+        match self.state.clone() {
+            GlobalState::Uncached => {
+                self.state = GlobalState::Exclusive { owner: t };
+                self.sharers.clear();
+                MesifState::Exclusive
+            }
+            GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => {
+                if owner == t {
+                    return self.state_of(t);
+                }
+                self.sharers.clear();
+                self.sharers.push(owner);
+                self.sharers.push(t);
+                self.state = GlobalState::Shared { forward: Some(t) };
+                MesifState::Forward
+            }
+            GlobalState::Shared { .. } => {
+                if !self.sharers.contains(&t) {
+                    self.sharers.push(t);
+                }
+                self.state = GlobalState::Shared { forward: Some(t) };
+                MesifState::Forward
+            }
+        }
+    }
+
+    /// Record a write by tile `t` gaining ownership. Returns the number of
+    /// *other* tiles whose copies were invalidated.
+    ///
+    /// The version is bumped on *every* write: even a silent E→M upgrade
+    /// must invalidate the sibling core's L1 copy within the tile (the
+    /// writer's own caches are re-filled with the new version by the
+    /// machine, so only stale copies die).
+    pub fn grant_write(&mut self, t: TileId) -> usize {
+        let invalidated = match &self.state {
+            GlobalState::Uncached => 0,
+            GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => {
+                usize::from(*owner != t)
+            }
+            GlobalState::Shared { .. } => self.sharers.iter().filter(|&&s| s != t).count(),
+        };
+        self.version = self.version.wrapping_add(1);
+        self.state = GlobalState::Modified { owner: t };
+        self.sharers.clear();
+        invalidated
+    }
+
+    /// Tile `t` drops its copy (capacity eviction). Returns true if the line
+    /// was dirty at `t` (a write-back is due).
+    pub fn evict(&mut self, t: TileId) -> bool {
+        match self.state.clone() {
+            GlobalState::Uncached => false,
+            GlobalState::Exclusive { owner } => {
+                if owner == t {
+                    self.state = GlobalState::Uncached;
+                }
+                false
+            }
+            GlobalState::Modified { owner } => {
+                if owner == t {
+                    self.state = GlobalState::Uncached;
+                    true
+                } else {
+                    false
+                }
+            }
+            GlobalState::Shared { forward } => {
+                self.sharers.retain(|&s| s != t);
+                let fwd = if forward == Some(t) { None } else { forward };
+                if self.sharers.is_empty() {
+                    self.state = GlobalState::Uncached;
+                } else {
+                    self.state = GlobalState::Shared { forward: fwd };
+                }
+                false
+            }
+        }
+    }
+
+    /// Invalidate every copy (e.g. a non-temporal store overwrote memory).
+    /// Returns true if a dirty copy was destroyed.
+    pub fn invalidate_all(&mut self) -> bool {
+        let was_dirty = self.dirty();
+        if !matches!(self.state, GlobalState::Uncached) {
+            self.version = self.version.wrapping_add(1);
+        }
+        self.state = GlobalState::Uncached;
+        self.sharers.clear();
+        was_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TileId = TileId(0);
+    const T1: TileId = TileId(1);
+    const T2: TileId = TileId(2);
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let mut e = DirEntry::default();
+        assert_eq!(e.grant_read(T0), MesifState::Exclusive);
+        assert_eq!(e.state_of(T0), MesifState::Exclusive);
+        assert_eq!(e.state_of(T1), MesifState::Invalid);
+        assert_eq!(e.supplier(), Some(T0));
+    }
+
+    #[test]
+    fn second_read_creates_forward() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        assert_eq!(e.grant_read(T1), MesifState::Forward);
+        assert_eq!(e.state_of(T0), MesifState::Shared);
+        assert_eq!(e.state_of(T1), MesifState::Forward);
+        // Only the F holder supplies.
+        assert_eq!(e.supplier(), Some(T1));
+        assert_eq!(e.num_holders(), 2);
+    }
+
+    #[test]
+    fn forward_moves_to_latest_reader() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        e.grant_read(T2);
+        assert_eq!(e.state_of(T1), MesifState::Shared);
+        assert_eq!(e.state_of(T2), MesifState::Forward);
+        assert_eq!(e.num_holders(), 3);
+    }
+
+    #[test]
+    fn write_invalidates_sharers_and_bumps_version() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        e.grant_read(T2);
+        let v0 = e.version;
+        let inv = e.grant_write(T0);
+        assert_eq!(inv, 2);
+        assert_eq!(e.state_of(T0), MesifState::Modified);
+        assert_eq!(e.state_of(T1), MesifState::Invalid);
+        assert_ne!(e.version, v0);
+    }
+
+    #[test]
+    fn write_upgrade_from_exclusive_sends_no_invalidations_but_bumps_version() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        let v0 = e.version;
+        assert_eq!(e.grant_write(T0), 0, "E→M upgrade is silent on the mesh");
+        assert_ne!(e.version, v0, "sibling-core L1 copies must still die");
+        assert!(e.dirty());
+    }
+
+    #[test]
+    fn read_of_modified_downgrades_owner() {
+        let mut e = DirEntry::default();
+        e.grant_write(T0);
+        assert_eq!(e.grant_read(T1), MesifState::Forward);
+        assert_eq!(e.state_of(T0), MesifState::Shared);
+        assert!(!e.dirty(), "downgrade implies write-back");
+    }
+
+    #[test]
+    fn evict_dirty_reports_writeback() {
+        let mut e = DirEntry::default();
+        e.grant_write(T0);
+        assert!(e.evict(T0));
+        assert_eq!(e.state_of(T0), MesifState::Invalid);
+        assert_eq!(e.num_holders(), 0);
+    }
+
+    #[test]
+    fn evict_forward_falls_back_to_memory() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        assert!(!e.evict(T1)); // F holder evicts
+        assert_eq!(e.supplier(), None, "no F holder -> memory supplies");
+        assert_eq!(e.state_of(T0), MesifState::Shared);
+    }
+
+    #[test]
+    fn evict_last_sharer_uncaches() {
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        e.evict(T0);
+        e.evict(T1);
+        assert_eq!(e.state, GlobalState::Uncached);
+    }
+
+    #[test]
+    fn single_writer_invariant() {
+        // Whatever sequence of grants happens, at most one tile may ever be
+        // in M/E, and M/E excludes sharers.
+        let mut e = DirEntry::default();
+        let seq: [(bool, TileId); 8] = [
+            (false, T0),
+            (true, T1),
+            (false, T2),
+            (false, T0),
+            (true, T2),
+            (true, T0),
+            (false, T1),
+            (true, T1),
+        ];
+        for (is_write, t) in seq {
+            if is_write {
+                e.grant_write(t);
+            } else {
+                e.grant_read(t);
+            }
+            let owners = [T0, T1, T2]
+                .iter()
+                .filter(|&&x| {
+                    matches!(e.state_of(x), MesifState::Modified | MesifState::Exclusive)
+                })
+                .count();
+            assert!(owners <= 1);
+            if owners == 1 {
+                let sharers = [T0, T1, T2]
+                    .iter()
+                    .filter(|&&x| {
+                        matches!(e.state_of(x), MesifState::Shared | MesifState::Forward)
+                    })
+                    .count();
+                assert_eq!(sharers, 0, "M/E excludes S/F copies");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_all_destroys_dirty() {
+        let mut e = DirEntry::default();
+        e.grant_write(T1);
+        assert!(e.invalidate_all());
+        assert!(!e.invalidate_all());
+        assert_eq!(e.num_holders(), 0);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(MesifState::Modified.letter(), 'M');
+        assert_eq!(MesifState::Invalid.letter(), 'I');
+    }
+}

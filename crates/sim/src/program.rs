@@ -1,0 +1,59 @@
+//! A per-thread program: a pinned hardware thread plus a list of ops.
+
+use crate::ops::Op;
+use knl_arch::{CoreId, HwThreadId};
+
+/// The workload of one simulated thread.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Hardware thread the program is pinned to.
+    pub hw: HwThreadId,
+    /// Ops executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Program pinned to a specific hardware thread.
+    pub fn new(hw: HwThreadId) -> Self {
+        Program { hw, ops: Vec::new() }
+    }
+
+    /// Convenience: pin to the first HyperThread of `core`.
+    pub fn on_core(core: CoreId) -> Self {
+        Program::new(HwThreadId(core.0 * 4))
+    }
+
+    /// Core the program's hardware thread belongs to.
+    pub fn core(&self) -> CoreId {
+        self.hw.core()
+    }
+
+    /// Append one op (builder style).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append `op` `n` times.
+    pub fn repeat(&mut self, op: Op, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.ops.push(op.clone());
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder() {
+        let mut p = Program::on_core(CoreId(3));
+        p.push(Op::Read(0)).push(Op::Write(64));
+        p.repeat(Op::Compute(10), 3);
+        assert_eq!(p.core(), CoreId(3));
+        assert_eq!(p.hw, HwThreadId(12));
+        assert_eq!(p.ops.len(), 5);
+    }
+}

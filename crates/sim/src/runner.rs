@@ -1,0 +1,453 @@
+//! Event-driven execution of thread programs on the machine.
+//!
+//! Each event advances one thread by one op (long streaming ops are sliced
+//! into chunks so resource contention between threads interleaves at fine
+//! granularity). Threads synchronize through coherent flag lines:
+//! `SetFlag` performs a real coherent write (invalidating pollers) and wakes
+//! waiters, who then pay a real coherent re-read of the flag line — exactly
+//! the cost structure of the paper's polling-based collectives.
+
+use crate::machine::{AccessKind, Machine, StreamState};
+use crate::ops::Op;
+use crate::program::Program;
+use crate::SimTime;
+use knl_arch::topology::splitmix64;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulated-time span of one scheduling slice of a bulk streaming op. Must
+/// stay below the memory devices' reorder window so cross-thread arrival
+/// disorder is bounded (see `memdev`).
+const STREAM_SLICE_PS: SimTime = 400_000;
+/// Lines per slice of a dependent pointer chase (each ~100+ ns).
+const CHASE_CHUNK_LINES: u64 = 8;
+
+/// Result of one run: per-thread measured intervals.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// (thread, interval-id) → [(start, end)].
+    intervals: HashMap<(usize, usize), Vec<(SimTime, SimTime)>>,
+    /// Time the last thread finished.
+    pub end_time: SimTime,
+    /// Number of threads that ran.
+    pub num_threads: usize,
+}
+
+impl RunResult {
+    /// Duration of interval `k` for `thread` (first occurrence), in ps.
+    pub fn duration_ps(&self, thread: usize, k: usize) -> Option<SimTime> {
+        self.intervals.get(&(thread, k)).and_then(|v| v.first()).map(|&(s, e)| e - s)
+    }
+
+    /// The paper's reporting rule: the *maximum* duration of interval `k`
+    /// across all threads that measured it, in nanoseconds.
+    pub fn iteration_max_ns(&self, k: usize) -> Option<f64> {
+        let mut max: Option<SimTime> = None;
+        for t in 0..self.num_threads {
+            if let Some(d) = self.duration_ps(t, k) {
+                max = Some(max.map_or(d, |m| m.max(d)));
+            }
+        }
+        max.map(|ps| ps as f64 / 1000.0)
+    }
+
+    /// All per-thread durations of interval `k`, in nanoseconds.
+    pub fn iteration_durations_ns(&self, k: usize) -> Vec<f64> {
+        (0..self.num_threads)
+            .filter_map(|t| self.duration_ps(t, k).map(|ps| ps as f64 / 1000.0))
+            .collect()
+    }
+
+    /// Number of distinct interval ids measured by `thread`.
+    pub fn intervals_of(&self, thread: usize) -> usize {
+        self.intervals.keys().filter(|&&(t, _)| t == thread).count()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    pc: usize,
+    now: SimTime,
+    /// Progress inside a sliced bulk op (lines done).
+    bulk_done: u64,
+    stream: StreamState,
+    mark_open: HashMap<usize, SimTime>,
+    parked_on: Option<(u64, u64)>,
+    finished: bool,
+}
+
+/// Executes a set of programs to completion on a machine.
+pub struct Runner<'m> {
+    machine: &'m mut Machine,
+    programs: Vec<Program>,
+    /// Number of programs sharing each program's core (HyperThreading).
+    core_threads: Vec<u32>,
+    threads: Vec<ThreadState>,
+    flags: HashMap<u64, u64>,
+    waiters: HashMap<u64, Vec<usize>>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    seq: u64,
+    result: RunResult,
+}
+
+impl<'m> Runner<'m> {
+    /// Prepare a run of `programs` on `machine`.
+    pub fn new(machine: &'m mut Machine, programs: Vec<Program>) -> Self {
+        let n = programs.len();
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, ThreadState::default);
+        let mut per_core: HashMap<knl_arch::CoreId, u32> = HashMap::new();
+        for p in &programs {
+            *per_core.entry(p.core()).or_insert(0) += 1;
+        }
+        let core_threads = programs.iter().map(|p| per_core[&p.core()]).collect();
+        Runner {
+            core_threads,
+            machine,
+            programs,
+            threads,
+            flags: HashMap::new(),
+            waiters: HashMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            result: RunResult { num_threads: n, ..Default::default() },
+        }
+    }
+
+    /// Pre-set a flag's initial value.
+    pub fn set_initial_flag(&mut self, addr: u64, val: u64) {
+        self.flags.insert(addr, val);
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> RunResult {
+        for tid in 0..self.programs.len() {
+            self.enqueue(0, tid);
+        }
+        while let Some(Reverse((time, _, tid))) = self.queue.pop() {
+            if self.threads[tid].finished {
+                continue;
+            }
+            self.threads[tid].now = self.threads[tid].now.max(time);
+            self.step(tid);
+        }
+        let parked: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.parked_on.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            parked.is_empty(),
+            "deadlock: threads {parked:?} parked on flags {:?}",
+            parked.iter().map(|&i| self.threads[i].parked_on).collect::<Vec<_>>()
+        );
+        self.result.end_time = self.threads.iter().map(|t| t.now).max().unwrap_or(0);
+        self.result
+    }
+
+    fn enqueue(&mut self, time: SimTime, tid: usize) {
+        self.seq += 1;
+        self.queue.push(Reverse((time, self.seq, tid)));
+    }
+
+    fn core_of(&self, tid: usize) -> knl_arch::CoreId {
+        self.programs[tid].core()
+    }
+
+    /// Execute one op (or one slice) for `tid`, then re-enqueue.
+    fn step(&mut self, tid: usize) {
+        let pc = self.threads[tid].pc;
+        if pc >= self.programs[tid].ops.len() {
+            self.threads[tid].finished = true;
+            return;
+        }
+        let op = self.programs[tid].ops[pc].clone();
+        let core = self.core_of(tid);
+        let now = self.threads[tid].now;
+        let mut advance = true;
+        match op {
+            Op::Read(addr) => {
+                self.threads[tid].now = self.machine.access(core, addr, AccessKind::Read, now).complete;
+            }
+            Op::Write(addr) => {
+                self.threads[tid].now = self.machine.access(core, addr, AccessKind::Write, now).complete;
+            }
+            Op::NtStore(addr) => {
+                self.threads[tid].now =
+                    self.machine.access(core, addr, AccessKind::NtStore, now).complete;
+            }
+            Op::Chase { base, lines } => {
+                let done = self.threads[tid].bulk_done;
+                let n = CHASE_CHUNK_LINES.min(lines - done);
+                let mut t = now;
+                for i in done..done + n {
+                    // Hash-scrambled visiting order defeats prefetching, as
+                    // in BenchIT's pointer chasing.
+                    let idx = splitmix64(i ^ base) % lines;
+                    t = self.machine.access(core, base + idx * 64, AccessKind::Read, t).complete;
+                }
+                self.threads[tid].now = t;
+                self.threads[tid].bulk_done += n;
+                advance = self.threads[tid].bulk_done >= lines;
+            }
+            Op::ReadBuf { src, bytes, vectorized } => {
+                self.threads[tid].now = self.machine.read_buf(core, src, bytes, vectorized, now);
+            }
+            Op::CopyBuf { src, dst, bytes, vectorized } => {
+                self.threads[tid].now = self.machine.copy_buf(core, src, dst, bytes, vectorized, now);
+            }
+            Op::Stream { kind, a, b, c, lines, vectorized } => {
+                let done = self.threads[tid].bulk_done;
+                // Split borrows: take the stream state out during the call.
+                let mut st = std::mem::take(&mut self.threads[tid].stream);
+                let share = self.core_threads[tid];
+                let (t, n) = self.machine.stream_chunk_shared(
+                    core,
+                    kind,
+                    a,
+                    b,
+                    c,
+                    done,
+                    lines - done,
+                    vectorized,
+                    &mut st,
+                    now,
+                    now + STREAM_SLICE_PS,
+                    share,
+                );
+                self.threads[tid].stream = st;
+                self.threads[tid].now = t;
+                self.threads[tid].bulk_done += n;
+                advance = self.threads[tid].bulk_done >= lines;
+                if advance {
+                    self.threads[tid].stream = StreamState::default();
+                }
+            }
+            Op::Compute(d) => {
+                self.threads[tid].now = now + d;
+            }
+            Op::SetFlag { addr, val } => {
+                let complete = self.machine.access(core, addr, AccessKind::Write, now).complete;
+                self.threads[tid].now = complete;
+                let v = self.flags.entry(addr).or_insert(0);
+                *v = (*v).max(val);
+                if let Some(ws) = self.waiters.remove(&addr) {
+                    let mut still = Vec::new();
+                    for w in ws {
+                        let (_, want) = self.threads[w].parked_on.expect("parked");
+                        if self.flags[&addr] >= want {
+                            self.threads[w].parked_on = None;
+                            self.threads[w].now = self.threads[w].now.max(complete);
+                            self.enqueue(complete, w);
+                        } else {
+                            still.push(w);
+                        }
+                    }
+                    if !still.is_empty() {
+                        self.waiters.insert(addr, still);
+                    }
+                }
+            }
+            Op::WaitFlag { addr, val } => {
+                if self.flags.get(&addr).copied().unwrap_or(0) >= val {
+                    // Satisfied: pay the re-read of the (just invalidated)
+                    // flag line.
+                    self.threads[tid].now =
+                        self.machine.access(core, addr, AccessKind::Read, now).complete;
+                } else {
+                    self.threads[tid].parked_on = Some((addr, val));
+                    self.waiters.entry(addr).or_default().push(tid);
+                    return; // do not advance or re-enqueue; SetFlag wakes us
+                }
+            }
+            Op::WaitUntil(t) => {
+                self.threads[tid].now = now.max(t);
+            }
+            Op::MarkStart(k) => {
+                self.threads[tid].mark_open.insert(k, now);
+            }
+            Op::MarkEnd(k) => {
+                let start = self.threads[tid]
+                    .mark_open
+                    .remove(&k)
+                    .unwrap_or_else(|| panic!("thread {tid}: MarkEnd({k}) without MarkStart"));
+                self.result.intervals.entry((tid, k)).or_default().push((start, now));
+            }
+        }
+        if advance {
+            self.threads[tid].pc += 1;
+            self.threads[tid].bulk_done = 0;
+        }
+        let t = self.threads[tid].now;
+        self.enqueue(t, tid);
+    }
+}
+
+/// Convenience: run `programs` on `machine`.
+pub fn run_programs(machine: &mut Machine, programs: Vec<Program>) -> RunResult {
+    Runner::new(machine, programs).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::StreamKind;
+    use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        m.set_jitter(0);
+        m
+    }
+
+    #[test]
+    fn single_thread_marks() {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::MarkStart(0))
+            .push(Op::Read(4096))
+            .push(Op::MarkEnd(0))
+            .push(Op::MarkStart(1))
+            .push(Op::Read(4096))
+            .push(Op::MarkEnd(1));
+        let r = run_programs(&mut m, vec![p]);
+        let d0 = r.duration_ps(0, 0).unwrap();
+        let d1 = r.duration_ps(0, 1).unwrap();
+        assert!(d0 > d1, "second read hits L1: {d0} vs {d1}");
+        assert_eq!(d1, 3_800);
+        assert_eq!(r.intervals_of(0), 2);
+    }
+
+    #[test]
+    fn flag_handoff_orders_threads() {
+        let mut m = machine();
+        let flag = 1 << 20;
+        let data = 2 << 20;
+        let mut producer = Program::on_core(CoreId(0));
+        producer.push(Op::Write(data)).push(Op::SetFlag { addr: flag, val: 1 });
+        let mut consumer = Program::on_core(CoreId(10));
+        consumer
+            .push(Op::MarkStart(0))
+            .push(Op::WaitFlag { addr: flag, val: 1 })
+            .push(Op::Read(data))
+            .push(Op::MarkEnd(0));
+        let r = run_programs(&mut m, vec![producer, consumer]);
+        // The consumer must have waited for the producer's write+flag.
+        let d = r.duration_ps(1, 0).unwrap();
+        assert!(d > 100_000, "consumer waited: {d} ps");
+    }
+
+    #[test]
+    fn wait_on_already_set_flag_is_cheap() {
+        let mut m = machine();
+        let flag = 1 << 20;
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::MarkStart(0)).push(Op::WaitFlag { addr: flag, val: 1 }).push(Op::MarkEnd(0));
+        let mut r = Runner::new(&mut m, vec![p]);
+        r.set_initial_flag(flag, 1);
+        let res = r.run();
+        let d = res.duration_ps(0, 0).unwrap();
+        assert!(d < 1_000_000, "pre-set flag should not block: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_wait_deadlocks() {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::WaitFlag { addr: 64, val: 1 });
+        run_programs(&mut m, vec![p]);
+    }
+
+    #[test]
+    fn iteration_max_takes_slowest_thread() {
+        let mut m = machine();
+        let mut fast = Program::on_core(CoreId(0));
+        fast.push(Op::MarkStart(0)).push(Op::Compute(1_000)).push(Op::MarkEnd(0));
+        let mut slow = Program::on_core(CoreId(2));
+        slow.push(Op::MarkStart(0)).push(Op::Compute(9_000)).push(Op::MarkEnd(0));
+        let r = run_programs(&mut m, vec![fast, slow]);
+        assert_eq!(r.iteration_max_ns(0), Some(9.0));
+        assert_eq!(r.iteration_durations_ns(0), vec![1.0, 9.0]);
+    }
+
+    #[test]
+    fn stream_op_slices_and_completes() {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::MarkStart(0))
+            .push(Op::Stream {
+                kind: StreamKind::Read,
+                a: 0,
+                b: 0,
+                c: 0,
+                lines: 1000,
+                vectorized: true,
+            })
+            .push(Op::MarkEnd(0));
+        let r = run_programs(&mut m, vec![p]);
+        let d = r.duration_ps(0, 0).unwrap();
+        let gbps = (1000.0 * 64.0 / 1e9) / (d as f64 / 1e12);
+        assert!((4.0..12.0).contains(&gbps), "stream read {gbps} GB/s");
+    }
+
+    #[test]
+    fn two_streams_share_bandwidth() {
+        let mut m = machine();
+        let mk = |core: u16, base: u64| {
+            let mut p = Program::on_core(CoreId(core));
+            p.push(Op::MarkStart(0))
+                .push(Op::Stream {
+                    kind: StreamKind::Read,
+                    a: 0,
+                    b: base,
+                    c: 0,
+                    lines: 4096,
+                    vectorized: true,
+                })
+                .push(Op::MarkEnd(0));
+            p
+        };
+        // Solo run.
+        let r1 = run_programs(&mut m, vec![mk(0, 0)]);
+        let solo = r1.duration_ps(0, 0).unwrap();
+        // 24 concurrent streams: far beyond 6 DDR channels' capacity.
+        m.reset_devices();
+        m.reset_caches();
+        let progs: Vec<Program> = (0..24).map(|i| mk(i * 2, (i as u64) << 22)).collect();
+        let r = run_programs(&mut m, progs);
+        let worst = (0..24).map(|t| r.duration_ps(t, 0).unwrap()).max().unwrap();
+        assert!(
+            worst > solo * 3 / 2,
+            "24 streams must queue at DDR: worst {worst} vs solo {solo}"
+        );
+    }
+
+    #[test]
+    fn chase_op_is_latency_bound() {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        let lines = 512u64;
+        p.push(Op::MarkStart(0))
+            .push(Op::Chase { base: 1 << 22, lines })
+            .push(Op::MarkEnd(0));
+        let r = run_programs(&mut m, vec![p]);
+        let d = r.duration_ps(0, 0).unwrap();
+        // Dependent accesses: no overlap, so ≥ lines × (DDR-ish latency,
+        // minus the share that hits caches on revisits).
+        assert!(d > lines * 60_000, "chase too fast: {d} ps for {lines} lines");
+        let per = d as f64 / lines as f64 / 1000.0;
+        assert!(per < 200.0, "chase too slow: {per} ns/line");
+    }
+
+    #[test]
+    fn waituntil_aligns_start() {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::WaitUntil(5_000_000)).push(Op::MarkStart(0)).push(Op::MarkEnd(0));
+        let r = run_programs(&mut m, vec![p]);
+        assert!(r.end_time >= 5_000_000);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests on the simulator's core invariants.
+
+use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, TileId};
+use knl_sim::{AccessKind, Machine, MesifState, Op, Program, Runner};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+    m.set_jitter(0);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-writer/multiple-reader: after any interleaving of reads and
+    /// writes from random cores to a small set of lines, no line is ever
+    /// owned (M/E) by one tile while another tile holds any copy.
+    #[test]
+    fn mesif_swmr_invariant(ops in proptest::collection::vec((0u16..64, 0u64..4, any::<bool>()), 1..120)) {
+        let mut m = machine();
+        let mut now = 0u64;
+        for (core, line_idx, is_write) in ops {
+            let addr = (1u64 << 22) + line_idx * 64;
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            now = m.access(CoreId(core), addr, kind, now).complete + 1_000;
+
+            for li in 0..4u64 {
+                let a = (1u64 << 22) + li * 64;
+                let mut owners = 0;
+                let mut sharers = 0;
+                for t in 0..32u16 {
+                    match m.line_state(a, TileId(t)) {
+                        MesifState::Modified | MesifState::Exclusive => owners += 1,
+                        MesifState::Shared | MesifState::Forward => sharers += 1,
+                        MesifState::Invalid => {}
+                    }
+                }
+                prop_assert!(owners <= 1, "line {li}: {owners} owners");
+                prop_assert!(owners == 0 || sharers == 0, "line {li}: owner coexists with {sharers} sharers");
+            }
+        }
+    }
+
+    /// Time never runs backwards: every access completes at or after its
+    /// issue time, and repeated accesses from one core are monotone.
+    #[test]
+    fn completion_monotone(ops in proptest::collection::vec((0u16..64, 0u64..64, 0u8..3), 1..100)) {
+        let mut m = machine();
+        let mut now = 0u64;
+        for (core, line_idx, k) in ops {
+            let addr = (1u64 << 23) + line_idx * 64;
+            let kind = match k {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::NtStore,
+            };
+            let out = m.access(CoreId(core), addr, kind, now);
+            prop_assert!(out.complete >= now, "{kind:?} completed before issue");
+            now = out.complete;
+        }
+    }
+
+    /// The runner executes any well-formed flag dag: a random chain of
+    /// producers/consumers over distinct flags always terminates with
+    /// increasing end time, never deadlocks.
+    #[test]
+    fn runner_flag_chains_terminate(n in 2usize..10, seed in 0u64..1000) {
+        let mut m = machine();
+        let base = 1u64 << 24;
+        // Thread i waits for flag i-1 (except 0) then sets flag i: a chain.
+        let order: Vec<usize> = {
+            let mut v: Vec<usize> = (0..n).collect();
+            // Deterministic shuffle from seed so programs vary.
+            for i in (1..n).rev() {
+                let j = (seed as usize).wrapping_mul(i + 7) % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        };
+        let programs: Vec<Program> = order
+            .iter()
+            .enumerate()
+            .map(|(pos, &rank)| {
+                let mut p = Program::on_core(CoreId((rank * 2) as u16));
+                let _ = pos;
+                if rank > 0 {
+                    p.push(Op::WaitFlag { addr: base + (rank as u64 - 1) * 4096, val: 1 });
+                }
+                p.push(Op::Compute(1_000));
+                p.push(Op::SetFlag { addr: base + rank as u64 * 4096, val: 1 });
+                p
+            })
+            .collect();
+        let result = Runner::new(&mut m, programs).run();
+        prop_assert!(result.end_time > 0);
+    }
+
+    /// Failure injection: pathological timing parameters (zero or huge
+    /// primitive costs, extreme jitter) must never break the simulator's
+    /// structural invariants — time stays monotone, accesses complete, the
+    /// SWMR invariant holds.
+    #[test]
+    fn pathological_timing_keeps_invariants(
+        hop in 0u64..50_000,
+        inject in 0u64..100_000,
+        cha in 0u64..200_000,
+        serialize in 0u64..200_000,
+        ddr_lat in 1_000u64..500_000,
+        jitter in 0u32..60,
+    ) {
+        let mut cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+        cfg.timing.hop_ps = hop;
+        cfg.timing.inject_ps = inject;
+        cfg.timing.cha_lookup_ps = cha;
+        cfg.timing.cha_line_serialize_ps = serialize;
+        cfg.timing.ddr_lat_ps = ddr_lat;
+        cfg.timing.jitter_pct = jitter;
+        let mut m = Machine::new(cfg);
+        let mut now = 0u64;
+        for i in 0..40u64 {
+            let core = CoreId((i % 64) as u16);
+            let addr = (1u64 << 22) + (i % 6) * 64;
+            let kind = match i % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::NtStore,
+            };
+            let out = m.access(core, addr, kind, now);
+            prop_assert!(out.complete >= now);
+            now = out.complete;
+        }
+        // SWMR still holds on the touched lines.
+        for li in 0..6u64 {
+            let a = (1u64 << 22) + li * 64;
+            let owners = (0..32u16)
+                .filter(|&t| matches!(m.line_state(a, TileId(t)), MesifState::Modified | MesifState::Exclusive))
+                .count();
+            prop_assert!(owners <= 1);
+        }
+    }
+
+    /// Device queueing conserves work: streaming N lines through one core
+    /// takes at least N * service_time at the device aggregate rate.
+    #[test]
+    fn stream_time_lower_bounded(lines in 64u64..4096) {
+        let mut m = machine();
+        let mut p = Program::on_core(CoreId(0));
+        p.push(Op::MarkStart(0))
+            .push(Op::Stream {
+                kind: knl_sim::StreamKind::Read,
+                a: 0,
+                b: 1 << 22,
+                c: 0,
+                lines,
+                vectorized: true,
+            })
+            .push(Op::MarkEnd(0));
+        let r = Runner::new(&mut m, vec![p]).run();
+        let d = r.duration_ps(0, 0).unwrap();
+        // Issue bound: `lines * issue_gap`; and the path latency floor.
+        prop_assert!(d >= lines * 400, "{lines} lines in {d} ps breaks the issue bound");
+        // Single-thread bandwidth cannot exceed MLP*64B/latency ≈ 12 GB/s.
+        let gbps = (lines as f64 * 64.0 / 1e9) / (d as f64 / 1e12);
+        prop_assert!(gbps < 14.0, "single-thread {gbps} GB/s is impossibly high");
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's case-study application (§V-B): a parallel integer merge
+//! sort whose merge kernel is a 16-wide bitonic network ("width 16 for
+//! integers, to take advantage of vector instructions; hence we always
+//! fetch full lines"), with ping-pong buffers and thread halving up the
+//! merge tree.
+//!
+//! * [`bitonic`] — the compare–exchange networks (16-element sorter and
+//!   16+16 merger), written over fixed-size arrays the compiler can
+//!   vectorize.
+//! * [`merge`] — merging two sorted runs through the bitonic kernel.
+//! * [`parallel`] — the full parallel sort on host threads.
+//! * [`simsort`] — the same algorithm's memory traffic as simulator
+//!   programs, used to regenerate Fig. 10 with KNL timing.
+
+pub mod bitonic;
+pub mod merge;
+pub mod parallel;
+pub mod simsort;
+
+pub use bitonic::{bitonic_merge16, sort16};
+pub use merge::merge_runs;
+pub use parallel::parallel_merge_sort;

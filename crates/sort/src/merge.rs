@@ -1,0 +1,143 @@
+//! Merging two sorted runs through the 16-wide bitonic kernel.
+//!
+//! The classic SIMD merge loop (Chhugani et al., cited by the paper as
+//! \[14\]): keep one 16-vector of pending smallest elements; repeatedly pull
+//! the next 16 from whichever run's head is smaller, merge with the
+//! pending vector, emit the low half, keep the high half pending. Tails
+//! shorter than a vector fall back to scalar merging.
+
+use crate::bitonic::bitonic_merge16;
+
+/// Merge sorted `a` and `b` into `out`.
+///
+/// # Panics
+/// Panics unless `out.len() == a.len() + b.len()`.
+pub fn merge_runs(a: &[u32], b: &[u32], out: &mut [u32]) {
+    assert_eq!(out.len(), a.len() + b.len(), "output size mismatch");
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "b must be sorted");
+
+    // Scalar path for short runs.
+    if a.len() < 16 || b.len() < 16 {
+        scalar_merge(a, b, out);
+        return;
+    }
+
+    let mut ai;
+    let mut bi;
+    let mut oi = 0usize;
+    // Seed the pending vector from whichever head is smaller.
+    let mut cur: [u32; 16];
+    if a[0] <= b[0] {
+        cur = a[..16].try_into().unwrap();
+        ai = 16;
+        bi = 0;
+    } else {
+        cur = b[..16].try_into().unwrap();
+        ai = 0;
+        bi = 16;
+    }
+
+    // Main vector loop: runs while both runs still offer a full vector.
+    // Always pull from the run with the smaller head; the emitted low half
+    // is then ≤ every element still unloaded.
+    while ai + 16 <= a.len() && bi + 16 <= b.len() {
+        let mut next: [u32; 16] = if a[ai] <= b[bi] {
+            let n = a[ai..ai + 16].try_into().unwrap();
+            ai += 16;
+            n
+        } else {
+            let n = b[bi..bi + 16].try_into().unwrap();
+            bi += 16;
+            n
+        };
+        bitonic_merge16(&mut cur, &mut next);
+        out[oi..oi + 16].copy_from_slice(&cur);
+        oi += 16;
+        cur = next;
+    }
+
+    // Tails: `cur` (16 sorted) + a[ai..] + b[bi..], all sorted runs.
+    let mut tail = Vec::with_capacity(16 + (a.len() - ai) + (b.len() - bi));
+    tail.resize(a.len() - ai + b.len() - bi, 0);
+    scalar_merge(&a[ai..], &b[bi..], &mut tail);
+    scalar_merge_into(&cur, &tail, &mut out[oi..]);
+}
+
+fn scalar_merge(a: &[u32], b: &[u32], out: &mut [u32]) {
+    scalar_merge_into(a, b, out);
+}
+
+fn scalar_merge_into(a: &[u32], b: &[u32], out: &mut [u32]) {
+    assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    for o in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *o = a[i];
+            i += 1;
+        } else {
+            *o = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(a: Vec<u32>, b: Vec<u32>) {
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        let mut out = vec![0u32; a.len() + b.len()];
+        merge_runs(&a, &b, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn merge_empty_and_small() {
+        check(vec![], vec![]);
+        check(vec![1], vec![]);
+        check(vec![], vec![2, 3]);
+        check(vec![5, 1], vec![4, 2, 8]);
+    }
+
+    #[test]
+    fn merge_vector_sized() {
+        check((0..64).map(|i| i * 2).collect(), (0..64).map(|i| i * 2 + 1).collect());
+        check((0..64).collect(), (64..128).collect());
+        check((64..128).collect(), (0..64).collect());
+    }
+
+    #[test]
+    fn merge_unbalanced() {
+        check((0..1000).collect(), vec![500]);
+        check(vec![0], (1..1000).collect());
+        check((0..17).collect(), (0..333).collect());
+    }
+
+    #[test]
+    fn merge_with_duplicates() {
+        check(vec![7; 100], vec![7; 50]);
+        check(vec![1, 1, 2, 2], vec![1, 2, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_random(a in proptest::collection::vec(any::<u32>(), 0..400),
+                        b in proptest::collection::vec(any::<u32>(), 0..400)) {
+            check(a, b);
+        }
+
+        #[test]
+        fn merge_random_vector_heavy(a in proptest::collection::vec(any::<u32>(), 100..300),
+                                     b in proptest::collection::vec(any::<u32>(), 100..300)) {
+            check(a, b);
+        }
+    }
+}

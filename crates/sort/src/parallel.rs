@@ -1,0 +1,202 @@
+//! Parallel merge sort with thread halving and ping-pong buffers (§V-B).
+//!
+//! Phase A sorts `p` chunks in parallel (each thread bottom-up merge-sorts
+//! its chunk through the bitonic kernel, 16-element network at the base).
+//! Phase B runs `log2(p)` merge stages: at stage `j` only every `2^j`-th
+//! thread is active — exactly the halving the paper's model captures ("the
+//! number of threads is halved until only one thread is working"). Buffers
+//! ping-pong between stages to bound memory at 2×.
+
+use crate::bitonic::sort16;
+use crate::merge::merge_runs;
+
+/// Sort `data` ascending using up to `threads` host threads.
+///
+/// `threads` is clamped to a power of two and to the number of 16-element
+/// blocks, so tiny inputs degrade gracefully to sequential sorting.
+pub fn parallel_merge_sort(data: &mut [u32], threads: usize) {
+    let n = data.len();
+    if n <= 16 {
+        sort_small(data);
+        return;
+    }
+    let p = effective_threads(n, threads);
+    let chunk = n.div_ceil(p);
+
+    let mut src = data.to_vec();
+    let mut dst = vec![0u32; n];
+
+    // Phase A: sort chunks in parallel (in place within `src`).
+    std::thread::scope(|s| {
+        for piece in src.chunks_mut(chunk) {
+            s.spawn(move || sort_run(piece));
+        }
+    });
+
+    // Phase B: pairwise merges, span doubling, threads halving.
+    let mut span = chunk;
+    while span < n {
+        let double = span * 2;
+        std::thread::scope(|s| {
+            for (src_seg, dst_seg) in src.chunks(double).zip(dst.chunks_mut(double)) {
+                s.spawn(move || {
+                    if src_seg.len() > span {
+                        let (lo, hi) = src_seg.split_at(span);
+                        merge_runs(lo, hi, dst_seg);
+                    } else {
+                        dst_seg.copy_from_slice(src_seg);
+                    }
+                });
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+        span = double;
+    }
+    data.copy_from_slice(&src);
+}
+
+/// Number of workers actually used: power of two, at most `threads`, and
+/// leaving every chunk at least 16 elements.
+pub fn effective_threads(n: usize, threads: usize) -> usize {
+    let mut p = threads.max(1).next_power_of_two();
+    if p > threads {
+        p /= 2;
+    }
+    while p > 1 && n / p < 16 {
+        p /= 2;
+    }
+    p.max(1)
+}
+
+/// Sequential bottom-up merge sort of one run (16-element network base,
+/// bitonic-kernel merges above, ping-pong with a scratch buffer).
+pub fn sort_run(v: &mut [u32]) {
+    let n = v.len();
+    if n <= 16 {
+        sort_small(v);
+        return;
+    }
+    // Base: sort every 16-block with the network (tail scalar).
+    let mut iter = v.chunks_exact_mut(16);
+    for block in &mut iter {
+        let arr: &mut [u32; 16] = block.try_into().unwrap();
+        sort16(arr);
+    }
+    sort_small(iter.into_remainder());
+
+    let mut scratch = vec![0u32; n];
+    let mut src_is_v = true;
+    let mut width = 16usize;
+    while width < n {
+        {
+            let (src, dst): (&[u32], &mut [u32]) = if src_is_v {
+                (&*v, &mut scratch[..])
+            } else {
+                (&scratch[..], &mut *v)
+            };
+            let mut start = 0;
+            while start < n {
+                let end = (start + 2 * width).min(n);
+                let mid = (start + width).min(end);
+                let (lo, hi) = (&src[start..mid], &src[mid..end]);
+                merge_runs(lo, hi, &mut dst[start..end]);
+                start = end;
+            }
+        }
+        src_is_v = !src_is_v;
+        width *= 2;
+    }
+    if !src_is_v {
+        v.copy_from_slice(&scratch);
+    }
+}
+
+/// Insertion sort for sub-vector tails.
+fn sort_small(v: &mut [u32]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check(mut v: Vec<u32>, threads: usize) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_merge_sort(&mut v, threads);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn small_inputs() {
+        check(vec![], 4);
+        check(vec![3], 4);
+        check(vec![2, 1], 4);
+        check((0..16).rev().collect(), 4);
+        check((0..17).rev().collect(), 4);
+    }
+
+    #[test]
+    fn random_large_various_threads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let v: Vec<u32> = (0..100_000).map(|_| rng.gen()).collect();
+        for threads in [1, 2, 4, 8] {
+            check(v.clone(), threads);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [17usize, 100, 1000, 12345, 65537] {
+            let v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            check(v, 4);
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        check((0..10_000).collect(), 4);
+        check((0..10_000).rev().collect(), 4);
+        check(vec![5; 10_000], 4);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(1_000_000, 6), 4);
+        assert_eq!(effective_threads(1_000_000, 8), 8);
+        assert_eq!(effective_threads(64, 64), 4); // 64/8 = 8 < 16
+        assert_eq!(effective_threads(10, 64), 1);
+    }
+
+    #[test]
+    fn sort_run_matches_std() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for n in [16usize, 31, 32, 100, 4096, 5000] {
+            let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            sort_run(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn sorts_random(v in proptest::collection::vec(any::<u32>(), 0..5000),
+                        threads in 1usize..9) {
+            check(v, threads);
+        }
+    }
+}

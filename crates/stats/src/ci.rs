@@ -1,0 +1,146 @@
+//! Distribution-free confidence interval for the median via order statistics.
+//!
+//! The paper states "we report medians that are within the 10% of the 95%
+//! confidence intervals". The standard nonparametric CI for the median of a
+//! sample of size `n` is `(x_(l), x_(u))` where `l`/`u` come from the binomial
+//! distribution `B(n, 1/2)`; for `n ≳ 30` the normal approximation
+//! `l = n/2 − z·√n/2`, `u = 1 + n/2 + z·√n/2` (z = 1.96) is customary.
+
+use crate::summary::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// Median together with its 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MedianCi {
+    /// Sample median.
+    pub median: f64,
+    /// Lower bound of the 95% CI.
+    pub lo: f64,
+    /// Upper bound of the 95% CI.
+    pub hi: f64,
+}
+
+impl MedianCi {
+    /// Half-width of the CI relative to the median (the paper's "within 10%"
+    /// acceptance criterion compares this to 0.10).
+    pub fn relative_halfwidth(&self) -> f64 {
+        if self.median == 0.0 {
+            return f64::INFINITY;
+        }
+        ((self.hi - self.lo) / 2.0) / self.median.abs()
+    }
+
+    /// Whether the CI satisfies the paper's acceptance rule: median within
+    /// `frac` (e.g. 0.10) of the 95% CI bounds.
+    pub fn within(&self, frac: f64) -> bool {
+        self.relative_halfwidth() <= frac
+    }
+}
+
+/// Nonparametric 95% CI of the median using binomial order statistics
+/// (exact for small `n`, normal approximation for large `n`).
+///
+/// Returns the median with `lo == hi == median` for samples of size < 3
+/// (no meaningful interval exists).
+pub fn median_ci95(xs: &[f64]) -> MedianCi {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median_ci95 input"));
+    let n = v.len();
+    let med = quantile_sorted(&v, 0.5);
+    if n < 3 {
+        return MedianCi { median: med, lo: med, hi: med };
+    }
+    let (l, u) = if n <= 70 {
+        exact_binomial_bounds(n)
+    } else {
+        normal_approx_bounds(n)
+    };
+    MedianCi { median: med, lo: v[l], hi: v[u.min(n - 1)] }
+}
+
+/// Exact binomial bounds for X ~ B(n, 1/2): the 0-based lower index is the
+/// largest `k` with P(X ≤ k) ≤ 0.025; the upper index is symmetric.
+fn exact_binomial_bounds(n: usize) -> (usize, usize) {
+    let mut cum = 0.0f64;
+    let mut l = 0usize;
+    for k in 0..n {
+        cum += binom_pmf_half(n, k);
+        if cum > 0.025 {
+            break;
+        }
+        l = k;
+    }
+    let u = n - 1 - l;
+    (l, u.max(l))
+}
+
+fn binom_pmf_half(n: usize, k: usize) -> f64 {
+    // C(n, k) * 0.5^n via log-gamma-free accumulation (n small).
+    let mut log = -(n as f64) * std::f64::consts::LN_2;
+    for i in 0..k {
+        log += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    log.exp()
+}
+
+fn normal_approx_bounds(n: usize) -> (usize, usize) {
+    let nf = n as f64;
+    let half = 1.96 * nf.sqrt() / 2.0;
+    let l = (nf / 2.0 - half).floor().max(0.0) as usize;
+    let u = ((nf / 2.0 + half).ceil() as usize).min(n - 1);
+    (l, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_samples_degenerate() {
+        let ci = median_ci95(&[1.0, 2.0]);
+        assert_eq!(ci.lo, ci.hi);
+        assert_eq!(ci.median, 1.5);
+    }
+
+    #[test]
+    fn ci_brackets_median() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let ci = median_ci95(&xs);
+        assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+        assert_eq!(ci.median, 50.0);
+        // For n=101 the CI should be roughly median ± 10 ranks.
+        assert!(ci.lo >= 35.0 && ci.hi <= 65.0, "{ci:?}");
+    }
+
+    #[test]
+    fn tight_data_tight_ci() {
+        let xs: Vec<f64> = (0..1000).map(|i| 100.0 + (i % 7) as f64 * 0.01).collect();
+        let ci = median_ci95(&xs);
+        assert!(ci.within(0.10), "{ci:?}");
+        assert!(ci.relative_halfwidth() < 0.001);
+    }
+
+    #[test]
+    fn binom_pmf_sums_to_one() {
+        for n in [5usize, 20, 60] {
+            let s: f64 = (0..=n).map(|k| binom_pmf_half(n, k)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "n={n} sum={s}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_known_n20() {
+        // Known result: for n = 20, the 95% CI of the median is (x_(6), x_(14))
+        // in 1-based indexing → 0-based (5, 14).
+        let (l, u) = exact_binomial_bounds(20);
+        assert_eq!(l, 5);
+        assert_eq!(u, 14);
+    }
+
+    #[test]
+    fn relative_halfwidth_zero_median() {
+        let ci = MedianCi { median: 0.0, lo: -1.0, hi: 1.0 };
+        assert!(ci.relative_halfwidth().is_infinite());
+        assert!(!ci.within(0.1));
+    }
+}

@@ -1,0 +1,18 @@
+//! Statistics utilities for capability benchmarking.
+//!
+//! The paper (Ramos & Hoefler, IPDPS 2017) reports *medians* of per-iteration
+//! maxima, with 95% confidence intervals of the median, and fits linear models
+//! (`α + β·N`) to contention and multi-line measurements with ordinary least
+//! squares. This crate provides exactly those primitives, plus quantile and
+//! boxplot summaries used by the figure regenerators.
+
+pub mod ci;
+pub mod regression;
+pub mod sample;
+pub mod summary;
+pub mod units;
+
+pub use ci::{median_ci95, MedianCi};
+pub use regression::{fit_linear, LinearFit};
+pub use sample::Sample;
+pub use summary::{boxplot, mean, median, quantile, stddev, BoxplotSummary};

@@ -1,0 +1,115 @@
+//! Ordinary least squares for the paper's linear capability laws.
+//!
+//! The paper fits `T_C(N) = α + β·N` to contention measurements (Table I),
+//! `α + β·N` to multi-line transfer latencies (§IV-A.4), and a linear
+//! overhead model to small-message sort costs (§V-B.2). All are simple OLS.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ alpha + beta * x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept α.
+    pub alpha: f64,
+    /// Slope β.
+    pub beta: f64,
+    /// Coefficient of determination R².
+    pub r2: f64,
+    /// Number of points the fit used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.alpha + self.beta * x
+    }
+
+    /// A degenerate fit representing a constant value (used when a capability
+    /// is measured at a single operating point).
+    pub fn constant(c: f64) -> Self {
+        LinearFit { alpha: c, beta: 0.0, r2: 1.0, n: 1 }
+    }
+}
+
+/// Fit `y ≈ α + β·x` by ordinary least squares.
+///
+/// # Panics
+/// Panics if the slices differ in length or fewer than 2 points are given.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let beta = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let alpha = my - beta * mx;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (alpha + beta * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { alpha, beta, r2, n: xs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 200.0 + 34.0 * x).collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.alpha - 200.0).abs() < 1e-9);
+        assert!((f.beta - 34.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> =
+            xs.iter().map(|&x| 5.0 + 2.0 * x + ((x * 7.0).sin())).collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.alpha - 5.0).abs() < 0.5, "{f:?}");
+        assert!((f.beta - 2.0).abs() < 0.05, "{f:?}");
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn constant_y_zero_slope() {
+        let f = fit_linear(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(f.beta, 0.0);
+        assert_eq!(f.alpha, 4.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn constant_x_degenerate() {
+        let f = fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(f.beta, 0.0);
+        assert_eq!(f.alpha, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        fit_linear(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_roundtrip() {
+        let f = LinearFit { alpha: 1.0, beta: 2.0, r2: 1.0, n: 2 };
+        assert_eq!(f.eval(3.0), 7.0);
+        assert_eq!(LinearFit::constant(9.0).eval(123.0), 9.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A container for repeated measurements of one quantity.
+
+use crate::ci::{median_ci95, MedianCi};
+use crate::summary::{boxplot, mean, median, quantile, stddev, BoxplotSummary};
+use serde::{Deserialize, Serialize};
+
+/// A set of repeated observations (e.g. per-iteration latencies of one
+/// benchmark configuration). The paper's reporting discipline — median of the
+/// per-iteration maxima across threads — is built by pushing each iteration's
+/// max and then reading [`Sample::median`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    values: Vec<f64>,
+}
+
+impl Sample {
+    /// Empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample over pre-collected values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Sample { values }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Median (the paper's reported statistic).
+    pub fn median(&self) -> f64 {
+        median(&self.values)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        mean(&self.values)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        stddev(&self.values)
+    }
+
+    /// Interpolated quantile, `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.values, q)
+    }
+
+    /// Smallest observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Median with its nonparametric 95% CI.
+    pub fn median_ci95(&self) -> MedianCi {
+        median_ci95(&self.values)
+    }
+
+    /// Five-number boxplot summary.
+    pub fn boxplot(&self) -> BoxplotSummary {
+        boxplot(&self.values)
+    }
+
+    /// Merge another sample into this one.
+    pub fn extend(&mut self, other: &Sample) {
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+impl FromIterator<f64> for Sample {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Sample { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_summaries() {
+        let mut s = Sample::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Sample = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Sample::from_values(vec![1.0]);
+        let b = Sample::from_values(vec![2.0, 3.0]);
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.median(), 2.0);
+    }
+
+    #[test]
+    fn empty_sample_edge_cases() {
+        let s = Sample::new();
+        assert!(s.is_empty());
+        assert!(s.median().is_nan());
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn quantiles_consistent() {
+        let s: Sample = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.5), s.median());
+        let ci = s.median_ci95();
+        assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+    }
+}

@@ -1,0 +1,163 @@
+//! Order statistics: median, quantiles, boxplot summaries.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). `NaN` for fewer than 2 points.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Quantile with linear interpolation between closest ranks (type-7, the R and
+/// NumPy default). `q` must be in `[0, 1]`. Returns `NaN` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already-sorted slice (ascending). See [`quantile`].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The five-number summary used to draw the paper's boxplots
+/// (Figs. 6–8: whiskers at 1.5 IQR, plus median/quartiles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lowest point within 1.5 IQR below Q1.
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Highest point within 1.5 IQR above Q3.
+    pub whisker_hi: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Compute a boxplot summary (Tukey whiskers clipped to data range).
+pub fn boxplot(xs: &[f64]) -> BoxplotSummary {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+    let q1 = quantile_sorted(&v, 0.25);
+    let q2 = quantile_sorted(&v, 0.5);
+    let q3 = quantile_sorted(&v, 0.75);
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(q1);
+    let whisker_hi = v.iter().rev().copied().find(|&x| x <= hi_fence).unwrap_or(q3);
+    BoxplotSummary {
+        min: *v.first().unwrap_or(&f64::NAN),
+        whisker_lo,
+        q1,
+        median: q2,
+        q3,
+        whisker_hi,
+        max: *v.last().unwrap_or(&f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn stddev_basic() {
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138089935).abs() < 1e-6);
+        assert!(stddev(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn boxplot_summary_ordering() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = boxplot(&xs);
+        assert!(b.min <= b.whisker_lo);
+        assert!(b.whisker_lo <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_hi);
+        assert!(b.whisker_hi <= b.max);
+        assert_eq!(b.median, 50.5);
+    }
+
+    #[test]
+    fn boxplot_whiskers_exclude_outlier() {
+        let mut xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        xs.push(1000.0);
+        let b = boxplot(&xs);
+        assert_eq!(b.max, 1000.0);
+        assert!(b.whisker_hi < 1000.0);
+    }
+}

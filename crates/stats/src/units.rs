@@ -1,0 +1,69 @@
+//! Unit conversions between the simulator's picosecond clock and the units
+//! the paper reports (nanoseconds, GB/s).
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: f64 = 1_000.0;
+/// Picoseconds per second.
+pub const PS_PER_S: f64 = 1e12;
+/// Bytes per cache line on KNL.
+pub const LINE_BYTES: u64 = 64;
+
+/// Convert picoseconds to nanoseconds.
+pub fn ps_to_ns(ps: u64) -> f64 {
+    ps as f64 / PS_PER_NS
+}
+
+/// Convert nanoseconds to picoseconds (rounded).
+pub fn ns_to_ps(ns: f64) -> u64 {
+    (ns * PS_PER_NS).round() as u64
+}
+
+/// Bandwidth in GB/s (decimal GB, as in the paper) achieved when `bytes`
+/// are transferred in `ps` picoseconds.
+pub fn gbps(bytes: u64, ps: u64) -> f64 {
+    if ps == 0 {
+        return f64::INFINITY;
+    }
+    (bytes as f64 / 1e9) / (ps as f64 / PS_PER_S)
+}
+
+/// Picoseconds needed to move one 64 B cache line at `gbps` GB/s (the
+/// service-rate form used by the simulator's memory devices).
+pub fn ps_per_line(gbps: f64) -> u64 {
+    assert!(gbps > 0.0, "bandwidth must be positive");
+    (LINE_BYTES as f64 / (gbps * 1e9) * PS_PER_S).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_roundtrip() {
+        assert_eq!(ps_to_ns(1500), 1.5);
+        assert_eq!(ns_to_ps(1.5), 1500);
+        assert_eq!(ns_to_ps(ps_to_ns(123_456)), 123_456);
+    }
+
+    #[test]
+    fn gbps_basic() {
+        // 64 bytes in 1 ns = 64 GB/s.
+        assert!((gbps(64, 1000) - 64.0).abs() < 1e-9);
+        assert!(gbps(64, 0).is_infinite());
+    }
+
+    #[test]
+    fn ps_per_line_inverts_gbps() {
+        for bw in [2.5, 7.5, 90.0, 450.0] {
+            let ps = ps_per_line(bw);
+            let back = gbps(LINE_BYTES, ps);
+            assert!((back - bw).abs() / bw < 0.01, "bw={bw} back={back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn ps_per_line_rejects_zero() {
+        ps_per_line(0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Model-tuned collectives end to end: optimize shapes from the capability
+//! model, run them as *real host-thread collectives*, and compare against
+//! the OpenMP-like and MPI-like baselines on this machine.
+//!
+//! On a manycore box the model-tuned shapes win clearly; on small/
+//! oversubscribed hosts the ordering may compress (the KNL-scale claims are
+//! regenerated on the simulator by `knl-bench`'s fig6–fig8 binaries).
+//!
+//! ```sh
+//! cargo run --release --example model_tuned_collectives
+//! ```
+
+use knl::collectives::plan::RankPlan;
+use knl::collectives::{
+    CentralReduce, CentralizedBarrier, DisseminationBarrier, FlatBroadcast, MpiBroadcast,
+    MpiReduce, Team, TreeBroadcast, TreeReduce,
+};
+use knl::model::tree_opt::binomial_tree;
+use knl::model::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
+use std::sync::Arc;
+
+fn main() {
+    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 8);
+    let iters = 2_000;
+    println!("running {iters} iterations of each collective on {n} host threads\n");
+
+    let model = CapabilityModel::paper_reference();
+    let team = Team::new(n);
+
+    // ---- barrier ----
+    let plan = optimize_barrier(&model, n);
+    println!("barrier: model-tuned radix m={} ({} rounds)", plan.m, plan.r);
+    let tuned = Arc::new(DisseminationBarrier::new(n, plan.m));
+    let b = Arc::clone(&tuned);
+    let d_tuned = team.time(iters, move |rank, _| b.wait(rank));
+    let central = Arc::new(CentralizedBarrier::new(n));
+    let c = Arc::clone(&central);
+    let d_central = team.time(iters, move |rank, _| c.wait(rank));
+    report("barrier", iters, &[("dissemination (tuned)", d_tuned), ("centralized (OpenMP-like)", d_central)]);
+
+    // ---- broadcast ----
+    let tree = optimize_tree(&model, n, TreeKind::Broadcast).tree;
+    println!("broadcast: tuned tree shape {}", tree.compact());
+    let tb = Arc::new(TreeBroadcast::new(RankPlan::direct(&tree)));
+    let t = Arc::clone(&tb);
+    let d_tree = team.time(iters, move |rank, it| {
+        let v = [it as u64; 7];
+        let got = t.run(rank, (rank == 0).then_some(v));
+        assert_eq!(got, v);
+    });
+    let fb = Arc::new(FlatBroadcast::new(n));
+    let f = Arc::clone(&fb);
+    let d_flat = team.time(iters, move |rank, it| {
+        let v = [it as u64; 7];
+        f.run(rank, (rank == 0).then_some(v));
+    });
+    let mb = Arc::new(MpiBroadcast::new(RankPlan::direct(&binomial_tree(n))));
+    let m = Arc::clone(&mb);
+    let d_mpi = team.time(iters, move |rank, it| {
+        let v = [it as u64; 7];
+        m.run(rank, (rank == 0).then_some(v));
+    });
+    report(
+        "broadcast",
+        iters,
+        &[("tuned tree", d_tree), ("flat (OpenMP-like)", d_flat), ("binomial+staging (MPI-like)", d_mpi)],
+    );
+
+    // ---- reduce ----
+    let tree = optimize_tree(&model, n, TreeKind::Reduce).tree;
+    let tr = Arc::new(TreeReduce::new(RankPlan::direct(&tree)));
+    let t = Arc::clone(&tr);
+    let d_tree = team.time(iters, move |rank, it| {
+        let r = t.run(rank, rank as u64 + it as u64);
+        if rank == 0 {
+            r.expect("root gets the sum");
+        }
+    });
+    let cr = Arc::new(CentralReduce::new(n));
+    let c = Arc::clone(&cr);
+    let d_central = team.time(iters, move |rank, it| {
+        c.run(rank, rank as u64 + it as u64);
+    });
+    let mr = Arc::new(MpiReduce::new(RankPlan::direct(&binomial_tree(n))));
+    let m = Arc::clone(&mr);
+    let d_mpi = team.time(iters, move |rank, it| {
+        m.run(rank, rank as u64 + it as u64);
+    });
+    report(
+        "reduce",
+        iters,
+        &[("tuned tree", d_tree), ("central atomic (OpenMP-like)", d_central), ("binomial+staging (MPI-like)", d_mpi)],
+    );
+}
+
+fn report(what: &str, iters: usize, results: &[(&str, std::time::Duration)]) {
+    println!("--- {what} ---");
+    for (name, d) in results {
+        println!("  {name:<30} {:>9.0} ns/op", d.as_nanos() as f64 / iters as f64);
+    }
+    println!();
+}

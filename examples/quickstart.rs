@@ -1,0 +1,56 @@
+//! Quickstart: build a simulated KNL, run a slice of the capability suite,
+//! fit the model, and model-tune a broadcast tree and a barrier.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use knl::arch::{ClusterMode, MachineConfig, MemoryMode};
+use knl::benchsuite::{run_cache_suite, SuiteParams};
+use knl::model::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
+use knl::sim::Machine;
+
+fn main() {
+    // 1. Pick one of the fifteen machine configurations.
+    let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+    println!("machine: {} ({} cores, {} tiles)", cfg.label(), cfg.num_cores(), cfg.active_tiles);
+
+    // 2. Run the cache-to-cache capability benchmarks on the simulator.
+    let mut machine = Machine::new(cfg);
+    let mut params = SuiteParams::quick();
+    params.iters = 7;
+    println!("running capability benchmarks (quick sweep)...");
+    let cache = run_cache_suite(&mut machine, &params);
+
+    println!("  local L1 latency : {:>6.1} ns", cache.local_ns.as_ref().unwrap().median_ns());
+    for (st, l) in &cache.tile_ns {
+        println!("  tile {st} latency   : {:>6.1} ns", l.median_ns());
+    }
+    for (st, l) in &cache.remote_ns {
+        println!("  remote {st} latency : {:>6.1} ns", l.median_ns());
+    }
+
+    // 3. Fit the capability model. (A full fit would also run the memory
+    //    suite; the paper-reference model fills in memory numbers here so
+    //    the quickstart stays fast.)
+    let mut model = CapabilityModel::paper_reference();
+    model.rr_ns = cache
+        .remote_ns
+        .iter()
+        .map(|(_, l)| l.median_ns())
+        .sum::<f64>()
+        / cache.remote_ns.len() as f64;
+    println!("\nfitted R_R (remote line read): {:.1} ns", model.rr_ns);
+    println!("contention law: T_C(N) = {:.0} + {:.1}·N ns", model.contention.alpha, model.contention.beta);
+
+    // 4. Model-tune algorithms.
+    let tree = optimize_tree(&model, 32, TreeKind::Broadcast);
+    println!("\nmodel-tuned broadcast tree over 32 tiles ({:.0} ns):", tree.cost_ns);
+    println!("{}", tree.tree.render());
+
+    let barrier = optimize_barrier(&model, 64);
+    println!(
+        "model-tuned dissemination barrier for 64 threads: {} rounds, {} partners/round, {:.0} ns",
+        barrier.r, barrier.m, barrier.cost_ns
+    );
+}

@@ -1,0 +1,85 @@
+//! The paper's §V-B case study end to end: sort integers with the 16-wide
+//! bitonic merge sort (real host threads), predict the cost with the
+//! Eq. 3–5 memory model, and assess efficiency with the 10% rule.
+//!
+//! ```sh
+//! cargo run --release --example sort_efficiency
+//! ```
+
+use knl::model::efficiency::{efficiency_sweep, EFFICIENCY_THRESHOLD};
+use knl::model::overhead::OverheadModel;
+use knl::model::sortmodel::{CostBasis, SortModel};
+use knl::model::CapabilityModel;
+use knl::sort::parallel_merge_sort;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let model = CapabilityModel::paper_reference();
+    let sort_model = SortModel::new(&model, "DRAM");
+
+    // Sort real data on this host at a few sizes/thread counts.
+    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    println!("host parallelism: {host_threads}\n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for (label, n_elems) in [("1 KB", 256usize), ("4 MB", 1 << 20), ("64 MB", 16 << 20)] {
+        let data: Vec<u32> = (0..n_elems).map(|_| rng.gen()).collect();
+        print!("{label:>6}: ");
+        for threads in [1usize, 2, 4] {
+            let mut v = data.clone();
+            let t0 = Instant::now();
+            parallel_merge_sort(&mut v, threads);
+            let dt = t0.elapsed();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            print!("{threads} thr: {:>8.2} ms   ", dt.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+
+    // The KNL-model predictions (Eqs. 3–5): latency vs bandwidth basis.
+    println!("\nKNL model predictions for sorting on the paper's machine (DRAM):");
+    println!("{:>8} {:>12} {:>14} {:>14}", "bytes", "threads", "mem model lat", "mem model BW");
+    for bytes in [1u64 << 10, 4 << 20, 1 << 30] {
+        for threads in [1usize, 16, 64] {
+            let lat = sort_model.sort_seconds(bytes, threads, CostBasis::Latency);
+            let bw = sort_model.sort_seconds(bytes, threads, CostBasis::Bandwidth);
+            println!("{bytes:>8} {threads:>12} {lat:>13.4}s {bw:>13.4}s");
+        }
+    }
+
+    // Efficiency assessment with a synthetic overhead model (α = 2 µs,
+    // β = 0.8 µs/thread — the shape measured in fig10_sort).
+    let overhead = OverheadModel {
+        fit: knl::stats::LinearFit { alpha: 2e-6, beta: 0.8e-6, r2: 1.0, n: 8 },
+    };
+    println!("\nefficiency (10% rule) for 4 MB on the KNL model:");
+    let mem = |t: usize| sort_model.sort_seconds(4 << 20, t, CostBasis::Bandwidth);
+    let (points, last) = efficiency_sweep(mem, &overhead, &[1, 2, 4, 8, 16, 32, 64]);
+    for p in &points {
+        println!(
+            "  {:>3} threads: mem {:>9.1} µs, overhead {:>7.1} µs ({:>5.1}%) -> {}",
+            p.threads,
+            p.memory_s * 1e6,
+            p.overhead_s * 1e6,
+            p.ratio() * 100.0,
+            if p.is_efficient() { "memory-bound" } else { "overhead-bound" }
+        );
+    }
+    match last {
+        Some(t) => println!(
+            "=> efficient (overhead ≤ {:.0}%) up to {t} threads",
+            EFFICIENCY_THRESHOLD * 100.0
+        ),
+        None => println!("=> never memory-bound at this size"),
+    }
+
+    // The headline: does MCDRAM help this sort?
+    let mc = SortModel::new(&model, "MCDRAM");
+    let d = sort_model.sort_seconds(1 << 30, 64, CostBasis::Bandwidth);
+    let c = mc.sort_seconds(1 << 30, 64, CostBasis::Bandwidth);
+    println!(
+        "\n1 GB sort on 64 threads — DRAM {d:.3}s vs MCDRAM {c:.3}s: predicted speedup {:.2}x \
+         (the paper: MCDRAM does NOT help this algorithm)",
+        d / c
+    );
+}

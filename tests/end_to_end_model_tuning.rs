@@ -1,0 +1,128 @@
+//! End-to-end test of the paper's pipeline: benchmark → fit capability
+//! model → model-tune algorithms → verify the tuned algorithms win on the
+//! (simulated) machine and the model's envelope is meaningful.
+
+use knl::arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind, Schedule};
+use knl::benchsuite::{run_cache_suite, run_memory_suite, SuiteParams, SuiteResults};
+use knl::collectives::plan::RankPlan;
+use knl::collectives::simspec;
+use knl::model::predict::{predict_barrier, predict_broadcast};
+use knl::model::tree_opt::binomial_tree;
+use knl::model::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
+use knl::sim::Machine;
+use knl::stats::median;
+
+fn fitted_model() -> CapabilityModel {
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let mut params = SuiteParams::quick();
+    params.iters = 5;
+    params.mem_lines_per_thread = 256;
+    params.memlat_lines = 8 << 10;
+    params.mem_threads = vec![1, 8, 32];
+    let mut m = Machine::new(cfg.clone());
+    let cache = run_cache_suite(&mut m, &params);
+    m.reset_caches();
+    m.reset_devices();
+    let mem = run_memory_suite(&mut m, &params);
+    CapabilityModel::from_suite(&SuiteResults {
+        cluster: cfg.cluster,
+        memory: cfg.memory,
+        cache,
+        mem,
+    })
+}
+
+#[test]
+fn measure_fit_tune_verify() {
+    let model = fitted_model();
+
+    // The fitted parameters are in the paper's bands.
+    assert!((3.0..5.0).contains(&model.rl_ns), "R_L {}", model.rl_ns);
+    assert!((80.0..170.0).contains(&model.rr_ns), "R_R {}", model.rr_ns);
+    assert!((25.0..45.0).contains(&model.contention.beta), "β {}", model.contention.beta);
+
+    // Tune and run on the machine the model was fitted on.
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let mut m = Machine::new(cfg.clone());
+    let n = 32;
+    let iters = 5;
+    let mut arena = m.arena();
+    let layout = simspec::SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
+
+    // Barrier: tuned radix beats radix-2 and the flat gather.
+    let plan = optimize_barrier(&model, n);
+    let tuned = median(&simspec::run_collective(
+        &mut m,
+        simspec::dissemination_barrier_programs(n, plan.m, &layout, Schedule::Scatter, 64, iters),
+        iters,
+    ));
+    m.reset_caches();
+    let radix2 = median(&simspec::run_collective(
+        &mut m,
+        simspec::dissemination_barrier_programs(n, 1, &layout, Schedule::Scatter, 64, iters),
+        iters,
+    ));
+    m.reset_caches();
+    assert!(
+        tuned <= radix2 * 1.05,
+        "tuned radix m={} ({tuned} ns) must not lose to radix-2 ({radix2} ns)",
+        plan.m
+    );
+
+    // The min–max envelope brackets the simulated barrier within slack.
+    let envelope = predict_barrier(&model, n);
+    assert!(
+        tuned > envelope.best * 0.4 && tuned < envelope.worst * 2.5,
+        "simulated {tuned} ns vs envelope {envelope:?}"
+    );
+
+    // Broadcast: the tuned tree beats the binomial tree run through the
+    // *same* machinery (pure shape effect, no protocol differences).
+    let tuned_tree = optimize_tree(&model, n, TreeKind::Broadcast).tree;
+    let t_tuned = median(&simspec::run_collective(
+        &mut m,
+        simspec::tree_broadcast_programs(
+            &RankPlan::direct(&tuned_tree),
+            &layout,
+            Schedule::Scatter,
+            64,
+            iters,
+        ),
+        iters,
+    ));
+    m.reset_caches();
+    let t_binom = median(&simspec::run_collective(
+        &mut m,
+        simspec::tree_broadcast_programs(
+            &RankPlan::direct(&binomial_tree(n)),
+            &layout,
+            Schedule::Scatter,
+            64,
+            iters,
+        ),
+        iters,
+    ));
+    assert!(
+        t_tuned <= t_binom * 1.05,
+        "tuned tree {t_tuned} ns must not lose to binomial {t_binom} ns"
+    );
+
+    let bcast_env = predict_broadcast(&model, n);
+    assert!(
+        t_tuned > bcast_env.best * 0.4 && t_tuned < bcast_env.worst * 3.0,
+        "simulated broadcast {t_tuned} vs envelope {bcast_env:?}"
+    );
+}
+
+#[test]
+fn tuned_shapes_differ_across_operating_points() {
+    // Model-tuning is not a constant answer: the optimal barrier radix and
+    // tree shapes respond to n.
+    let model = fitted_model();
+    let b8 = optimize_barrier(&model, 8);
+    let b64 = optimize_barrier(&model, 64);
+    assert!(b8.r < b64.r || b8.m != b64.m, "{b8:?} vs {b64:?}");
+    let t8 = optimize_tree(&model, 8, TreeKind::Broadcast).tree;
+    let t32 = optimize_tree(&model, 32, TreeKind::Broadcast).tree;
+    assert_ne!(t8.compact(), t32.compact());
+}

@@ -1,0 +1,98 @@
+//! The paper's fifteen configurations (5 cluster × 3 memory modes) all
+//! construct, simulate, and respect their structural invariants.
+
+use knl::arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind};
+use knl::sim::{AccessKind, Machine};
+use knl::arch::CoreId;
+
+#[test]
+fn all_fifteen_simulate_an_access() {
+    let configs = MachineConfig::all_fifteen();
+    assert_eq!(configs.len(), 15);
+    for cfg in configs {
+        let label = cfg.label();
+        let mut m = Machine::new(cfg);
+        let out = m.access(CoreId(0), 4096, AccessKind::Read, 0);
+        assert!(out.complete > 0, "{label}");
+        // Second read is an L1 hit everywhere.
+        let again = m.access(CoreId(0), 4096, AccessKind::Read, out.complete);
+        assert!(again.complete - out.complete < 10_000, "{label}: L1 hit expected");
+    }
+}
+
+#[test]
+fn numa_exposure_matches_mode() {
+    for cfg in MachineConfig::all_fifteen() {
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let nodes = map.numa_nodes().len();
+        let sw_clusters = if cfg.cluster.software_numa() { cfg.cluster.num_clusters() } else { 1 };
+        let kinds = match cfg.memory {
+            MemoryMode::Cache => 1,
+            _ => 2,
+        };
+        assert_eq!(nodes, sw_clusters * kinds, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn address_maps_cover_and_roundtrip() {
+    for cfg in MachineConfig::all_fifteen() {
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let step = map.addressable_bytes() / 257; // prime-ish sampling
+        for i in 0..256u64 {
+            let addr = (i * step) & !63;
+            let node = map.node_of(addr).unwrap_or_else(|| panic!("{}: {addr:#x}", cfg.label()));
+            assert!(node.range.contains(&addr));
+            let _ = map.mem_target(addr);
+            let home = map.home_directory(addr);
+            assert!((home.0 as usize) < cfg.active_tiles, "{}", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn mcdram_capacity_only_flat_part_allocatable() {
+    for cfg in MachineConfig::all_fifteen() {
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let m = Machine::new(cfg.clone());
+        let arena = m.arena();
+        let flat_mc = arena.remaining(NumaKind::Mcdram);
+        let expect = cfg.memory.mcdram_flat_bytes(cfg.mcdram_bytes);
+        // Allow line-rounding differences per cluster.
+        assert!(
+            (flat_mc as i64 - expect as i64).unsigned_abs() < 64 * 16,
+            "{}: {flat_mc} vs {expect}",
+            cfg.label()
+        );
+        assert_eq!(map.mcdram_cache_bytes(), cfg.memory.mcdram_cache_bytes(cfg.mcdram_bytes));
+    }
+}
+
+#[test]
+fn hybrid_mode_has_both_cache_and_flat_mcdram() {
+    let cfg = MachineConfig::knl7210(
+        ClusterMode::Quadrant,
+        MemoryMode::Hybrid(knl::arch::HybridSplit::Half),
+    );
+    let topo = cfg.topology();
+    let map = cfg.address_map(&topo);
+    assert!(map.mcdram_cache_bytes() > 0);
+    assert!(map.numa_nodes().iter().any(|n| n.kind == NumaKind::Mcdram));
+
+    // An access to a DDR line goes through the memory-side cache: a second
+    // visit after dropping tile caches is served by the cache.
+    let mut m = Machine::new(cfg);
+    m.set_jitter(0);
+    let out1 = m.access(CoreId(0), 8192, AccessKind::Read, 0);
+    m.reset_tile_caches();
+    let out2 = m.access(CoreId(0), 8192, AccessKind::Read, out1.complete + 1_000_000);
+    use knl::sim::machine::ServedBy;
+    assert!(
+        matches!(out2.served_by, ServedBy::McacheHit { .. }),
+        "{:?}",
+        out2.served_by
+    );
+}

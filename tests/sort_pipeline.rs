@@ -1,0 +1,113 @@
+//! Integration of the sort case study: the host implementation sorts
+//! correctly at scale, the simulated traffic reproduces the paper's
+//! MCDRAM≈DRAM result, and the Eq. 3–5 model tracks the simulated cost
+//! within a band.
+
+use knl::arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind, Schedule};
+use knl::model::sortmodel::{CostBasis, SortModel};
+use knl::model::CapabilityModel;
+use knl::sim::Machine;
+use knl::sort::simsort::{run_simsort, SimSortSpec};
+use knl::sort::{merge_runs, parallel_merge_sort};
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn host_sort_correct_at_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let mut v: Vec<u32> = (0..2_000_000).map(|_| rng.gen()).collect();
+    let mut expect = v.clone();
+    expect.sort_unstable();
+    parallel_merge_sort(&mut v, 4);
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn merge_kernel_feeds_parallel_sort() {
+    // The vectorized merge agrees with a scalar reference at awkward sizes.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for (la, lb) in [(1000, 1), (16, 17), (4097, 255), (100_000, 99_999)] {
+        let mut a: Vec<u32> = (0..la).map(|_| rng.gen()).collect();
+        let mut b: Vec<u32> = (0..lb).map(|_| rng.gen()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0; la + lb];
+        merge_runs(&a, &b, &mut out);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "{la}+{lb}");
+        assert_eq!(out.len(), la + lb);
+    }
+}
+
+#[test]
+fn simulated_sort_mcdram_no_benefit() {
+    // The paper's headline: despite MCDRAM's 4–5x bandwidth, the sort sees
+    // essentially none of it.
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let mut m = Machine::new(cfg);
+    m.set_jitter(0);
+    let spec = |mem| SimSortSpec {
+        bytes: 32 << 20,
+        threads: 16,
+        schedule: Schedule::FillTiles,
+        memory: mem,
+    };
+    let dram = run_simsort(&mut m, &spec(NumaKind::Ddr));
+    m.reset_caches();
+    m.reset_devices();
+    let mcdram = run_simsort(&mut m, &spec(NumaKind::Mcdram));
+    let speedup = dram / mcdram;
+    assert!(
+        (0.8..1.4).contains(&speedup),
+        "MCDRAM speedup for sort must be marginal: {speedup} ({dram}s vs {mcdram}s)"
+    );
+}
+
+#[test]
+fn model_tracks_simulated_sort() {
+    // The bandwidth-basis model and the simulated execution agree within a
+    // factor band across sizes (the paper's Fig. 10 agreement quality).
+    let model = CapabilityModel::paper_reference();
+    let sm = SortModel::new(&model, "DRAM");
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    for (bytes, threads) in [(4u64 << 20, 16usize), (16 << 20, 16), (32 << 20, 32)] {
+        let mut m = Machine::new(cfg.clone());
+        m.set_jitter(0);
+        let spec = SimSortSpec {
+            bytes,
+            threads,
+            schedule: Schedule::FillTiles,
+            memory: NumaKind::Ddr,
+        };
+        let measured = run_simsort(&mut m, &spec);
+        let predicted = sm.sort_seconds(bytes, threads, CostBasis::Bandwidth);
+        let ratio = predicted / measured;
+        assert!(
+            (0.45..3.5).contains(&ratio),
+            "bytes={bytes} threads={threads}: model {predicted}s vs sim {measured}s (x{ratio:.2})"
+        );
+        // The latency-basis model is the pessimistic envelope.
+        let lat = sm.sort_seconds(bytes, threads, CostBasis::Latency);
+        assert!(lat > measured, "latency model must upper-bound: {lat} vs {measured}");
+    }
+}
+
+#[test]
+fn more_threads_help_until_overhead_wins() {
+    // Cost decreases with threads for large inputs (memory-bound region).
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let mut last = f64::INFINITY;
+    for threads in [1usize, 4, 16] {
+        let mut m = Machine::new(cfg.clone());
+        m.set_jitter(0);
+        let t = run_simsort(
+            &mut m,
+            &SimSortSpec {
+                bytes: 16 << 20,
+                threads,
+                schedule: Schedule::FillTiles,
+                memory: NumaKind::Ddr,
+            },
+        );
+        assert!(t < last, "{threads} threads: {t} vs previous {last}");
+        last = t;
+    }
+}
