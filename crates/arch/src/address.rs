@@ -17,12 +17,11 @@ use crate::cluster::ClusterMode;
 use crate::ids::{QuadrantId, TileId};
 use crate::memmode::MemoryMode;
 use crate::topology::{splitmix64, Topology, DDR_CHANNELS_PER_IMC, NUM_EDCS, NUM_IMCS};
-use crate::{LINE_SHIFT};
-use serde::{Deserialize, Serialize};
+use crate::LINE_SHIFT;
 use std::ops::Range;
 
 /// Kind of memory backing a NUMA node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NumaKind {
     /// 'Far' memory: DDR4 through the two IMCs.
     Ddr,
@@ -31,7 +30,7 @@ pub enum NumaKind {
 }
 
 /// One NUMA node exposed to software.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaNode {
     /// Dense node index as the OS would number it.
     pub id: usize,
@@ -45,7 +44,7 @@ pub struct NumaNode {
 }
 
 /// The physical device a line address resolves to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemTarget {
     /// A DDR4 channel behind one of the two IMCs.
     Ddr {
@@ -66,9 +65,7 @@ impl MemTarget {
     /// 0..6, EDCs 6..14.
     pub fn device_index(self) -> usize {
         match self {
-            MemTarget::Ddr { imc, chan } => {
-                imc as usize * DDR_CHANNELS_PER_IMC + chan as usize
-            }
+            MemTarget::Ddr { imc, chan } => imc as usize * DDR_CHANNELS_PER_IMC + chan as usize,
             MemTarget::Mcdram { edc } => NUM_IMCS * DDR_CHANNELS_PER_IMC + edc as usize,
         }
     }
@@ -83,7 +80,7 @@ impl MemTarget {
 pub const NUM_MEM_DEVICES: usize = NUM_IMCS * DDR_CHANNELS_PER_IMC + NUM_EDCS;
 
 /// Address map for one machine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressMap {
     cluster_mode: ClusterMode,
     memory_mode: MemoryMode,
@@ -114,7 +111,11 @@ impl AddressMap {
         let mcdram_cache = memory_mode.mcdram_cache_bytes(mcdram_bytes);
         // Quadrant/Hemisphere are software-transparent: only SNC modes split
         // the address space into per-cluster NUMA ranges.
-        let k = if cluster_mode.software_numa() { cluster_mode.num_clusters() } else { 1 };
+        let k = if cluster_mode.software_numa() {
+            cluster_mode.num_clusters()
+        } else {
+            1
+        };
 
         let mut nodes = Vec::new();
         let mut cursor = 0u64;
@@ -223,23 +224,34 @@ impl AddressMap {
             (NumaKind::Ddr, 1) => {
                 // Uniform over all six channels.
                 let ch = (h % 6) as u8;
-                MemTarget::Ddr { imc: ch / 3, chan: ch % 3 }
+                MemTarget::Ddr {
+                    imc: ch / 3,
+                    chan: ch % 3,
+                }
             }
             (NumaKind::Ddr, 2 | 4) if self.cluster_mode.software_numa() => {
                 // SNC: interleave over the three channels of the closest IMC.
                 let imc = self.imc_for_cluster(node.cluster);
-                MemTarget::Ddr { imc, chan: (h % 3) as u8 }
+                MemTarget::Ddr {
+                    imc,
+                    chan: (h % 3) as u8,
+                }
             }
             (NumaKind::Ddr, _) => {
                 // Quadrant/Hemisphere: uniform over all channels (the
                 // affinity shows up in the directory hash, not here).
                 let ch = (h % 6) as u8;
-                MemTarget::Ddr { imc: ch / 3, chan: ch % 3 }
+                MemTarget::Ddr {
+                    imc: ch / 3,
+                    chan: ch % 3,
+                }
             }
             (NumaKind::Mcdram, 1) => MemTarget::Mcdram { edc: (h % 8) as u8 },
             (NumaKind::Mcdram, _) if self.cluster_mode.software_numa() => {
                 let edcs = self.edcs_for_cluster(node.cluster);
-                MemTarget::Mcdram { edc: edcs[(h as usize) % edcs.len()] }
+                MemTarget::Mcdram {
+                    edc: edcs[(h as usize) % edcs.len()],
+                }
             }
             (NumaKind::Mcdram, _) => MemTarget::Mcdram { edc: (h % 8) as u8 },
         }
@@ -252,10 +264,7 @@ impl AddressMap {
         let line = paddr >> LINE_SHIFT;
         let h = splitmix64(line ^ 0xC0FF_EE00);
         if self.cluster_mode.software_numa() {
-            let cluster = self
-                .node_of(paddr)
-                .map(|n| n.cluster)
-                .unwrap_or(0);
+            let cluster = self.node_of(paddr).map(|n| n.cluster).unwrap_or(0);
             let edcs = self.edcs_for_cluster(cluster);
             edcs[(h as usize) % edcs.len()]
         } else {
@@ -373,7 +382,11 @@ mod tests {
     fn snc4_flat_has_eight_nodes() {
         let m = map(ClusterMode::Snc4, MemoryMode::Flat);
         assert_eq!(m.numa_nodes().len(), 8);
-        let ddr = m.numa_nodes().iter().filter(|n| n.kind == NumaKind::Ddr).count();
+        let ddr = m
+            .numa_nodes()
+            .iter()
+            .filter(|n| n.kind == NumaKind::Ddr)
+            .count();
         assert_eq!(ddr, 4);
         // Each cluster's two portions are contiguous (DDR then MCDRAM).
         for c in 0..4u8 {
@@ -481,7 +494,13 @@ mod tests {
     #[test]
     fn quadrant_homes_follow_memory_quadrant() {
         let topo = Topology::new(32, 7);
-        let m = AddressMap::new(&topo, ClusterMode::Quadrant, MemoryMode::Flat, 1024 * MB, 256 * MB);
+        let m = AddressMap::new(
+            &topo,
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+            1024 * MB,
+            256 * MB,
+        );
         // For MCDRAM lines the home quadrant must equal the EDC's quadrant.
         let r = m.region(NumaKind::Mcdram, 0).unwrap();
         for i in 0..2048u64 {

@@ -5,10 +5,8 @@
 //! (one Cache/Home Agent per tile) and, for SNC modes, in whether the
 //! resulting affinity is exposed to the OS as NUMA domains.
 
-use serde::{Deserialize, Serialize};
-
 /// Cluster (NUMA-exposure) mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusterMode {
     /// All-to-all: line addresses uniformly hashed across *all* directories.
     A2A,
@@ -62,6 +60,11 @@ impl ClusterMode {
         }
     }
 
+    /// Inverse of [`name`](Self::name), for decoding cached results.
+    pub fn from_name(name: &str) -> Option<ClusterMode> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// The paper notes SNC2 "is still experimental" and shows higher
     /// variance; the simulator widens its timing jitter accordingly.
     pub fn experimental(self) -> bool {
@@ -91,7 +94,10 @@ mod tests {
     #[test]
     fn software_numa_only_snc() {
         for m in ClusterMode::ALL {
-            assert_eq!(m.software_numa(), matches!(m, ClusterMode::Snc4 | ClusterMode::Snc2));
+            assert_eq!(
+                m.software_numa(),
+                matches!(m, ClusterMode::Snc4 | ClusterMode::Snc2)
+            );
         }
     }
 

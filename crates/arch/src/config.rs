@@ -6,7 +6,6 @@ use crate::cluster::ClusterMode;
 use crate::memmode::MemoryMode;
 use crate::timing::TimingParams;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 const MB: u64 = 1 << 20;
 const GB: u64 = 1 << 30;
@@ -18,7 +17,7 @@ const GB: u64 = 1 << 30;
 /// unscaled, and every capacity-sensitive experiment scales its working sets
 /// by the same factor (documented in DESIGN.md / EXPERIMENTS.md). Use
 /// [`MachineConfig::with_real_capacities`] for the full 96 GB + 16 GB machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Directory-affinity (NUMA exposure) mode.
     pub cluster: ClusterMode,
@@ -84,7 +83,13 @@ impl MachineConfig {
 
     /// Build the address map for this configuration.
     pub fn address_map(&self, topo: &Topology) -> AddressMap {
-        AddressMap::new(topo, self.cluster, self.memory, self.ddr_bytes, self.mcdram_bytes)
+        AddressMap::new(
+            topo,
+            self.cluster,
+            self.memory,
+            self.ddr_bytes,
+            self.mcdram_bytes,
+        )
     }
 
     /// Number of active cores.
@@ -111,8 +116,7 @@ mod tests {
     fn fifteen_configs() {
         let all = MachineConfig::all_fifteen();
         assert_eq!(all.len(), 15);
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 15, "labels must be distinct");
     }
 
@@ -126,8 +130,8 @@ mod tests {
 
     #[test]
     fn real_capacities() {
-        let c = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache)
-            .with_real_capacities();
+        let c =
+            MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache).with_real_capacities();
         assert_eq!(c.ddr_bytes, 96 * GB);
         assert_eq!(c.mcdram_bytes, 16 * GB);
     }

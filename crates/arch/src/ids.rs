@@ -4,23 +4,21 @@
 //! (HyperThreads). Identifiers are dense indices over the *active* entities
 //! (yield-disabled tiles are excluded from the `TileId` space).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of an active tile (0-based, dense over the active tiles only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TileId(pub u16);
 
 /// Index of a core. Core `c` lives on tile `c / 2`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u16);
 
 /// Index of a hardware thread. HW thread `h` lives on core `h / 4` when all
 /// four HyperThreads are exposed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HwThreadId(pub u16);
 
 /// One of the (up to) four quadrants a tile belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QuadrantId(pub u8);
 
 /// Number of cores per tile on KNL.
@@ -43,7 +41,10 @@ impl CoreId {
 impl TileId {
     /// The two cores on this tile.
     pub fn cores(self) -> [CoreId; 2] {
-        [CoreId(self.0 * CORES_PER_TILE), CoreId(self.0 * CORES_PER_TILE + 1)]
+        [
+            CoreId(self.0 * CORES_PER_TILE),
+            CoreId(self.0 * CORES_PER_TILE + 1),
+        ]
     }
 }
 

@@ -24,6 +24,7 @@ pub mod cluster;
 pub mod config;
 pub mod ids;
 pub mod memmode;
+pub mod rng;
 pub mod schedule;
 pub mod timing;
 pub mod topology;
@@ -33,6 +34,7 @@ pub use cluster::ClusterMode;
 pub use config::MachineConfig;
 pub use ids::{CoreId, HwThreadId, QuadrantId, TileId};
 pub use memmode::{HybridSplit, MemoryMode};
+pub use rng::SplitMixRng;
 pub use schedule::Schedule;
 pub use timing::TimingParams;
 pub use topology::{Stop, StopKind, Topology};

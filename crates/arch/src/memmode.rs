@@ -1,10 +1,8 @@
 //! The three memory modes of the on-package MCDRAM (§II-C of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Cache/flat split of the hybrid mode. KNL offers 4 GB or 8 GB of the 16 GB
 /// MCDRAM as cache (i.e. 1/4 or 1/2 of capacity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HybridSplit {
     /// 4 GB cache + 12 GB flat (25% cache).
     Quarter,
@@ -23,7 +21,7 @@ impl HybridSplit {
 }
 
 /// Memory mode of the MCDRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryMode {
     /// Flat: DDR and MCDRAM form one address space; MCDRAM appears as a
     /// separate NUMA node above the DDR range.
@@ -37,8 +35,11 @@ pub enum MemoryMode {
 impl MemoryMode {
     /// The three canonical modes (hybrid represented by its Half split), in
     /// the order used when enumerating the 15 configurations.
-    pub const CANONICAL: [MemoryMode; 3] =
-        [MemoryMode::Flat, MemoryMode::Cache, MemoryMode::Hybrid(HybridSplit::Half)];
+    pub const CANONICAL: [MemoryMode; 3] = [
+        MemoryMode::Flat,
+        MemoryMode::Cache,
+        MemoryMode::Hybrid(HybridSplit::Half),
+    ];
 
     /// Bytes of MCDRAM operating as memory-side cache, given total capacity.
     pub fn mcdram_cache_bytes(self, mcdram_total: u64) -> u64 {
@@ -64,6 +65,17 @@ impl MemoryMode {
     /// Whether any MCDRAM acts as memory-side cache.
     pub fn has_mcdram_cache(self) -> bool {
         !matches!(self, MemoryMode::Flat)
+    }
+
+    /// Inverse of [`name`](Self::name), for decoding cached results.
+    pub fn from_name(name: &str) -> Option<MemoryMode> {
+        match name {
+            "flat" => Some(MemoryMode::Flat),
+            "cache" => Some(MemoryMode::Cache),
+            "hybrid25" => Some(MemoryMode::Hybrid(HybridSplit::Quarter)),
+            "hybrid50" => Some(MemoryMode::Hybrid(HybridSplit::Half)),
+            _ => None,
+        }
     }
 
     /// Short name as used in the paper.

@@ -9,10 +9,9 @@
 //!   (§V-A, Fig. 9a) — all four HyperThreads of core 0, then core 1, ...
 
 use crate::ids::{CoreId, HwThreadId, THREADS_PER_CORE};
-use serde::{Deserialize, Serialize};
 
 /// A thread→hardware-thread placement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Schedule {
     /// One thread per tile first, then second cores, then HyperThreads.
     Scatter,
@@ -35,6 +34,11 @@ impl Schedule {
         }
     }
 
+    /// Inverse of [`name`](Self::name), for decoding cached results.
+    pub fn from_name(name: &str) -> Option<Schedule> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Hardware thread for logical thread `i` on a machine with `num_cores`
     /// active cores (two per tile, four HyperThreads per core).
     ///
@@ -42,7 +46,10 @@ impl Schedule {
     /// Panics if `i >= num_cores * 4` (no hardware thread left).
     pub fn place(self, i: usize, num_cores: usize) -> HwThreadId {
         let capacity = num_cores * THREADS_PER_CORE as usize;
-        assert!(i < capacity, "thread {i} exceeds {capacity} hardware threads");
+        assert!(
+            i < capacity,
+            "thread {i} exceeds {capacity} hardware threads"
+        );
         let num_tiles = num_cores / 2;
         match self {
             Schedule::Scatter => {

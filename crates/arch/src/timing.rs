@@ -10,10 +10,8 @@
 //! All times are integer picoseconds; service rates are picoseconds per
 //! 64-byte line.
 
-use serde::{Deserialize, Serialize};
-
 /// Primitive timing parameters (picoseconds / ps-per-line).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingParams {
     // ---- core ----
     /// Core clock period (1.3 GHz ⇒ ~769 ps).

@@ -21,7 +21,6 @@
 
 use crate::cluster::ClusterMode;
 use crate::ids::{CoreId, QuadrantId, TileId};
-use serde::{Deserialize, Serialize};
 
 /// Number of grid columns.
 pub const GRID_COLS: i32 = 6;
@@ -37,7 +36,7 @@ pub const NUM_IMCS: usize = 2;
 pub const DDR_CHANNELS_PER_IMC: usize = 3;
 
 /// What sits at a mesh stop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopKind {
     /// An active tile (two cores + 1 MB shared L2 + CHA).
     Tile(TileId),
@@ -54,7 +53,7 @@ pub enum StopKind {
 }
 
 /// One stop of the mesh, at grid position `(x, y)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stop {
     /// What sits at the stop.
     pub kind: StopKind,
@@ -65,7 +64,7 @@ pub struct Stop {
 }
 
 /// The instantiated die topology for a given number of active tiles.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     stops: Vec<Stop>,
     /// Grid position of each active tile, indexed by `TileId`.
@@ -95,9 +94,17 @@ impl Topology {
         let mut next_tile = 0u16;
         for (slot_idx, &(x, y)) in slots.iter().enumerate() {
             if disabled.contains(&slot_idx) {
-                stops.push(Stop { kind: StopKind::DisabledTile, x, y });
+                stops.push(Stop {
+                    kind: StopKind::DisabledTile,
+                    x,
+                    y,
+                });
             } else {
-                stops.push(Stop { kind: StopKind::Tile(TileId(next_tile)), x, y });
+                stops.push(Stop {
+                    kind: StopKind::Tile(TileId(next_tile)),
+                    x,
+                    y,
+                });
                 tile_pos.push((x, y));
                 next_tile += 1;
             }
@@ -106,23 +113,53 @@ impl Topology {
         // EDCs: four on the top row (columns 0,1,4,5), four on the bottom.
         let mut edc_pos = Vec::with_capacity(NUM_EDCS);
         for (i, &x) in [0, 1, 4, 5].iter().enumerate() {
-            stops.push(Stop { kind: StopKind::Edc(i as u8), x, y: 0 });
+            stops.push(Stop {
+                kind: StopKind::Edc(i as u8),
+                x,
+                y: 0,
+            });
             edc_pos.push((x, 0));
         }
         for (i, &x) in [0, 1, 4, 5].iter().enumerate() {
             let id = (i + 4) as u8;
-            stops.push(Stop { kind: StopKind::Edc(id), x, y: GRID_ROWS - 1 });
+            stops.push(Stop {
+                kind: StopKind::Edc(id),
+                x,
+                y: GRID_ROWS - 1,
+            });
             edc_pos.push((x, GRID_ROWS - 1));
         }
         // IMCs flank row 4 at the outer columns.
         let imc_pos = vec![(0, 4), (GRID_COLS - 1, 4)];
-        stops.push(Stop { kind: StopKind::Imc(0), x: 0, y: 4 });
-        stops.push(Stop { kind: StopKind::Imc(1), x: GRID_COLS - 1, y: 4 });
+        stops.push(Stop {
+            kind: StopKind::Imc(0),
+            x: 0,
+            y: 4,
+        });
+        stops.push(Stop {
+            kind: StopKind::Imc(1),
+            x: GRID_COLS - 1,
+            y: 4,
+        });
         // IIO top-middle, Misc bottom-middle.
-        stops.push(Stop { kind: StopKind::Iio, x: 2, y: 0 });
-        stops.push(Stop { kind: StopKind::Misc, x: 2, y: GRID_ROWS - 1 });
+        stops.push(Stop {
+            kind: StopKind::Iio,
+            x: 2,
+            y: 0,
+        });
+        stops.push(Stop {
+            kind: StopKind::Misc,
+            x: 2,
+            y: GRID_ROWS - 1,
+        });
 
-        Topology { stops, tile_pos, edc_pos, imc_pos, active_tiles }
+        Topology {
+            stops,
+            tile_pos,
+            edc_pos,
+            imc_pos,
+            active_tiles,
+        }
     }
 
     /// Number of active tiles.
@@ -292,8 +329,16 @@ mod tests {
     #[test]
     fn all_stops_present() {
         let t = topo();
-        let edcs = t.stops().iter().filter(|s| matches!(s.kind, StopKind::Edc(_))).count();
-        let imcs = t.stops().iter().filter(|s| matches!(s.kind, StopKind::Imc(_))).count();
+        let edcs = t
+            .stops()
+            .iter()
+            .filter(|s| matches!(s.kind, StopKind::Edc(_)))
+            .count();
+        let imcs = t
+            .stops()
+            .iter()
+            .filter(|s| matches!(s.kind, StopKind::Imc(_)))
+            .count();
         assert_eq!(edcs, 8);
         assert_eq!(imcs, 2);
         assert!(t.stops().iter().any(|s| matches!(s.kind, StopKind::Iio)));
@@ -377,7 +422,10 @@ mod tests {
     fn full_die_has_no_disabled() {
         let t = Topology::new(38, 0);
         assert_eq!(t.num_tiles(), 38);
-        assert!(!t.stops().iter().any(|s| matches!(s.kind, StopKind::DisabledTile)));
+        assert!(!t
+            .stops()
+            .iter()
+            .any(|s| matches!(s.kind, StopKind::DisabledTile)));
     }
 
     #[test]

@@ -1,108 +1,125 @@
 //! Property tests on the architecture layer: address maps, schedules, and
 //! topology invariants across random configurations.
+//!
+//! Randomized but deterministic: cases are drawn from [`SplitMixRng`] with
+//! fixed seeds (the workspace builds offline with no external crates, so
+//! these are hand-rolled property loops rather than `proptest` macros).
 
 use knl_arch::{
-    ClusterMode, HybridSplit, MachineConfig, MemoryMode, NumaKind, Schedule, TileId, Topology,
+    ClusterMode, HybridSplit, MachineConfig, MemoryMode, NumaKind, Schedule, SplitMixRng, TileId,
+    Topology,
 };
-use proptest::prelude::*;
 
-fn arb_cluster() -> impl Strategy<Value = ClusterMode> {
-    prop_oneof![
-        Just(ClusterMode::A2A),
-        Just(ClusterMode::Quadrant),
-        Just(ClusterMode::Hemisphere),
-        Just(ClusterMode::Snc4),
-        Just(ClusterMode::Snc2),
-    ]
+const CASES: u64 = 64;
+
+fn arb_cluster(rng: &mut SplitMixRng) -> ClusterMode {
+    ClusterMode::ALL[rng.range_usize(0, ClusterMode::ALL.len())]
 }
 
-fn arb_memory() -> impl Strategy<Value = MemoryMode> {
-    prop_oneof![
-        Just(MemoryMode::Flat),
-        Just(MemoryMode::Cache),
-        Just(MemoryMode::Hybrid(HybridSplit::Quarter)),
-        Just(MemoryMode::Hybrid(HybridSplit::Half)),
-    ]
+fn arb_memory(rng: &mut SplitMixRng) -> MemoryMode {
+    [
+        MemoryMode::Flat,
+        MemoryMode::Cache,
+        MemoryMode::Hybrid(HybridSplit::Quarter),
+        MemoryMode::Hybrid(HybridSplit::Half),
+    ][rng.range_usize(0, 4)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every address in range resolves deterministically to a device and a
-    /// home directory within the active tiles, in every mode combination.
-    #[test]
-    fn address_map_total_and_deterministic(
-        cm in arb_cluster(),
-        mm in arb_memory(),
-        offsets in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// Every address in range resolves deterministically to a device and a
+/// home directory within the active tiles, in every mode combination.
+#[test]
+fn address_map_total_and_deterministic() {
+    let mut rng = SplitMixRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let cm = arb_cluster(&mut rng);
+        let mm = arb_memory(&mut rng);
         let cfg = MachineConfig::knl7210(cm, mm);
         let topo = cfg.topology();
         let map = cfg.address_map(&topo);
         let span = map.addressable_bytes();
-        for off in offsets {
+        for _ in 0..16 {
+            let off = rng.next_f64();
             let addr = ((span as f64 * off) as u64).min(span - 64) & !63;
             let t1 = map.mem_target(addr);
             let t2 = map.mem_target(addr);
-            prop_assert_eq!(t1, t2);
+            assert_eq!(t1, t2, "{cm:?}/{mm:?} addr {addr:#x}");
             let h1 = map.home_directory(addr);
             let h2 = map.home_directory(addr);
-            prop_assert_eq!(h1, h2);
-            prop_assert!((h1.0 as usize) < cfg.active_tiles);
+            assert_eq!(h1, h2);
+            assert!((h1.0 as usize) < cfg.active_tiles);
         }
     }
+}
 
-    /// SNC cluster-locality: lines in a cluster's range are homed in that
-    /// cluster's tiles.
-    #[test]
-    fn snc4_homes_stay_in_cluster(cluster in 0u8..4, frac in 0.0f64..1.0) {
-        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
-        let topo = cfg.topology();
-        let map = cfg.address_map(&topo);
+/// SNC cluster-locality: lines in a cluster's range are homed in that
+/// cluster's tiles.
+#[test]
+fn snc4_homes_stay_in_cluster() {
+    let mut rng = SplitMixRng::seed_from_u64(0xA002);
+    let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
+    let topo = cfg.topology();
+    let map = cfg.address_map(&topo);
+    for _ in 0..CASES {
+        let cluster = rng.range_u32(0, 4) as u8;
+        let frac = rng.next_f64();
         let r = map.region(NumaKind::Mcdram, cluster).unwrap();
         let addr = (r.start + ((r.end - r.start - 64) as f64 * frac) as u64) & !63;
         let home = map.home_directory(addr);
-        prop_assert_eq!(
+        assert_eq!(
             topo.tile_cluster(home, ClusterMode::Snc4),
             cluster,
-            "MCDRAM line homed outside its cluster"
+            "MCDRAM line {addr:#x} homed outside its cluster"
         );
     }
+}
 
-    /// Schedules are injective over hardware threads for any thread count
-    /// that fits the machine.
-    #[test]
-    fn schedules_injective(n in 1usize..=256) {
+/// Schedules are injective over hardware threads for any thread count
+/// that fits the machine.
+#[test]
+fn schedules_injective() {
+    let mut rng = SplitMixRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 257);
         for sched in Schedule::ALL {
             let mut seen = std::collections::HashSet::new();
             for i in 0..n {
-                prop_assert!(seen.insert(sched.place(i, 64)), "{sched} reuses a hw thread");
+                assert!(
+                    seen.insert(sched.place(i, 64)),
+                    "{sched} reuses a hw thread (n={n})"
+                );
             }
         }
     }
+}
 
-    /// Any active-tile count up to 38 yields a consistent topology:
-    /// quadrants partition the tiles and hop distances are a metric.
-    #[test]
-    fn topology_consistent(tiles in 4usize..=38, seed in 0u64..500) {
+/// Any active-tile count up to 38 yields a consistent topology:
+/// quadrants partition the tiles and hop distances are a metric.
+#[test]
+fn topology_consistent() {
+    let mut rng = SplitMixRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let tiles = rng.range_usize(4, 39);
+        let seed = rng.range_u64(0, 500);
         let topo = Topology::new(tiles, seed);
-        prop_assert_eq!(topo.num_tiles(), tiles);
+        assert_eq!(topo.num_tiles(), tiles);
         let mut per_quadrant = [0usize; 4];
         for t in 0..tiles as u16 {
             per_quadrant[topo.tile_quadrant(TileId(t)).0 as usize] += 1;
         }
-        prop_assert_eq!(per_quadrant.iter().sum::<usize>(), tiles);
+        assert_eq!(per_quadrant.iter().sum::<usize>(), tiles);
         // Metric properties on a random triple.
         let a = TileId((seed % tiles as u64) as u16);
         let b = TileId(((seed / 7) % tiles as u64) as u16);
         let c = TileId(((seed / 49) % tiles as u64) as u16);
-        prop_assert_eq!(topo.tile_hops(a, b), topo.tile_hops(b, a));
-        prop_assert!(topo.tile_hops(a, c) <= topo.tile_hops(a, b) + topo.tile_hops(b, c));
+        assert_eq!(topo.tile_hops(a, b), topo.tile_hops(b, a));
+        assert!(topo.tile_hops(a, c) <= topo.tile_hops(a, b) + topo.tile_hops(b, c));
     }
+}
 
-    /// DDR channel interleave is near-uniform in the transparent modes.
-    #[test]
-    fn ddr_interleave_uniform(cm in prop_oneof![Just(ClusterMode::A2A), Just(ClusterMode::Quadrant)]) {
+/// DDR channel interleave is near-uniform in the transparent modes.
+#[test]
+fn ddr_interleave_uniform() {
+    for cm in [ClusterMode::A2A, ClusterMode::Quadrant] {
         let cfg = MachineConfig::knl7210(cm, MemoryMode::Flat);
         let topo = cfg.topology();
         let map = cfg.address_map(&topo);
@@ -115,7 +132,10 @@ proptest! {
         }
         for (ch, &c) in counts.iter().enumerate() {
             let frac = c as f64 / n as f64;
-            prop_assert!((frac - 1.0 / 6.0).abs() < 0.03, "channel {ch}: {frac}");
+            assert!(
+                (frac - 1.0 / 6.0).abs() < 0.03,
+                "{cm:?} channel {ch}: {frac}"
+            );
         }
     }
 }

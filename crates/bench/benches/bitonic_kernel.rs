@@ -1,57 +1,50 @@
 //! Microbenchmarks of the sort kernels: the 16-element sorting network,
 //! the 16+16 bitonic merger, and the vectorized run merge.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knl_arch::SplitMixRng;
+use knl_bench::microbench::case;
 use knl_sort::{bitonic_merge16, merge_runs, sort16};
-use rand::{Rng, SeedableRng};
 
-fn bench_networks(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let mut g = c.benchmark_group("network");
-    g.throughput(Throughput::Elements(16));
-    g.bench_function("sort16", |b| {
-        let input: [u32; 16] = std::array::from_fn(|_| rng.gen());
-        b.iter(|| {
-            let mut v = std::hint::black_box(input);
-            sort16(&mut v);
-            v
-        })
-    });
-    g.throughput(Throughput::Elements(32));
-    g.bench_function("bitonic_merge16", |b| {
-        let mut lo: [u32; 16] = std::array::from_fn(|_| rng.gen());
-        let mut hi: [u32; 16] = std::array::from_fn(|_| rng.gen());
-        lo.sort_unstable();
-        hi.sort_unstable();
-        b.iter(|| {
-            let mut a = std::hint::black_box(lo);
-            let mut b_ = std::hint::black_box(hi);
-            bitonic_merge16(&mut a, &mut b_);
-            (a, b_)
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut rng = SplitMixRng::seed_from_u64(1);
 
-fn bench_merge_runs(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let mut g = c.benchmark_group("merge_runs");
+    let input: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
+    case("network", "sort16", Some(16 * 4), || {
+        let mut v = std::hint::black_box(input);
+        sort16(&mut v);
+        v
+    });
+
+    let mut lo: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
+    let mut hi: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
+    lo.sort_unstable();
+    hi.sort_unstable();
+    case("network", "bitonic_merge16", Some(32 * 4), || {
+        let mut a = std::hint::black_box(lo);
+        let mut b_ = std::hint::black_box(hi);
+        bitonic_merge16(&mut a, &mut b_);
+        (a, b_)
+    });
+
+    let mut rng = SplitMixRng::seed_from_u64(2);
     for n in [1usize << 10, 1 << 14, 1 << 18] {
-        let mut a: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-        let mut b_: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+        let mut a: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let mut b_: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         a.sort_unstable();
         b_.sort_unstable();
-        g.throughput(Throughput::Bytes((2 * n * 4) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            let mut out = vec![0u32; 2 * n];
-            bench.iter(|| {
-                merge_runs(std::hint::black_box(&a), std::hint::black_box(&b_), &mut out);
+        let mut out = vec![0u32; 2 * n];
+        case(
+            "merge_runs",
+            &n.to_string(),
+            Some((2 * n * 4) as u64),
+            || {
+                merge_runs(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b_),
+                    &mut out,
+                );
                 out[0]
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_networks, bench_merge_runs);
-criterion_main!(benches);

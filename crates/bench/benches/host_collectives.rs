@@ -5,7 +5,7 @@
 //! reflect scheduler behaviour; the KNL-scale comparison lives in the
 //! fig6–fig8 binaries on the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use knl_bench::microbench::report;
 use knl_collectives::plan::RankPlan;
 use knl_collectives::{
     CentralReduce, CentralizedBarrier, DisseminationBarrier, FlatBroadcast, Team, TreeBroadcast,
@@ -15,98 +15,92 @@ use knl_core::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
 use std::sync::Arc;
 
 const ITERS: usize = 200;
+const SAMPLES: usize = 9;
 
 fn ranks() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 4)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 4)
 }
 
-fn bench_barriers(c: &mut Criterion) {
-    let n = ranks();
-    let model = CapabilityModel::paper_reference();
-    let team = Team::new(n);
-    let mut g = c.benchmark_group(format!("barrier_{n}ranks"));
-    g.sample_size(10);
+/// Median ns per collective operation over `SAMPLES` timed team runs.
+fn time_collective(team: &Team, f: impl Fn(usize, usize) + Send + Sync + Clone + 'static) -> f64 {
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| team.time(ITERS, f.clone()).as_nanos() as f64 / ITERS as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
 
-    let plan = optimize_barrier(&model, n);
+fn bench_barriers(n: usize, model: &CapabilityModel, team: &Team) {
+    let group = format!("barrier_{n}ranks");
+    let plan = optimize_barrier(model, n);
+
     let tuned = Arc::new(DisseminationBarrier::new(n, plan.m));
-    g.bench_function("dissemination_tuned", |b| {
-        b.iter_custom(|iters| {
-            let bar = Arc::clone(&tuned);
-            team.time(iters as usize * ITERS, move |rank, _| bar.wait(rank)) / ITERS as u32
-        })
-    });
+    let bar = Arc::clone(&tuned);
+    report(
+        &group,
+        "dissemination_tuned",
+        time_collective(team, move |rank, _| bar.wait(rank)),
+        None,
+    );
 
     let central = Arc::new(CentralizedBarrier::new(n));
-    g.bench_function("centralized_openmp_like", |b| {
-        b.iter_custom(|iters| {
-            let bar = Arc::clone(&central);
-            team.time(iters as usize * ITERS, move |rank, _| bar.wait(rank)) / ITERS as u32
-        })
-    });
-    g.finish();
+    let bar = Arc::clone(&central);
+    report(
+        &group,
+        "centralized_openmp_like",
+        time_collective(team, move |rank, _| bar.wait(rank)),
+        None,
+    );
 }
 
-fn bench_broadcast(c: &mut Criterion) {
-    let n = ranks();
-    let model = CapabilityModel::paper_reference();
-    let team = Team::new(n);
-    let mut g = c.benchmark_group(format!("broadcast_{n}ranks"));
-    g.sample_size(10);
+fn bench_broadcast(n: usize, model: &CapabilityModel, team: &Team) {
+    let group = format!("broadcast_{n}ranks");
 
     let tree = Arc::new(TreeBroadcast::new(RankPlan::direct(
-        &optimize_tree(&model, n, TreeKind::Broadcast).tree,
+        &optimize_tree(model, n, TreeKind::Broadcast).tree,
     )));
-    g.bench_function("tree_tuned", |b| {
-        b.iter_custom(|iters| {
-            let t = Arc::clone(&tree);
-            team.time(iters as usize * ITERS, move |rank, it| {
-                t.run(rank, (rank == 0).then_some([it as u64; 7]));
-            }) / ITERS as u32
-        })
+    let t = Arc::clone(&tree);
+    let ns = time_collective(team, move |rank, it| {
+        t.run(rank, (rank == 0).then_some([it as u64; 7]));
     });
+    report(&group, "tree_tuned", ns, None);
 
     let flat = Arc::new(FlatBroadcast::new(n));
-    g.bench_function("flat_openmp_like", |b| {
-        b.iter_custom(|iters| {
-            let f = Arc::clone(&flat);
-            team.time(iters as usize * ITERS, move |rank, it| {
-                f.run(rank, (rank == 0).then_some([it as u64; 7]));
-            }) / ITERS as u32
-        })
+    let f = Arc::clone(&flat);
+    let ns = time_collective(team, move |rank, it| {
+        f.run(rank, (rank == 0).then_some([it as u64; 7]));
     });
-    g.finish();
+    report(&group, "flat_openmp_like", ns, None);
 }
 
-fn bench_reduce(c: &mut Criterion) {
+fn bench_reduce(n: usize, model: &CapabilityModel, team: &Team) {
+    let group = format!("reduce_{n}ranks");
+
+    let tree = Arc::new(TreeReduce::new(RankPlan::direct(
+        &optimize_tree(model, n, TreeKind::Reduce).tree,
+    )));
+    let t = Arc::clone(&tree);
+    let ns = time_collective(team, move |rank, it| {
+        t.run(rank, rank as u64 + it as u64);
+    });
+    report(&group, "tree_tuned", ns, None);
+
+    let central = Arc::new(CentralReduce::new(n));
+    let r = Arc::clone(&central);
+    let ns = time_collective(team, move |rank, it| {
+        r.run(rank, rank as u64 + it as u64);
+    });
+    report(&group, "central_openmp_like", ns, None);
+}
+
+fn main() {
     let n = ranks();
     let model = CapabilityModel::paper_reference();
     let team = Team::new(n);
-    let mut g = c.benchmark_group(format!("reduce_{n}ranks"));
-    g.sample_size(10);
-
-    let tree = Arc::new(TreeReduce::new(RankPlan::direct(
-        &optimize_tree(&model, n, TreeKind::Reduce).tree,
-    )));
-    g.bench_function("tree_tuned", |b| {
-        b.iter_custom(|iters| {
-            let t = Arc::clone(&tree);
-            team.time(iters as usize * ITERS, move |rank, it| {
-                t.run(rank, rank as u64 + it as u64);
-            }) / ITERS as u32
-        })
-    });
-
-    let central = Arc::new(CentralReduce::new(n));
-    g.bench_function("central_openmp_like", |b| {
-        b.iter_custom(|iters| {
-            let r = Arc::clone(&central);
-            team.time(iters as usize * ITERS, move |rank, it| {
-                r.run(rank, rank as u64 + it as u64);
-            }) / ITERS as u32
-        })
-    });
-    g.finish();
+    bench_barriers(n, &model, &team);
+    bench_broadcast(n, &model, &team);
+    bench_reduce(n, &model, &team);
 }
-
-criterion_group!(benches, bench_barriers, bench_broadcast, bench_reduce);
-criterion_main!(benches);

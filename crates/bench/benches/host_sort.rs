@@ -1,66 +1,50 @@
 //! Host-thread sort benchmarks: the paper's bitonic merge sort vs the
 //! standard library sort, across input sizes and thread counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use knl_sort::{parallel_merge_sort, parallel::sort_run};
-use rand::{Rng, SeedableRng};
+use knl_arch::SplitMixRng;
+use knl_bench::microbench::case;
+use knl_sort::{parallel::sort_run, parallel_merge_sort};
 
-fn bench_parallel_sort(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut g = c.benchmark_group("parallel_merge_sort");
-    g.sample_size(10);
+fn main() {
+    let mut rng = SplitMixRng::seed_from_u64(3);
     for n in [1usize << 16, 1 << 20] {
-        let data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-        g.throughput(Throughput::Bytes((n * 4) as u64));
+        let data: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let bytes = Some((n * 4) as u64);
         for threads in [1usize, 2, 4] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{threads}thr"), n),
-                &data,
-                |b, data| {
-                    b.iter_batched(
-                        || data.clone(),
-                        |mut v| {
-                            parallel_merge_sort(&mut v, threads);
-                            v
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
+            case(
+                "parallel_merge_sort",
+                &format!("{threads}thr/{n}"),
+                bytes,
+                || {
+                    let mut v = data.clone();
+                    parallel_merge_sort(&mut v, threads);
+                    v
                 },
             );
         }
-        g.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &data, |b, data| {
-            b.iter_batched(
-                || data.clone(),
-                |mut v| {
-                    v.sort_unstable();
-                    v
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
-    }
-    g.finish();
-}
-
-fn bench_sequential_run(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let mut g = c.benchmark_group("sort_run");
-    g.sample_size(20);
-    let n = 1usize << 16;
-    let data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-    g.throughput(Throughput::Bytes((n * 4) as u64));
-    g.bench_function("bitonic_mergesort_64k", |b| {
-        b.iter_batched(
-            || data.clone(),
-            |mut v| {
-                sort_run(&mut v);
+        case(
+            "parallel_merge_sort",
+            &format!("std_sort_unstable/{n}"),
+            bytes,
+            || {
+                let mut v = data.clone();
+                v.sort_unstable();
                 v
             },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    g.finish();
-}
+        );
+    }
 
-criterion_group!(benches, bench_parallel_sort, bench_sequential_run);
-criterion_main!(benches);
+    let mut rng = SplitMixRng::seed_from_u64(4);
+    let n = 1usize << 16;
+    let data: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    case(
+        "sort_run",
+        "bitonic_mergesort_64k",
+        Some((n * 4) as u64),
+        || {
+            let mut v = data.clone();
+            sort_run(&mut v);
+            v
+        },
+    );
+}

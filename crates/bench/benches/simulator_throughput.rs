@@ -2,33 +2,32 @@
 //! second of host time (guards against regressions that would make the
 //! paper-scale sweeps impractical).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
+use knl_bench::microbench::case;
 use knl_sim::{AccessKind, Machine, Op, Program, Runner, StreamKind};
 
 fn machine() -> Machine {
-    Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat))
+    Machine::new(MachineConfig::knl7210(
+        ClusterMode::Quadrant,
+        MemoryMode::Flat,
+    ))
 }
 
-fn bench_single_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_access");
-    g.throughput(Throughput::Elements(1));
-
-    g.bench_function("l1_hit", |b| {
+fn main() {
+    {
         let mut m = machine();
-        let out = m.access(CoreId(0), 4096, AccessKind::Read, 0);
-        let mut now = out.complete;
-        b.iter(|| {
+        let mut now = m.access(CoreId(0), 4096, AccessKind::Read, 0).complete;
+        case("sim_access", "l1_hit", None, || {
             now = m.access(CoreId(0), 4096, AccessKind::Read, now).complete;
             now
-        })
-    });
+        });
+    }
 
-    g.bench_function("memory_miss", |b| {
+    {
         let mut m = machine();
         let mut addr = 1u64 << 22;
         let mut now = 0;
-        b.iter(|| {
+        case("sim_access", "memory_miss", None, || {
             addr += 4096;
             if addr > (1 << 29) {
                 addr = 1 << 22;
@@ -36,52 +35,47 @@ fn bench_single_access(c: &mut Criterion) {
             }
             now = m.access(CoreId(0), addr, AccessKind::Read, now).complete;
             now
-        })
-    });
+        });
+    }
 
-    g.bench_function("remote_transfer", |b| {
+    {
         let mut m = machine();
         let mut now = 0;
         let mut flip = false;
-        b.iter(|| {
+        case("sim_access", "remote_transfer", None, || {
             // Ping-pong one line between two tiles: every access is a
             // remote ownership transfer.
             let core = if flip { CoreId(0) } else { CoreId(30) };
             flip = !flip;
             now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
             now
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_streaming(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_stream");
-    g.sample_size(10);
-    let lines = 64 * 1024u64;
-    g.throughput(Throughput::Elements(lines * 8));
-    g.bench_function("8_threads_triad", |b| {
-        b.iter(|| {
-            let mut m = machine();
-            let progs: Vec<Program> = (0..8usize)
-                .map(|i| {
-                    let mut p = Program::new(Schedule::FillTiles.place(i, 64));
-                    p.push(Op::Stream {
-                        kind: StreamKind::Triad,
-                        a: (i as u64) << 24,
-                        b: (i as u64) << 24 | 1 << 23,
-                        c: (i as u64) << 24 | 1 << 22,
-                        lines,
-                        vectorized: true,
-                    });
-                    p
-                })
-                .collect();
-            Runner::new(&mut m, progs).run().end_time
-        })
-    });
-    g.finish();
+    {
+        let lines = 64 * 1024u64;
+        case(
+            "sim_stream",
+            "8_threads_triad",
+            Some(lines * 8 * 64),
+            || {
+                let mut m = machine();
+                let progs: Vec<Program> = (0..8usize)
+                    .map(|i| {
+                        let mut p = Program::new(Schedule::FillTiles.place(i, 64));
+                        p.push(Op::Stream {
+                            kind: StreamKind::Triad,
+                            a: (i as u64) << 24,
+                            b: (i as u64) << 24 | 1 << 23,
+                            c: (i as u64) << 24 | 1 << 22,
+                            lines,
+                            vectorized: true,
+                        });
+                        p
+                    })
+                    .collect();
+                Runner::new(&mut m, progs).run().end_time
+            },
+        );
+    }
 }
-
-criterion_group!(benches, bench_single_access, bench_streaming);
-criterion_main!(benches);

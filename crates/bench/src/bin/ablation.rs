@@ -2,34 +2,43 @@
 //! switched off/varied and the affected capability re-measured, showing
 //! which mechanism *produces* which phenomenon (rather than the phenomenon
 //! being baked in).
+//!
+//! Every ablation row builds its own `Machine` from a varied config, so the
+//! rows are independent jobs and run under `--jobs` workers; rows are merged
+//! back in parameter order, keeping the output bit-identical to `--jobs 1`.
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::output::{f1, Table};
+use knl_bench::runconf::RunConf;
+use knl_bench::sweep::executor;
 use knl_benchsuite::congestion::{congestion, congestion_with_pairs};
 use knl_benchsuite::contention::contention;
 use knl_benchsuite::membw::{bandwidth_sample, Target};
-use knl_benchsuite::SuiteParams;
+use knl_benchsuite::{SuiteParams, SweepExecutor};
 use knl_core::tree_opt::{optimize_tree, tree_cost, TreeKind};
 use knl_core::CapabilityModel;
 use knl_sim::{Machine, StreamKind};
 use knl_stats::fit_linear;
 
 fn main() {
-    ablate_directory_serialization();
-    ablate_ddr_write_mixing();
-    ablate_mlp_caps();
+    let conf = RunConf::from_args();
+    let exec = executor(&conf);
+    ablate_directory_serialization(&exec);
+    ablate_ddr_write_mixing(&exec);
+    ablate_mlp_caps(&exec);
     ablate_tree_staggering();
-    ablate_mesh_occupancy();
+    ablate_mesh_occupancy(&exec);
 }
 
 /// Ablation 1: the per-line serialization at the home CHA is what produces
 /// the paper's contention law T_C(N) = α + β·N. Turning it off flattens β.
-fn ablate_directory_serialization() {
+fn ablate_directory_serialization(exec: &SweepExecutor) {
     let mut table = Table::new(
         "Ablation — CHA per-line serialization produces the contention law",
         &["cha_line_serialize", "α [ns]", "β [ns/thread]", "r²"],
     );
-    for serialize_ps in [34_000u64, 17_000, 0] {
+    let variants = [34_000u64, 17_000, 0];
+    let rows = exec.run("ablation_directory", &variants, |_i, &serialize_ps| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.cha_line_serialize_ps = serialize_ps;
         let mut m = Machine::new(cfg);
@@ -38,12 +47,15 @@ fn ablate_directory_serialization() {
         let xs: Vec<f64> = pts.iter().map(|(n, _)| *n as f64).collect();
         let ys: Vec<f64> = pts.iter().map(|(_, s)| s.median()).collect();
         let fit = fit_linear(&xs, &ys);
-        table.row(vec![
+        vec![
             format!("{} ns", serialize_ps / 1000),
             f1(fit.alpha),
             f1(fit.beta),
             format!("{:.3}", fit.r2),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.print();
     table.write_csv("ablation_directory");
@@ -52,7 +64,7 @@ fn ablate_directory_serialization() {
 
 /// Ablation 2: DDR's mixed-write discount is what lets copy/triad approach
 /// the read peak despite the 36 GB/s write-only ceiling.
-fn ablate_ddr_write_mixing() {
+fn ablate_ddr_write_mixing(exec: &SweepExecutor) {
     let mut table = Table::new(
         "Ablation — DDR mixed-write service vs streaming kernels [GB/s]",
         &["write_mixed", "copy", "triad", "write"],
@@ -60,7 +72,8 @@ fn ablate_ddr_write_mixing() {
     let mut params = SuiteParams::quick();
     params.iters = 5;
     params.mem_lines_per_thread = 1024;
-    for mixed_ps in [4_990u64, 10_600] {
+    let variants = [4_990u64, 10_600];
+    let rows = exec.run("ablation_write_mixing", &variants, |_i, &mixed_ps| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.ddr_write_mixed_ps_per_line = mixed_ps;
         let mut m = Machine::new(cfg);
@@ -73,12 +86,15 @@ fn ablate_ddr_write_mixing() {
         let copy = cell(StreamKind::Copy, &mut m);
         let triad = cell(StreamKind::Triad, &mut m);
         let write = cell(StreamKind::Write, &mut m);
-        table.row(vec![
+        vec![
             format!("{:.1} ns/line", mixed_ps as f64 / 1000.0),
             f1(copy),
             f1(triad),
             f1(write),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.print();
     table.write_csv("ablation_write_mixing");
@@ -87,7 +103,7 @@ fn ablate_ddr_write_mixing() {
 
 /// Ablation 3: bounded MLP is what shapes single-thread bandwidth; the
 /// aggregate peak is unaffected (device-bound).
-fn ablate_mlp_caps() {
+fn ablate_mlp_caps(exec: &SweepExecutor) {
     let mut table = Table::new(
         "Ablation — core MLP cap vs DDR read bandwidth [GB/s]",
         &["ov_mem_vec", "1 thread", "32 threads"],
@@ -95,20 +111,36 @@ fn ablate_mlp_caps() {
     let mut params = SuiteParams::quick();
     params.iters = 5;
     params.mem_lines_per_thread = 1024;
-    for ov in [4u32, 17, 34] {
+    let variants = [4u32, 17, 34];
+    let rows = exec.run("ablation_mlp", &variants, |_i, &ov| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.ov_mem_vec = ov;
         let mut m = Machine::new(cfg);
         m.set_jitter(0);
-        let one =
-            bandwidth_sample(&mut m, StreamKind::Read, Target::Ddr, 1, Schedule::FillTiles, &params)
-                .median();
+        let one = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Ddr,
+            1,
+            Schedule::FillTiles,
+            &params,
+        )
+        .median();
         m.reset_devices();
         m.reset_caches();
-        let many =
-            bandwidth_sample(&mut m, StreamKind::Read, Target::Ddr, 32, Schedule::FillTiles, &params)
-                .median();
-        table.row(vec![ov.to_string(), f1(one), f1(many)]);
+        let many = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Ddr,
+            32,
+            Schedule::FillTiles,
+            &params,
+        )
+        .median();
+        vec![ov.to_string(), f1(one), f1(many)]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.print();
     table.write_csv("ablation_mlp");
@@ -127,7 +159,12 @@ fn ablate_tree_staggering() {
     flat.contention.beta = 0.0;
     let mut table = Table::new(
         "Ablation — staggered starts vs uniform starts (Eq. 1 cost, ns)",
-        &["n", "tuned (staggered)", "tuned w/o stagger, re-costed", "penalty"],
+        &[
+            "n",
+            "tuned (staggered)",
+            "tuned w/o stagger, re-costed",
+            "penalty",
+        ],
     );
     for n in [8usize, 16, 32] {
         let staggered = optimize_tree(&model, n, TreeKind::Broadcast);
@@ -155,16 +192,17 @@ fn ablate_tree_staggering() {
 /// 2. The *simulator* knows tile coordinates: placing every pair along one
 ///    grid column shares a single ring, and with slowed rings congestion
 ///    finally appears — what the paper's benchmark could never provoke.
-fn ablate_mesh_occupancy() {
+fn ablate_mesh_occupancy(exec: &SweepExecutor) {
     let mut table = Table::new(
         "Ablation — mesh link occupancy vs P2P congestion (per-pair ns)",
         &["fabric", "placement", "1 pair", "8 pairs", "ratio"],
     );
-    for (label, service) in [
+    let variants = [
         ("analytic (default)", 0u64),
         ("occupancy, KNL rings (0.5 ns)", 500),
         ("occupancy, 100x slower rings", 50_000),
-    ] {
+    ];
+    let rows = exec.run("ablation_mesh", &variants, |_i, &(label, service)| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.mesh_ring_service_ps = service;
         let mut m = Machine::new(cfg);
@@ -172,25 +210,30 @@ fn ablate_mesh_occupancy() {
 
         // Paper placement: blind spread.
         let pts = congestion(&mut m, &[1, 8], 5);
-        table.row(vec![
+        let blind = vec![
             label.to_string(),
             "blind (paper)".to_string(),
             f1(pts[0].1),
             f1(pts[1].1),
             format!("{:.2}x", pts[1].1 / pts[0].1),
-        ]);
+        ];
 
         // Adversarial placement: every pair along one grid column.
         let col_pairs = same_column_pairs(&m, 8);
         let one = congestion_with_pairs(&mut m, &col_pairs[..1], 5);
         let eight = congestion_with_pairs(&mut m, &col_pairs, 5);
-        table.row(vec![
+        let column = vec![
             label.to_string(),
             "same-column".to_string(),
             f1(one),
             f1(eight),
             format!("{:.2}x", eight / one),
-        ]);
+        ];
+        [blind, column]
+    });
+    for [blind, column] in rows {
+        table.row(blind);
+        table.row(column);
     }
     table.print();
     table.write_csv("ablation_mesh");

@@ -1,11 +1,17 @@
 //! Runs every table/figure regenerator in sequence (quick sweeps unless
 //! `--paper`). Equivalent to invoking each binary; useful for EXPERIMENTS.md
 //! refreshes: `cargo run --release -p knl-bench --bin all_experiments`.
+//!
+//! Arguments (including `--jobs N` / `KNL_JOBS`) are forwarded verbatim to
+//! every child binary; each child parallelizes its own sweep, and results
+//! are bit-identical for any job count.
 
 use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Validate the shared flags up front so a typo fails once, not 13 times.
+    let _ = knl_bench::runconf::RunConf::from_args();
     let bins = [
         "table1",
         "table2",

@@ -12,7 +12,8 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind, Schedule};
 use knl_bench::modelfit::fit_model;
 use knl_bench::output::{secs, Table};
-use knl_bench::runconf::{effort_from_args, Effort};
+use knl_bench::runconf::{Effort, RunConf};
+use knl_bench::sweep::executor;
 use knl_core::efficiency::{efficiency_sweep, EFFICIENCY_THRESHOLD};
 use knl_core::overhead::OverheadModel;
 use knl_core::sortmodel::{CostBasis, SortModel};
@@ -20,7 +21,9 @@ use knl_sim::Machine;
 use knl_sort::simsort::{run_simsort, SimSortSpec};
 
 fn main() {
-    let effort = effort_from_args();
+    let conf = RunConf::from_args();
+    let effort = conf.effort;
+    let exec = executor(&conf);
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
     eprintln!("fitting capability model on {} ...", cfg.label());
     let model = fit_model(&cfg, &effort.suite_params(), true);
@@ -38,19 +41,23 @@ fn main() {
     // as §V-B.2 prescribes.
     let measure = |bytes: u64, threads: usize, mem: NumaKind| -> f64 {
         let mut m = Machine::new(cfg.clone());
-        let spec = SimSortSpec { bytes, threads, schedule: Schedule::FillTiles, memory: mem };
+        let spec = SimSortSpec {
+            bytes,
+            threads,
+            schedule: Schedule::FillTiles,
+            memory: mem,
+        };
         run_simsort(&mut m, &spec)
     };
 
     let dram_model = SortModel::new(&model, "DRAM");
     // Fit on one measurement per distinct worker count (beyond 64 the sort
     // uses 64 workers; duplicating those points would flatten the slope).
-    let small: Vec<(usize, f64)> = threads
-        .iter()
-        .copied()
-        .filter(|&t| t <= 64)
-        .map(|t| (t, measure(1 << 10, t, NumaKind::Ddr)))
-        .collect();
+    let fit_threads: Vec<usize> = threads.iter().copied().filter(|&t| t <= 64).collect();
+    let fit_secs = exec.run("fig10_fit", &fit_threads, |_i, &t| {
+        measure(1 << 10, t, NumaKind::Ddr)
+    });
+    let small: Vec<(usize, f64)> = fit_threads.iter().copied().zip(fit_secs).collect();
     let overhead = OverheadModel::fit(&small, |t| {
         dram_model.sort_seconds(1 << 10, t.next_power_of_two(), CostBasis::Bandwidth)
     });
@@ -65,36 +72,51 @@ fn main() {
         let mut table = Table::new(
             &format!("Fig. 10 — sorting {label} of integers, SNC4-flat"),
             &[
-                "threads", "measured DRAM", "measured MCDRAM", "mem model (lat)",
-                "mem model (BW)", "full model (BW)", "overhead/mem", "efficient?",
+                "threads",
+                "measured DRAM",
+                "measured MCDRAM",
+                "mem model (lat)",
+                "mem model (BW)",
+                "full model (BW)",
+                "overhead/mem",
+                "efficient?",
             ],
         );
         let usable: Vec<usize> = threads.iter().copied().filter(|&t| t <= 64).collect();
         let mem_model = |t: usize| dram_model.sort_seconds(*bytes, t, CostBasis::Bandwidth);
         let (effs, last_eff) = efficiency_sweep(mem_model, &overhead, &usable);
-        for (i, &t) in usable.iter().enumerate() {
+        let measured = exec.run(&format!("fig10_{label}"), &usable, |_i, &t| {
             let meas_d = measure(*bytes, t, NumaKind::Ddr);
             let meas_m = if (*bytes as u128) < (200u128 << 20) {
                 measure(*bytes, t, NumaKind::Mcdram)
             } else {
                 f64::NAN // exceeds scaled MCDRAM capacity
             };
+            (meas_d, meas_m)
+        });
+        for (i, (&t, (meas_d, meas_m))) in usable.iter().zip(measured).enumerate() {
             let lat = dram_model.sort_seconds(*bytes, t, CostBasis::Latency);
             let bw = mem_model(t);
             let full = overhead.full(bw, t);
             table.row(vec![
                 t.to_string(),
                 secs(meas_d),
-                if meas_m.is_nan() { "-".into() } else { secs(meas_m) },
+                if meas_m.is_nan() {
+                    "-".into()
+                } else {
+                    secs(meas_m)
+                },
                 secs(lat),
                 secs(bw),
                 secs(full),
                 format!("{:.0}%", effs[i].ratio() * 100.0),
-                if effs[i].is_efficient() { "yes".into() } else { "NO".into() },
+                if effs[i].is_efficient() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
-            eprint!(".");
         }
-        eprintln!();
         table.print();
         match last_eff {
             Some(t) => println!(

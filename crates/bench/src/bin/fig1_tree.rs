@@ -20,7 +20,11 @@ fn main() {
     let groups = tile_groups(64, Schedule::FillTiles, cfg.num_cores());
     let plan = optimize_tree(&model, groups.len(), TreeKind::Reduce);
 
-    println!("Model-tuned reduction tree, 64 cores, {} ({} tiles):", cfg.label(), groups.len());
+    println!(
+        "Model-tuned reduction tree, 64 cores, {} ({} tiles):",
+        cfg.label(),
+        groups.len()
+    );
     println!("(each shown node is a tile leader; its tile mate attaches flat)");
     println!();
     println!("{}", plan.tree.render());
@@ -33,6 +37,12 @@ fn main() {
     let binom = tree_cost(&model, &binomial_tree(groups.len()), TreeKind::Reduce);
     let flat = tree_cost(&model, &flat_tree(groups.len()), TreeKind::Reduce);
     println!();
-    println!("modeled cost of binomial tree: {binom:.0} ns ({:.2}x tuned)", binom / plan.cost_ns);
-    println!("modeled cost of flat tree:     {flat:.0} ns ({:.2}x tuned)", flat / plan.cost_ns);
+    println!(
+        "modeled cost of binomial tree: {binom:.0} ns ({:.2}x tuned)",
+        binom / plan.cost_ns
+    );
+    println!(
+        "modeled cost of flat tree:     {flat:.0} ns ({:.2}x tuned)",
+        flat / plan.cost_ns
+    );
 }

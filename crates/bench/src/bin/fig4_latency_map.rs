@@ -1,34 +1,73 @@
 //! Regenerates **Fig. 4**: latency of cache-line transfers between core 0
 //! and every other core in SNC4-flat mode, for M, E, and I states.
+//!
+//! Each partner core is measured on its own freshly constructed `Machine`
+//! (the address regions and `prep_lines` make the per-partner measurements
+//! independent), so partners are parallel jobs under `--jobs`; the merged
+//! map is bit-identical to a `--jobs 1` run.
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
-use knl_bench::runconf::{effort_from_args, Effort};
-use knl_benchsuite::pointer_chase::latency_map;
+use knl_bench::runconf::{Effort, RunConf};
+use knl_bench::sweep::executor;
+use knl_benchsuite::pointer_chase::{invalid_latency_salted, transfer_latency};
 use knl_sim::{Machine, MesifState};
 
 fn main() {
-    let effort = effort_from_args();
-    let iters = if effort == Effort::Paper { 21 } else { 5 };
+    let conf = RunConf::from_args();
+    let iters = if conf.effort == Effort::Paper { 21 } else { 5 };
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
-    let mut m = Machine::new(cfg);
-    eprintln!("measuring 63 partners x 3 states x {iters} iterations ...");
-    let map = latency_map(
-        &mut m,
-        CoreId(0),
-        &[MesifState::Modified, MesifState::Exclusive, MesifState::Invalid],
-        iters,
+    let origin = CoreId(0);
+    let states = [
+        MesifState::Modified,
+        MesifState::Exclusive,
+        MesifState::Invalid,
+    ];
+    let num_cores = cfg.num_cores() as u16;
+
+    let partners: Vec<u16> = (1..num_cores).collect();
+    eprintln!(
+        "measuring {} partners x {} states x {iters} iterations ({} jobs) ...",
+        partners.len(),
+        states.len(),
+        conf.jobs
     );
+    let per_partner = executor(&conf).run("fig4", &partners, |_i, &partner| {
+        let mut m = Machine::new(cfg.clone());
+        let owner = CoreId(partner);
+        // Helper: any tile different from both owner and origin.
+        let helper = (0..num_cores)
+            .map(CoreId)
+            .find(|c| c.tile() != owner.tile() && c.tile() != origin.tile())
+            .expect("machine has ≥3 tiles");
+        states
+            .map(|st| {
+                let sample = if st == MesifState::Invalid {
+                    invalid_latency_salted(&mut m, origin, iters, partner as u64)
+                } else {
+                    transfer_latency(&mut m, owner, origin, helper, st, iters)
+                };
+                (st.letter(), sample.median())
+            })
+            .to_vec()
+    });
+    let map: Vec<(u16, char, f64)> = partners
+        .iter()
+        .zip(per_partner)
+        .flat_map(|(&p, row)| row.into_iter().map(move |(st, l)| (p, st, l)))
+        .collect();
 
     let mut table = Table::new(
         "Fig. 4 — latency core 0 -> core c, SNC4-flat [ns]",
         &["core", "tile", "quadrant", "M", "E", "I"],
     );
-    let topo = m.topology();
-    let num_cores = m.config().num_cores() as u16;
+    let topo = cfg.topology();
     for c in 1..num_cores {
         let get = |st: char| {
-            map.iter().find(|(p, s, _)| *p == c && *s == st).map(|(_, _, l)| *l).unwrap_or(f64::NAN)
+            map.iter()
+                .find(|(p, s, _)| *p == c && *s == st)
+                .map(|(_, _, l)| *l)
+                .unwrap_or(f64::NAN)
         };
         let core = CoreId(c);
         table.row(vec![
@@ -46,10 +85,15 @@ fn main() {
 
     // Shape summary: same-tile fast, remote flat-ish, I = memory.
     let tile_m = map.iter().find(|(p, s, _)| *p == 1 && *s == 'M').unwrap().2;
-    let remote_m: Vec<f64> =
-        map.iter().filter(|(p, s, _)| *p > 1 && *s == 'M').map(|(_, _, l)| *l).collect();
+    let remote_m: Vec<f64> = map
+        .iter()
+        .filter(|(p, s, _)| *p > 1 && *s == 'M')
+        .map(|(_, _, l)| *l)
+        .collect();
     let rm_min = remote_m.iter().copied().fold(f64::INFINITY, f64::min);
     let rm_max = remote_m.iter().copied().fold(0.0, f64::max);
     println!();
-    println!("tile M: {tile_m:.1} ns; remote M range: {rm_min:.1}-{rm_max:.1} ns (paper: 34 vs 107-122)");
+    println!(
+        "tile M: {tile_m:.1} ns; remote M range: {rm_min:.1}-{rm_max:.1} ns (paper: 34 vs 107-122)"
+    );
 }

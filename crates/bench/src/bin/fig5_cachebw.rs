@@ -1,48 +1,72 @@
 //! Regenerates **Fig. 5**: bandwidth of cache-to-cache copies in
 //! SNC4-cache mode vs message size (64 B – 256 KB), for M and E states and
 //! three partner locations (same tile / same quadrant / remote quadrant).
+//!
+//! Each (location, state) series runs on its own fresh `Machine`
+//! (`copy_bandwidth` resets caches and salts addresses per iteration), so
+//! the series are parallel jobs under `--jobs` with the output merged in
+//! canonical order — bit-identical to `--jobs 1`.
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
 use knl_bench::output::{f2, Table};
-use knl_bench::runconf::{effort_from_args, Effort};
+use knl_bench::runconf::{Effort, RunConf};
+use knl_bench::sweep::executor;
 use knl_benchsuite::cachebw::{copy_bandwidth, fig5_partners};
 use knl_sim::{Machine, MesifState};
 
 fn main() {
-    let effort = effort_from_args();
-    let (iters, sizes): (usize, Vec<u64>) = match effort {
+    let conf = RunConf::from_args();
+    let (iters, sizes): (usize, Vec<u64>) = match conf.effort {
         Effort::Paper => (11, (6..=18).map(|p| 1u64 << p).collect()),
         Effort::Quick => (5, vec![64, 1 << 10, 16 << 10, 256 << 10]),
     };
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
-    let mut m = Machine::new(cfg);
     let reader = CoreId(0);
-    let partners = fig5_partners(&m, reader);
+    let partners = fig5_partners(&Machine::new(cfg.clone()), reader);
 
-    let mut table = Table::new(
-        "Fig. 5 — copy bandwidth, SNC4-cache [GB/s]",
-        &["bytes", "location", "state", "GB/s"],
+    let series: Vec<(String, CoreId, MesifState)> = partners
+        .iter()
+        .flat_map(|(loc, owner)| {
+            [MesifState::Modified, MesifState::Exclusive]
+                .into_iter()
+                .map(move |st| (loc.to_string(), *owner, st))
+        })
+        .collect();
+    eprintln!(
+        "fig5: {} series x {} sizes ({} jobs) ...",
+        series.len(),
+        sizes.len(),
+        conf.jobs
     );
-    for (loc, owner) in &partners {
+    let measured = executor(&conf).run("fig5", &series, |_i, (_, owner, st)| {
+        let mut m = Machine::new(cfg.clone());
         // Helper on a tile distinct from both reader and owner.
         let helper = (0..m.config().num_cores() as u16)
             .map(CoreId)
             .find(|c| c.tile() != reader.tile() && c.tile() != owner.tile())
             .expect("helper tile");
-        for st in [MesifState::Modified, MesifState::Exclusive] {
-            for &bytes in &sizes {
-                let s = copy_bandwidth(&mut m, *owner, reader, helper, st, bytes, iters);
-                table.row(vec![
-                    bytes.to_string(),
-                    loc.to_string(),
-                    st.letter().to_string(),
-                    f2(s.median()),
-                ]);
-                eprint!(".");
-            }
+        sizes
+            .iter()
+            .map(|&bytes| {
+                copy_bandwidth(&mut m, *owner, reader, helper, *st, bytes, iters).median()
+            })
+            .collect::<Vec<f64>>()
+    });
+
+    let mut table = Table::new(
+        "Fig. 5 — copy bandwidth, SNC4-cache [GB/s]",
+        &["bytes", "location", "state", "GB/s"],
+    );
+    for ((loc, _, st), gbps) in series.iter().zip(measured) {
+        for (&bytes, g) in sizes.iter().zip(gbps) {
+            table.row(vec![
+                bytes.to_string(),
+                loc.clone(),
+                st.letter().to_string(),
+                f2(g),
+            ]);
         }
     }
-    eprintln!();
     table.print();
     let path = table.write_csv("fig5_cachebw");
     eprintln!("csv: {}", path.display());

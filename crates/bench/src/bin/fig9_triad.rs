@@ -4,12 +4,14 @@
 
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode, Schedule};
 use knl_bench::output::{f1, Table};
-use knl_bench::runconf::{effort_from_args, Effort};
+use knl_bench::runconf::{Effort, RunConf};
+use knl_bench::sweep::{executor, print_counters};
 use knl_benchsuite::membw::{bandwidth_sample, Target};
 use knl_sim::{Machine, StreamKind};
 
 fn main() {
-    let effort = effort_from_args();
+    let conf = RunConf::from_args();
+    let effort = conf.effort;
     let mut params = effort.suite_params();
     if effort == Effort::Quick {
         params.mem_lines_per_thread = 1024;
@@ -23,32 +25,44 @@ fn main() {
     };
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
 
+    let points: Vec<(Schedule, usize)> = [Schedule::FillCores, Schedule::FillTiles]
+        .into_iter()
+        .flat_map(|sched| {
+            threads
+                .iter()
+                .filter(|&&t| t <= cfg.num_hw_threads())
+                .map(move |&t| (sched, t))
+        })
+        .collect();
+    eprintln!(
+        "fig9: {} sweep points ({} jobs) ...",
+        points.len(),
+        conf.jobs
+    );
+    let results = executor(&conf).run("fig9", &points, |_i, &(sched, t)| {
+        let mut m = Machine::new(cfg.clone());
+        let mc = bandwidth_sample(&mut m, StreamKind::Triad, Target::Mcdram, t, sched, &params);
+        m.reset_devices();
+        m.reset_caches();
+        let dd = bandwidth_sample(&mut m, StreamKind::Triad, Target::Ddr, t, sched, &params);
+        (mc.median(), dd.median(), m.counters())
+    });
+
     let mut table = Table::new(
         "Fig. 9 — triad bandwidth, SNC4-flat [GB/s]",
         &["schedule", "threads", "cores", "MCDRAM", "DRAM"],
     );
-    for sched in [Schedule::FillCores, Schedule::FillTiles] {
-        for &t in &threads {
-            if t > cfg.num_hw_threads() {
-                continue;
-            }
-            let cores = sched.cores_used(t, cfg.num_cores());
-            let mut m = Machine::new(cfg.clone());
-            let mc = bandwidth_sample(&mut m, StreamKind::Triad, Target::Mcdram, t, sched, &params);
-            m.reset_devices();
-            m.reset_caches();
-            let dd = bandwidth_sample(&mut m, StreamKind::Triad, Target::Ddr, t, sched, &params);
-            table.row(vec![
-                sched.name().to_string(),
-                t.to_string(),
-                cores.to_string(),
-                f1(mc.median()),
-                f1(dd.median()),
-            ]);
-            eprint!(".");
-        }
+    for (&(sched, t), (mc, dd, counters)) in points.iter().zip(results) {
+        let cores = sched.cores_used(t, cfg.num_cores());
+        print_counters(&format!("{}-{t}", sched.name()), &counters);
+        table.row(vec![
+            sched.name().to_string(),
+            t.to_string(),
+            cores.to_string(),
+            f1(mc),
+            f1(dd),
+        ]);
     }
-    eprintln!();
     table.print();
     let path = table.write_csv("fig9_triad");
     eprintln!("csv: {}", path.display());

@@ -7,14 +7,15 @@
 
 use knl_arch::{ClusterMode, CoreId, HybridSplit, MachineConfig, MemoryMode, NumaKind, Schedule};
 use knl_bench::output::{f1, Table};
-use knl_bench::runconf::effort_from_args;
+use knl_bench::runconf::RunConf;
+use knl_bench::sweep::{executor, print_counters};
 use knl_benchsuite::membw::{bandwidth_sample, Target};
 use knl_benchsuite::memlat;
 use knl_sim::{Machine, StreamKind};
 
 fn main() {
-    let effort = effort_from_args();
-    let mut params = effort.suite_params();
+    let conf = RunConf::from_args();
+    let mut params = conf.effort.suite_params();
     params.mem_threads = vec![32];
     params.iters = params.iters.min(9);
     params.mem_lines_per_thread = params.mem_lines_per_thread.min(1024);
@@ -29,12 +30,24 @@ fn main() {
     let mut table = Table::new(
         "Hybrid-mode exploration (Quadrant, 32 threads) — latency [ns] / read BW [GB/s]",
         &[
-            "memory mode", "flat-MCDRAM lat", "DDR-path lat", "flat-MCDRAM read",
-            "DDR-path read", "cache GB", "flat GB",
+            "memory mode",
+            "flat-MCDRAM lat",
+            "DDR-path lat",
+            "flat-MCDRAM read",
+            "DDR-path read",
+            "cache GB",
+            "flat GB",
         ],
     );
 
-    for (label, mm) in modes {
+    eprintln!(
+        "exploring {} memory modes ({} jobs) ...",
+        modes.len(),
+        conf.jobs
+    );
+    let rows = executor(&conf).run("hybrid", &modes, |_i, (label, mm)| {
+        let label = label.clone();
+        let mm = *mm;
         let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, mm);
         let mut m = Machine::new(cfg.clone());
 
@@ -61,7 +74,14 @@ fn main() {
 
         // Bandwidths.
         let mc_bw = if mm.has_flat_mcdram() {
-            let s = bandwidth_sample(&mut m, StreamKind::Read, Target::Mcdram, 32, Schedule::FillTiles, &params);
+            let s = bandwidth_sample(
+                &mut m,
+                StreamKind::Read,
+                Target::Mcdram,
+                32,
+                Schedule::FillTiles,
+                &params,
+            );
             m.reset_devices();
             m.reset_caches();
             f1(s.median())
@@ -69,14 +89,25 @@ fn main() {
             "-".into()
         };
         let ddr_bw = {
-            let target = if mm.has_mcdram_cache() { Target::CacheMode } else { Target::Ddr };
-            let s = bandwidth_sample(&mut m, StreamKind::Read, target, 32, Schedule::FillTiles, &params);
+            let target = if mm.has_mcdram_cache() {
+                Target::CacheMode
+            } else {
+                Target::Ddr
+            };
+            let s = bandwidth_sample(
+                &mut m,
+                StreamKind::Read,
+                target,
+                32,
+                Schedule::FillTiles,
+                &params,
+            );
             f1(s.median())
         };
 
         let cache_gb = mm.mcdram_cache_bytes(cfg.mcdram_bytes) as f64 / (1 << 30) as f64 * 64.0;
         let flat_gb = mm.mcdram_flat_bytes(cfg.mcdram_bytes) as f64 / (1 << 30) as f64 * 64.0;
-        table.row(vec![
+        let row = vec![
             label,
             mc_lat,
             ddr_lat,
@@ -84,10 +115,13 @@ fn main() {
             ddr_bw,
             format!("{cache_gb:.0}"),
             format!("{flat_gb:.0}"),
-        ]);
-        eprint!(".");
+        ];
+        (row, m.counters())
+    });
+    for ((label, _), (row, counters)) in modes.iter().zip(rows) {
+        print_counters(label, &counters);
+        table.row(row);
     }
-    eprintln!();
     table.print();
     println!();
     println!("Reading: hybrid keeps flat-MCDRAM bandwidth for data the programmer places");

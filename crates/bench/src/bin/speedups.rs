@@ -6,10 +6,11 @@ use knl_arch::Schedule;
 use knl_bench::collective_fig::{run_figure, CollectiveKind, SeriesPoint};
 use knl_bench::modelfit::{fit_model, snc4_flat};
 use knl_bench::output::Table;
-use knl_bench::runconf::effort_from_args;
+use knl_bench::runconf::RunConf;
 
 fn main() {
-    let effort = effort_from_args();
+    let conf = RunConf::from_args();
+    let effort = conf.effort;
     let cfg = snc4_flat();
     eprintln!("fitting capability model on {} ...", cfg.label());
     let model = fit_model(&cfg, &effort.suite_params(), true);
@@ -20,7 +21,11 @@ fn main() {
         "Max speedups of model-tuned collectives (paper: barrier 7x/24x, bcast -/13x, reduce 5x/14x)",
         &["collective", "vs OpenMP-like", "at threads", "vs MPI-like", "at threads"],
     );
-    for kind in [CollectiveKind::Barrier, CollectiveKind::Broadcast, CollectiveKind::Reduce] {
+    for kind in [
+        CollectiveKind::Barrier,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Reduce,
+    ] {
         eprintln!("running {} ...", kind.name());
         let pts = run_figure(
             &cfg,
@@ -29,6 +34,7 @@ fn main() {
             &threads,
             &[Schedule::FillTiles, Schedule::Scatter],
             iters,
+            conf.jobs,
         );
         let best_omp = pts
             .iter()

@@ -4,21 +4,39 @@
 
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
-use knl_bench::runconf::effort_from_args;
+use knl_bench::runconf::RunConf;
+use knl_bench::sweep::{executor, print_counters};
 use knl_benchsuite::{run_memory_suite, MemResults};
 use knl_sim::{Machine, StreamKind};
 
 fn main() {
-    let effort = effort_from_args();
-    let params = effort.suite_params();
+    let conf = RunConf::from_args();
+    let params = conf.effort.suite_params();
 
-    for mm in [MemoryMode::Flat, MemoryMode::Cache] {
+    const MEM_MODES: [MemoryMode; 2] = [MemoryMode::Flat, MemoryMode::Cache];
+    let points: Vec<(MemoryMode, ClusterMode)> = MEM_MODES
+        .into_iter()
+        .flat_map(|mm| ClusterMode::ALL.into_iter().map(move |cm| (mm, cm)))
+        .collect();
+    eprintln!(
+        "running memory suite for {} configurations ({} jobs) ...",
+        points.len(),
+        conf.jobs
+    );
+    let results = executor(&conf).run("table2", &points, |_i, &(mm, cm)| {
+        let cfg = MachineConfig::knl7210(cm, mm);
+        let mut m = Machine::new(cfg);
+        let res = run_memory_suite(&mut m, &params);
+        (res, m.counters())
+    });
+    let mut results = results.into_iter();
+
+    for mm in MEM_MODES {
         let mut columns: Vec<MemResults> = Vec::new();
         for cm in ClusterMode::ALL {
-            eprintln!("running memory suite for {}-{} ...", cm.name(), mm.name());
-            let cfg = MachineConfig::knl7210(cm, mm);
-            let mut m = Machine::new(cfg);
-            columns.push(run_memory_suite(&mut m, &params));
+            let (res, counters) = results.next().expect("one result per configuration");
+            print_counters(&format!("{}-{}", cm.name(), mm.name()), &counters);
+            columns.push(res);
         }
 
         let mut table = Table::new(
@@ -42,12 +60,14 @@ fn main() {
         }
         for kind in StreamKind::ALL {
             for t in targets {
-                table.row(metric(&format!("BW {} {t} median [GB/s]", kind.name()), &|c| {
-                    c.table_cell(kind, t).unwrap_or(f64::NAN)
-                }));
-                table.row(metric(&format!("BW {} {t} peak [GB/s]", kind.name()), &|c| {
-                    c.peak_cell(kind, t).unwrap_or(f64::NAN)
-                }));
+                table.row(metric(
+                    &format!("BW {} {t} median [GB/s]", kind.name()),
+                    &|c| c.table_cell(kind, t).unwrap_or(f64::NAN),
+                ));
+                table.row(metric(
+                    &format!("BW {} {t} peak [GB/s]", kind.name()),
+                    &|c| c.peak_cell(kind, t).unwrap_or(f64::NAN),
+                ));
             }
         }
         table.print();

@@ -2,6 +2,7 @@
 //! MPI-like baselines on the simulated KNL, with the min–max model band.
 
 use knl_arch::{MachineConfig, NumaKind, Schedule};
+use knl_benchsuite::SweepExecutor;
 use knl_collectives::plan::{tile_groups, RankPlan};
 use knl_collectives::simspec::{self, SimLayout};
 use knl_core::predict::{intra_tile_stage, predict_barrier, predict_broadcast, predict_reduce};
@@ -55,6 +56,11 @@ impl SeriesPoint {
 }
 
 /// Run one collective figure on `cfg` (the paper: SNC4-flat, MCDRAM).
+///
+/// Every (schedule, thread-count) point builds its own `Machine`, so the
+/// points are independent jobs; `jobs` workers run them in parallel with
+/// results merged back into the canonical (schedule-major) order — the
+/// output is bit-identical to a serial run (`jobs == 1`).
 pub fn run_figure(
     cfg: &MachineConfig,
     model: &CapabilityModel,
@@ -62,14 +68,21 @@ pub fn run_figure(
     threads_list: &[usize],
     schedules: &[Schedule],
     iters: usize,
+    jobs: usize,
 ) -> Vec<SeriesPoint> {
-    let mut out = Vec::new();
     let num_cores = cfg.num_cores();
-    for &sched in schedules {
-        for &n in threads_list {
-            if n > num_cores {
-                continue;
-            }
+    let points: Vec<(Schedule, usize)> = schedules
+        .iter()
+        .flat_map(|&sched| {
+            threads_list
+                .iter()
+                .filter(|&&n| n <= num_cores)
+                .map(move |&n| (sched, n))
+        })
+        .collect();
+    SweepExecutor::new(jobs)
+        .progress(true)
+        .run(kind.name(), &points, |_i, &(sched, n)| {
             let mut m = Machine::new(cfg.clone());
             let mut arena = m.arena();
             let layout = SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
@@ -82,7 +95,7 @@ pub fn run_figure(
 
             let envelope = model_envelope(model, kind, n, sched, num_cores);
             let sample = Sample::from_values(tuned_vals.clone());
-            out.push(SeriesPoint {
+            SeriesPoint {
                 threads: n,
                 schedule: sched,
                 tuned: boxplot(&tuned_vals),
@@ -90,10 +103,8 @@ pub fn run_figure(
                 openmp_ns: median(&openmp),
                 mpi_ns: median(&mpi),
                 model: envelope,
-            });
-        }
-    }
-    out
+            }
+        })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -212,13 +223,19 @@ fn model_envelope(
 /// schedules, print the table, dump the CSV, summarize speedups.
 pub fn run_binary(name: &str, kind: CollectiveKind) {
     use crate::output::{f1, Table};
-    let effort = crate::runconf::effort_from_args();
+    let conf = crate::runconf::RunConf::from_args();
+    let effort = conf.effort;
     let cfg = crate::modelfit::snc4_flat();
     eprintln!("fitting capability model on {} ...", cfg.label());
     let model = crate::modelfit::fit_model(&cfg, &effort.suite_params(), true);
     let threads = effort.collective_threads();
     let iters = effort.collective_iters();
-    eprintln!("running {} figure ({} iters) ...", kind.name(), iters);
+    eprintln!(
+        "running {} figure ({} iters, {} jobs) ...",
+        kind.name(),
+        iters,
+        conf.jobs
+    );
     let pts = run_figure(
         &cfg,
         &model,
@@ -226,13 +243,23 @@ pub fn run_binary(name: &str, kind: CollectiveKind) {
         &threads,
         &[Schedule::FillTiles, Schedule::Scatter],
         iters,
+        conf.jobs,
     );
 
     let mut table = Table::new(
         &format!("{name} — {} in SNC4-flat (MCDRAM) [ns]", kind.name()),
         &[
-            "schedule", "threads", "tuned q1", "tuned med", "tuned q3", "OpenMP-like",
-            "MPI-like", "model best", "model worst", "x OpenMP", "x MPI",
+            "schedule",
+            "threads",
+            "tuned q1",
+            "tuned med",
+            "tuned q3",
+            "OpenMP-like",
+            "MPI-like",
+            "model best",
+            "model worst",
+            "x OpenMP",
+            "x MPI",
         ],
     );
     for p in &pts {
@@ -255,25 +282,39 @@ pub fn run_binary(name: &str, kind: CollectiveKind) {
     eprintln!("csv: {}", path.display());
 
     // Terminal chart of the scatter-schedule series (threads vs ns).
-    let scatter: Vec<&SeriesPoint> =
-        pts.iter().filter(|p| p.schedule == Schedule::Scatter).collect();
+    let scatter: Vec<&SeriesPoint> = pts
+        .iter()
+        .filter(|p| p.schedule == Schedule::Scatter)
+        .collect();
     if scatter.len() >= 2 {
         let series = vec![
             crate::plot::Series::new(
                 "model-tuned (median)",
-                scatter.iter().map(|p| (p.threads as f64, p.tuned.median)).collect(),
+                scatter
+                    .iter()
+                    .map(|p| (p.threads as f64, p.tuned.median))
+                    .collect(),
             ),
             crate::plot::Series::new(
                 "OpenMP-like",
-                scatter.iter().map(|p| (p.threads as f64, p.openmp_ns)).collect(),
+                scatter
+                    .iter()
+                    .map(|p| (p.threads as f64, p.openmp_ns))
+                    .collect(),
             ),
             crate::plot::Series::new(
                 "MPI-like",
-                scatter.iter().map(|p| (p.threads as f64, p.mpi_ns)).collect(),
+                scatter
+                    .iter()
+                    .map(|p| (p.threads as f64, p.mpi_ns))
+                    .collect(),
             ),
             crate::plot::Series::new(
                 "model worst",
-                scatter.iter().map(|p| (p.threads as f64, p.model.worst)).collect(),
+                scatter
+                    .iter()
+                    .map(|p| (p.threads as f64, p.model.worst))
+                    .collect(),
             ),
         ];
         println!();
@@ -288,7 +329,10 @@ pub fn run_binary(name: &str, kind: CollectiveKind) {
         );
     }
 
-    let best_omp = pts.iter().map(SeriesPoint::openmp_speedup).fold(0.0, f64::max);
+    let best_omp = pts
+        .iter()
+        .map(SeriesPoint::openmp_speedup)
+        .fold(0.0, f64::max);
     let best_mpi = pts.iter().map(SeriesPoint::mpi_speedup).fold(0.0, f64::max);
     println!();
     println!(
@@ -313,14 +357,21 @@ mod tests {
             &[8, 32],
             &[Schedule::Scatter],
             5,
+            1,
         );
         assert_eq!(pts.len(), 2);
         for p in &pts {
-            assert!(p.openmp_speedup() > 1.0, "tuned must beat OpenMP-like: {p:?}");
+            assert!(
+                p.openmp_speedup() > 1.0,
+                "tuned must beat OpenMP-like: {p:?}"
+            );
             assert!(p.mpi_speedup() > 1.0, "tuned must beat MPI-like: {p:?}");
             assert!(p.model.best > 0.0);
         }
-        assert!(pts[1].tuned.median > pts[0].tuned.median, "cost grows with threads");
+        assert!(
+            pts[1].tuned.median > pts[0].tuned.median,
+            "cost grows with threads"
+        );
     }
 
     #[test]
@@ -334,6 +385,7 @@ mod tests {
             &[16],
             &[Schedule::Scatter, Schedule::FillTiles],
             5,
+            2,
         );
         assert_eq!(pts.len(), 2);
         for p in &pts {

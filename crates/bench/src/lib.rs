@@ -14,7 +14,9 @@
 //! reproduction target (see EXPERIMENTS.md).
 
 pub mod collective_fig;
+pub mod microbench;
 pub mod modelfit;
 pub mod output;
 pub mod plot;
 pub mod runconf;
+pub mod sweep;

@@ -1,0 +1,68 @@
+//! A tiny timing harness for the `benches/` targets (which build with
+//! `harness = false` and no external crates): warm up, auto-size a batch,
+//! take a handful of samples, report the median.
+
+use std::time::{Duration, Instant};
+
+/// Samples per case (median is reported).
+const SAMPLES: usize = 7;
+/// Minimum wall time of one sample batch.
+const MIN_BATCH: Duration = Duration::from_millis(5);
+
+/// Measure one logical iteration of `f` and return the median ns/iter.
+pub fn measure<R>(mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    // Double the batch until one batch is long enough to time reliably.
+    let mut batch = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        if t.elapsed() >= MIN_BATCH || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+/// Print one result line; `bytes` per iteration adds a GB/s column.
+pub fn report(group: &str, name: &str, ns_per_iter: f64, bytes: Option<u64>) {
+    let rate = match bytes {
+        Some(b) if ns_per_iter > 0.0 => {
+            format!("  {:8.2} GB/s", b as f64 / ns_per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{name}: {ns_per_iter:12.1} ns/iter{rate}");
+}
+
+/// Measure and report in one call.
+pub fn case<R>(group: &str, name: &str, bytes: Option<u64>, f: impl FnMut() -> R) {
+    let ns = measure(f);
+    report(group, name, ns, bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive() {
+        let ns = measure(|| (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+}

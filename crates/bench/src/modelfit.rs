@@ -17,8 +17,10 @@ pub fn fit_model(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> Capa
 pub fn suite_results(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> SuiteResults {
     let path = cache_path(cfg, params);
     if cache {
-        if let Ok(bytes) = std::fs::read(&path) {
-            if let Ok(r) = serde_json::from_slice::<SuiteResults>(&bytes) {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            // Unreadable or old-format files fall through to a re-run that
+            // overwrites them.
+            if let Some(r) = knl_benchsuite::decode_suite(&text) {
                 return r;
             }
         }
@@ -28,9 +30,7 @@ pub fn suite_results(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> 
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        if let Ok(json) = serde_json::to_vec(&r) {
-            let _ = std::fs::write(&path, json);
-        }
+        let _ = std::fs::write(&path, knl_benchsuite::encode_suite(&r));
     }
     r
 }
@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn fit_quick_model() {
-        std::env::set_var("KNL_RESULTS_DIR", std::env::temp_dir().join("knl_modelfit_test"));
+        std::env::set_var(
+            "KNL_RESULTS_DIR",
+            std::env::temp_dir().join("knl_modelfit_test"),
+        );
         let cfg = snc4_flat();
         let mut p = SuiteParams::quick();
         p.iters = 3;

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn csv_written() {
-        std::env::set_var("KNL_RESULTS_DIR", std::env::temp_dir().join("knl_test_results"));
+        std::env::set_var(
+            "KNL_RESULTS_DIR",
+            std::env::temp_dir().join("knl_test_results"),
+        );
         let mut t = Table::new("t", &["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         let p = t.write_csv("unit_test_table");

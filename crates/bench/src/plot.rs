@@ -13,7 +13,10 @@ pub struct Series {
 impl Series {
     /// Build a series from a label and points.
     pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.to_string(), points }
+        Series {
+            name: name.to_string(),
+            points,
+        }
     }
 }
 
@@ -23,7 +26,10 @@ const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
 /// Distinct series use distinct glyphs; a legend follows the chart.
 pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 4, "chart too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -98,7 +104,9 @@ fn bounds(v: &[f64]) -> (f64, f64) {
 }
 
 fn scale(v: f64, lo: f64, hi: f64, max_idx: usize) -> usize {
-    (((v - lo) / (hi - lo)) * max_idx as f64).round().clamp(0.0, max_idx as f64) as usize
+    (((v - lo) / (hi - lo)) * max_idx as f64)
+        .round()
+        .clamp(0.0, max_idx as f64) as usize
 }
 
 #[cfg(test)]
@@ -131,7 +139,10 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_panic() {
-        let s = vec![Series::new("flat", vec![(1.0, 7.0), (2.0, 7.0), (4.0, 7.0)])];
+        let s = vec![Series::new(
+            "flat",
+            vec![(1.0, 7.0), (2.0, 7.0), (4.0, 7.0)],
+        )];
         let p = ascii_plot("flat", &s, 30, 6);
         assert!(p.matches('*').count() >= 3);
     }

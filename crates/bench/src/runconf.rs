@@ -36,29 +36,81 @@ impl Effort {
     }
 }
 
-/// Parse `--paper` / `--quick` from argv (quick is the default).
-pub fn effort_from_args() -> Effort {
-    let mut effort = Effort::Quick;
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--paper" | "--full" => effort = Effort::Paper,
-            "--quick" => effort = Effort::Quick,
-            "--help" | "-h" => {
-                eprintln!("usage: [--quick|--paper]  (quick sweeps are the default)");
-                std::process::exit(0);
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+/// Parsed command line shared by every figure/table binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConf {
+    /// Sweep sizes: `--quick` (default) or `--paper`.
+    pub effort: Effort,
+    /// Worker threads for independent sweep jobs (`--jobs N`, `KNL_JOBS`,
+    /// or the machine's available parallelism). `1` forces the serial
+    /// path; results are bit-identical either way.
+    pub jobs: usize,
+}
+
+impl RunConf {
+    /// Parse argv; exits on `--help` or unknown arguments.
+    pub fn from_args() -> RunConf {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Parse an argument list (testable core of [`from_args`]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<RunConf, String> {
+        let mut conf = RunConf {
+            effort: Effort::Quick,
+            jobs: knl_benchsuite::default_jobs(),
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper" | "--full" => conf.effort = Effort::Paper,
+                "--quick" => conf.effort = Effort::Quick,
+                "--jobs" | "-j" => {
+                    let v = args.next().ok_or("--jobs requires a value")?;
+                    conf.jobs = parse_jobs(&v)?;
+                }
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        conf.jobs = parse_jobs(v)?;
+                    } else if other == "--help" || other == "-h" {
+                        eprintln!(
+                            "usage: [--quick|--paper] [--jobs N]\n\
+                             \x20 quick sweeps are the default; --jobs defaults to KNL_JOBS\n\
+                             \x20 or the available parallelism (--jobs 1 runs serially;\n\
+                             \x20 results are bit-identical for every N)"
+                        );
+                        std::process::exit(0);
+                    } else {
+                        return Err(format!("unknown argument: {other}"));
+                    }
+                }
             }
         }
+        Ok(conf)
     }
-    effort
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs expects a positive integer, got {v:?}")),
+    }
+}
+
+/// Parse `--paper` / `--quick` from argv (quick is the default).
+pub fn effort_from_args() -> Effort {
+    RunConf::from_args().effort
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunConf, String> {
+        RunConf::parse(args.iter().map(|s| s.to_string()))
+    }
 
     #[test]
     fn paper_is_bigger() {
@@ -67,5 +119,32 @@ mod tests {
             Effort::Paper.collective_threads().len() > Effort::Quick.collective_threads().len()
         );
         assert!(Effort::Paper.suite_params().iters > Effort::Quick.suite_params().iters);
+    }
+
+    #[test]
+    fn jobs_flag_forms() {
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, 4);
+        assert_eq!(parse(&["--jobs=2"]).unwrap().jobs, 2);
+        assert_eq!(parse(&["-j", "8"]).unwrap().jobs, 8);
+        assert_eq!(
+            parse(&["--paper", "--jobs", "3"]).unwrap(),
+            RunConf {
+                effort: Effort::Paper,
+                jobs: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_jobs_rejected() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn default_jobs_positive() {
+        assert!(parse(&[]).unwrap().jobs >= 1);
     }
 }

@@ -1,0 +1,45 @@
+//! Shared sweep plumbing for the figure/table binaries: an executor
+//! built from the parsed command line plus the per-configuration
+//! hardware-counter summary every binary prints after its sweep.
+
+use crate::runconf::RunConf;
+use knl_benchsuite::SweepExecutor;
+use knl_sim::Counters;
+
+/// Executor honouring `--jobs` / `KNL_JOBS`, with per-job progress lines.
+pub fn executor(conf: &RunConf) -> SweepExecutor {
+    SweepExecutor::new(conf.jobs).progress(true)
+}
+
+/// One-line hardware-counter summary for a finished configuration.
+pub fn print_counters(label: &str, c: &Counters) {
+    eprintln!(
+        "[{label}] counters: l1={} l2={} remote={} ddr={} mcdram={} \
+         mcache={}h/{}m wb={} inv={} nt={}",
+        c.l1_hits,
+        c.l2_hits,
+        c.remote_cache_hits,
+        c.ddr_accesses,
+        c.mcdram_accesses,
+        c.mcache_hits,
+        c.mcache_misses,
+        c.writebacks,
+        c.invalidations,
+        c.nt_stores,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runconf::Effort;
+
+    #[test]
+    fn executor_respects_jobs() {
+        let conf = RunConf {
+            effort: Effort::Quick,
+            jobs: 3,
+        };
+        assert_eq!(executor(&conf).jobs(), 3);
+    }
+}

@@ -109,15 +109,21 @@ pub fn fig5_partners(m: &Machine, reader: CoreId) -> Vec<(&'static str, CoreId)>
         .expect("quadrant has >1 tile");
     let remote_quad = (0..num_cores)
         .map(CoreId)
-        .find(|c| topo.tile_quadrant(c.tile()) != reader_q
-            && topo.tile_quadrant(c.tile()) == QuadrantId(reader_q.0 ^ 3))
+        .find(|c| {
+            topo.tile_quadrant(c.tile()) != reader_q
+                && topo.tile_quadrant(c.tile()) == QuadrantId(reader_q.0 ^ 3)
+        })
         .unwrap_or_else(|| {
             (0..num_cores)
                 .map(CoreId)
                 .find(|c| topo.tile_quadrant(c.tile()) != reader_q)
                 .expect("multiple quadrants")
         });
-    vec![("tile", same_tile), ("same-quadrant", same_quad), ("remote-quadrant", remote_quad)]
+    vec![
+        ("tile", same_tile),
+        ("same-quadrant", same_quad),
+        ("remote-quadrant", remote_quad),
+    ]
 }
 
 fn gbps(bytes: u64, ps: u64) -> f64 {
@@ -139,18 +145,45 @@ mod tests {
     #[test]
     fn remote_copy_near_7_5gbps() {
         let mut m = machine();
-        let s = copy_bandwidth(&mut m, CoreId(40), CoreId(0), CoreId(20), MesifState::Modified, 64 << 10, 5);
+        let s = copy_bandwidth(
+            &mut m,
+            CoreId(40),
+            CoreId(0),
+            CoreId(20),
+            MesifState::Modified,
+            64 << 10,
+            5,
+        );
         let g = s.median();
-        assert!((4.5..11.0).contains(&g), "remote copy {g} GB/s (paper ~7.5)");
+        assert!(
+            (4.5..11.0).contains(&g),
+            "remote copy {g} GB/s (paper ~7.5)"
+        );
     }
 
     #[test]
     fn tile_copy_e_faster_than_m() {
         let mut m = machine();
-        let e = copy_bandwidth(&mut m, CoreId(1), CoreId(0), CoreId(20), MesifState::Exclusive, 64 << 10, 5)
-            .median();
-        let mm = copy_bandwidth(&mut m, CoreId(1), CoreId(0), CoreId(20), MesifState::Modified, 64 << 10, 5)
-            .median();
+        let e = copy_bandwidth(
+            &mut m,
+            CoreId(1),
+            CoreId(0),
+            CoreId(20),
+            MesifState::Exclusive,
+            64 << 10,
+            5,
+        )
+        .median();
+        let mm = copy_bandwidth(
+            &mut m,
+            CoreId(1),
+            CoreId(0),
+            CoreId(20),
+            MesifState::Modified,
+            64 << 10,
+            5,
+        )
+        .median();
         assert!(e > mm, "tile E copy {e} must beat M copy {mm}");
         assert!((6.0..12.0).contains(&e), "tile E copy {e} (paper 9.2)");
     }
@@ -158,7 +191,15 @@ mod tests {
     #[test]
     fn remote_read_near_2_5gbps() {
         let mut m = machine();
-        let s = read_bandwidth(&mut m, CoreId(40), CoreId(0), CoreId(20), MesifState::Exclusive, 64 << 10, 5);
+        let s = read_bandwidth(
+            &mut m,
+            CoreId(40),
+            CoreId(0),
+            CoreId(20),
+            MesifState::Exclusive,
+            64 << 10,
+            5,
+        );
         let g = s.median();
         assert!((1.5..4.0).contains(&g), "remote read {g} GB/s (paper 2.5)");
     }
@@ -166,11 +207,22 @@ mod tests {
     #[test]
     fn multiline_latency_is_linear() {
         let mut m = machine();
-        let pts = multiline_latency(&mut m, CoreId(40), CoreId(0), CoreId(20), &[8, 32, 128, 512], 3);
+        let pts = multiline_latency(
+            &mut m,
+            CoreId(40),
+            CoreId(0),
+            CoreId(20),
+            &[8, 32, 128, 512],
+            3,
+        );
         let xs: Vec<f64> = pts.iter().map(|(n, _)| *n as f64).collect();
         let ys: Vec<f64> = pts.iter().map(|(_, l)| *l).collect();
         let f = fit_linear(&xs, &ys);
-        assert!(f.r2 > 0.98, "multi-line latency must be linear, r²={}", f.r2);
+        assert!(
+            f.r2 > 0.98,
+            "multi-line latency must be linear, r²={}",
+            f.r2
+        );
         assert!(f.beta > 0.0);
     }
 

@@ -16,8 +16,7 @@ use knl_sim::{AccessKind, Machine, MesifState, SimTime};
 pub fn congestion(m: &mut Machine, pair_counts: &[usize], iters: usize) -> Vec<(usize, f64)> {
     let num_cores = m.config().num_cores();
     let half = (num_cores / 2) as u16;
-    let all: Vec<(CoreId, CoreId)> =
-        (0..half).map(|p| (CoreId(p), CoreId(p + half))).collect();
+    let all: Vec<(CoreId, CoreId)> = (0..half).map(|p| (CoreId(p), CoreId(p + half))).collect();
     pair_counts
         .iter()
         .map(|&pairs| {
@@ -31,11 +30,7 @@ pub fn congestion(m: &mut Machine, pair_counts: &[usize], iters: usize) -> Vec<(
 /// ablation, where the *simulator* — unlike the paper's software — does
 /// know tile coordinates and can stress a single ring). Returns the median
 /// worst per-pair round latency, ns.
-pub fn congestion_with_pairs(
-    m: &mut Machine,
-    pairs: &[(CoreId, CoreId)],
-    iters: usize,
-) -> f64 {
+pub fn congestion_with_pairs(m: &mut Machine, pairs: &[(CoreId, CoreId)], iters: usize) -> f64 {
     let mut meds = Vec::new();
     let mut now: SimTime = 0;
     for it in 0..iters {
@@ -78,7 +73,10 @@ mod tests {
 
     #[test]
     fn mesh_is_congestion_free() {
-        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        let mut m = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
         m.set_jitter(0);
         let pts = congestion(&mut m, &[1, 4, 8, 16], 5);
         assert_eq!(pts.len(), 4);

@@ -30,7 +30,15 @@ pub fn contention(
             let addr = (1u64 << 24) + (i as u64) * 64;
             // The owner writes the line each iteration (M state), exactly as
             // the benchmark's owner thread updates its buffer.
-            now = prep_lines(m, owner, CoreId((num_cores - 2) as u16), addr, 1, MesifState::Modified, now);
+            now = prep_lines(
+                m,
+                owner,
+                CoreId((num_cores - 2) as u16),
+                addr,
+                1,
+                MesifState::Modified,
+                now,
+            );
             // All N readers fire at the same instant; the home directory
             // serializes them. Each reader then copies the line into a
             // local buffer (as the paper's benchmark does), whose
@@ -61,7 +69,10 @@ mod tests {
 
     #[test]
     fn contention_is_linear_with_beta_near_34() {
-        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        let mut m = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
         m.set_jitter(0);
         // Scatter: each new reader lands on its own tile, so every request
         // goes through the home directory (the paper's per-tile schedule).
@@ -69,8 +80,16 @@ mod tests {
         let xs: Vec<f64> = pts.iter().map(|(n, _)| *n as f64).collect();
         let ys: Vec<f64> = pts.iter().map(|(_, s)| s.median()).collect();
         let fit = fit_linear(&xs, &ys);
-        assert!((25.0..45.0).contains(&fit.beta), "β = {} (paper: 34)", fit.beta);
-        assert!((60.0..300.0).contains(&fit.alpha), "α = {} (paper: 200)", fit.alpha);
+        assert!(
+            (25.0..45.0).contains(&fit.beta),
+            "β = {} (paper: 34)",
+            fit.beta
+        );
+        assert!(
+            (60.0..300.0).contains(&fit.alpha),
+            "α = {} (paper: 200)",
+            fit.alpha
+        );
         assert!(fit.r2 > 0.95, "linearity r² = {}", fit.r2);
     }
 

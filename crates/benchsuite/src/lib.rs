@@ -25,12 +25,18 @@ pub mod contention;
 pub mod measurement;
 pub mod membw;
 pub mod memlat;
+pub mod parallel;
 pub mod params;
 pub mod pointer_chase;
+pub mod serial;
 pub mod state_prep;
 pub mod suite;
 pub mod sync_window;
 
 pub use measurement::{BwPoint, CacheResults, LatencyStat, MemResults, SuiteResults};
+pub use parallel::{default_jobs, SweepExecutor};
 pub use params::SuiteParams;
-pub use suite::{run_cache_suite, run_full_suite, run_memory_suite};
+pub use serial::{decode_suite, encode_suite};
+pub use suite::{
+    run_cache_suite, run_configs, run_full_suite, run_full_suite_counted, run_memory_suite,
+};

@@ -4,10 +4,9 @@
 use knl_arch::{ClusterMode, MemoryMode, Schedule};
 use knl_sim::StreamKind;
 use knl_stats::{MedianCi, Sample};
-use serde::{Deserialize, Serialize};
 
 /// Median + CI of one latency quantity, in nanoseconds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStat {
     /// Raw observations (ns).
     pub sample: Sample,
@@ -29,7 +28,7 @@ impl LatencyStat {
 }
 
 /// One point of a bandwidth sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BwPoint {
     /// Message bytes (cache-to-cache) or per-thread bytes (memory).
     pub bytes: u64,
@@ -44,7 +43,7 @@ pub struct BwPoint {
 }
 
 /// Cache-to-cache capability measurements (Table I + Figs. 4–5 inputs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheResults {
     /// Local (L1) load latency.
     pub local_ns: Option<LatencyStat>,
@@ -69,7 +68,7 @@ pub struct CacheResults {
 }
 
 /// Memory capability measurements (Table II + Fig. 9 inputs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemResults {
     /// Memory latency per target: keys "DRAM", "MCDRAM" (flat) or "cache".
     pub latency_ns: Vec<(String, LatencyStat)>,
@@ -96,12 +95,15 @@ impl MemResults {
 
     /// Median latency (ns) for a target label, if measured.
     pub fn latency(&self, target: &str) -> Option<f64> {
-        self.latency_ns.iter().find(|(t, _)| t == target).map(|(_, s)| s.median_ns())
+        self.latency_ns
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, s)| s.median_ns())
     }
 }
 
 /// Everything the suite measured for one machine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResults {
     /// Cluster mode measured.
     pub cluster: ClusterMode,
@@ -121,12 +123,20 @@ impl SuiteResults {
 
     /// Median same-tile latency for a state letter.
     pub fn tile_ns(&self, state: char) -> Option<f64> {
-        self.cache.tile_ns.iter().find(|(s, _)| *s == state).map(|(_, l)| l.median_ns())
+        self.cache
+            .tile_ns
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, l)| l.median_ns())
     }
 
     /// Median remote-tile latency for a state letter.
     pub fn remote_ns(&self, state: char) -> Option<f64> {
-        self.cache.remote_ns.iter().find(|(s, _)| *s == state).map(|(_, l)| l.median_ns())
+        self.cache
+            .remote_ns
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, l)| l.median_ns())
     }
 }
 
@@ -148,8 +158,20 @@ mod tests {
             StreamKind::Triad,
             "DRAM".into(),
             vec![
-                BwPoint { bytes: 0, threads: 1, schedule: Schedule::Scatter, gbps_median: 10.0, gbps_max: 12.0 },
-                BwPoint { bytes: 0, threads: 8, schedule: Schedule::Scatter, gbps_median: 70.0, gbps_max: 80.0 },
+                BwPoint {
+                    bytes: 0,
+                    threads: 1,
+                    schedule: Schedule::Scatter,
+                    gbps_median: 10.0,
+                    gbps_max: 12.0,
+                },
+                BwPoint {
+                    bytes: 0,
+                    threads: 8,
+                    schedule: Schedule::Scatter,
+                    gbps_median: 70.0,
+                    gbps_max: 80.0,
+                },
             ],
         ));
         assert_eq!(m.table_cell(StreamKind::Triad, "DRAM"), Some(70.0));

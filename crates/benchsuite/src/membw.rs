@@ -74,8 +74,9 @@ pub fn bandwidth_sample(
         };
         want_total.min(max_total).max(threads as u64) as usize
     };
-    let pool: Vec<u64> =
-        (0..num_slots).map(|_| arena.alloc(target.numa_kind(), buf_bytes)).collect();
+    let pool: Vec<u64> = (0..num_slots)
+        .map(|_| arena.alloc(target.numa_kind(), buf_bytes))
+        .collect();
 
     // Window period generous enough for the slowest kernel at the highest
     // oversubscription (DDR writes at 256 threads).
@@ -111,7 +112,14 @@ pub fn bandwidth_sample(
                 let (a, b, c) = (base, base + lines * 64, base + 2 * lines * 64);
                 p.push(Op::WaitUntil(sync.window_start(hw.core().0 as usize, it)))
                     .push(Op::MarkStart(it))
-                    .push(Op::Stream { kind, a, b, c, lines, vectorized: true })
+                    .push(Op::Stream {
+                        kind,
+                        a,
+                        b,
+                        c,
+                        lines,
+                        vectorized: true,
+                    })
                     .push(Op::MarkEnd(it));
             }
             p
@@ -181,17 +189,42 @@ mod tests {
     fn ddr_read_saturates() {
         let mut m = machine(MemoryMode::Flat);
         let p = quick();
-        let s32 = bandwidth_sample(&mut m, StreamKind::Read, Target::Ddr, 32, Schedule::FillTiles, &p);
-        assert!((55.0..90.0).contains(&s32.median()), "32-thread DDR read {}", s32.median());
+        let s32 = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Ddr,
+            32,
+            Schedule::FillTiles,
+            &p,
+        );
+        assert!(
+            (55.0..90.0).contains(&s32.median()),
+            "32-thread DDR read {}",
+            s32.median()
+        );
     }
 
     #[test]
     fn mcdram_read_beats_ddr() {
         let mut m = machine(MemoryMode::Flat);
         let p = quick();
-        let d = bandwidth_sample(&mut m, StreamKind::Read, Target::Ddr, 32, Schedule::FillTiles, &p);
+        let d = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Ddr,
+            32,
+            Schedule::FillTiles,
+            &p,
+        );
         m.reset_devices();
-        let mc = bandwidth_sample(&mut m, StreamKind::Read, Target::Mcdram, 32, Schedule::FillTiles, &p);
+        let mc = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Mcdram,
+            32,
+            Schedule::FillTiles,
+            &p,
+        );
         assert!(
             mc.median() > 1.8 * d.median(),
             "MCDRAM {} vs DDR {}",
@@ -204,18 +237,47 @@ mod tests {
     fn write_slower_than_read() {
         let mut m = machine(MemoryMode::Flat);
         let p = quick();
-        let r = bandwidth_sample(&mut m, StreamKind::Read, Target::Ddr, 16, Schedule::FillTiles, &p);
+        let r = bandwidth_sample(
+            &mut m,
+            StreamKind::Read,
+            Target::Ddr,
+            16,
+            Schedule::FillTiles,
+            &p,
+        );
         m.reset_devices();
-        let w = bandwidth_sample(&mut m, StreamKind::Write, Target::Ddr, 16, Schedule::FillTiles, &p);
-        assert!(w.median() < r.median(), "write {} < read {}", w.median(), r.median());
-        assert!((25.0..48.0).contains(&w.median()), "DDR write {}", w.median());
+        let w = bandwidth_sample(
+            &mut m,
+            StreamKind::Write,
+            Target::Ddr,
+            16,
+            Schedule::FillTiles,
+            &p,
+        );
+        assert!(
+            w.median() < r.median(),
+            "write {} < read {}",
+            w.median(),
+            r.median()
+        );
+        assert!(
+            (25.0..48.0).contains(&w.median()),
+            "DDR write {}",
+            w.median()
+        );
     }
 
     #[test]
     fn sweep_produces_points() {
         let mut m = machine(MemoryMode::Flat);
         let p = quick();
-        let pts = bandwidth_sweep(&mut m, StreamKind::Triad, Target::Ddr, Schedule::FillTiles, &p);
+        let pts = bandwidth_sweep(
+            &mut m,
+            StreamKind::Triad,
+            Target::Ddr,
+            Schedule::FillTiles,
+            &p,
+        );
         assert_eq!(pts.len(), p.mem_threads.len());
         assert!(pts.iter().all(|pt| pt.gbps_median > 0.0));
         // More threads must not reduce bandwidth below the single-thread one.
@@ -228,11 +290,25 @@ mod tests {
         // because random buffers may miss the memory-side cache.
         let p = quick();
         let mut flat = machine(MemoryMode::Flat);
-        let mc = bandwidth_sample(&mut flat, StreamKind::Read, Target::Mcdram, 32, Schedule::FillTiles, &p)
-            .median();
+        let mc = bandwidth_sample(
+            &mut flat,
+            StreamKind::Read,
+            Target::Mcdram,
+            32,
+            Schedule::FillTiles,
+            &p,
+        )
+        .median();
         let mut cm = machine(MemoryMode::Cache);
-        let c = bandwidth_sample(&mut cm, StreamKind::Read, Target::CacheMode, 32, Schedule::FillTiles, &p)
-            .median();
+        let c = bandwidth_sample(
+            &mut cm,
+            StreamKind::Read,
+            Target::CacheMode,
+            32,
+            Schedule::FillTiles,
+            &p,
+        )
+        .median();
         assert!(c < mc, "cache-mode {c} must trail flat MCDRAM {mc}");
     }
 }

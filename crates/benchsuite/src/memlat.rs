@@ -2,10 +2,10 @@
 //! over a buffer far larger than the caches, allocated in DDR or MCDRAM
 //! (flat modes) or wherever the cache mode puts it.
 
+use knl_arch::topology::splitmix64;
 use knl_arch::{CoreId, NumaKind};
 use knl_sim::{AccessKind, Machine, SimTime};
 use knl_stats::Sample;
-use knl_arch::topology::splitmix64;
 
 /// Median-ready sample of dependent-load latencies (ns) over a `lines`-line
 /// buffer at `base`. Accesses visit lines in a hash-scrambled order so
@@ -31,7 +31,13 @@ pub fn chase_latency(
 }
 
 /// Convenience: allocate a chase buffer of `lines` in `kind` and measure.
-pub fn memory_latency(m: &mut Machine, core: CoreId, kind: NumaKind, lines: u64, samples: usize) -> Sample {
+pub fn memory_latency(
+    m: &mut Machine,
+    core: CoreId,
+    kind: NumaKind,
+    lines: u64,
+    samples: usize,
+) -> Sample {
     let base = m.arena().alloc(kind, lines * 64);
     chase_latency(m, core, base, lines, samples)
 }
@@ -43,7 +49,10 @@ mod tests {
 
     #[test]
     fn flat_mode_latencies_match_table2() {
-        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        let mut m = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
         m.set_jitter(0);
         let ddr = memory_latency(&mut m, CoreId(0), NumaKind::Ddr, 32 << 10, 50).median();
         m.reset_caches();
@@ -56,10 +65,16 @@ mod tests {
 
     #[test]
     fn cache_mode_latency_higher_than_flat_dram() {
-        let mut flat = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        let mut flat = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
         flat.set_jitter(0);
         let ddr = memory_latency(&mut flat, CoreId(0), NumaKind::Ddr, 32 << 10, 50).median();
-        let mut cm = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache));
+        let mut cm = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Cache,
+        ));
         cm.set_jitter(0);
         // Warm the memory-side cache with one pass, then drop only the tile
         // caches and measure: hits now come from the MCDRAM cache (the
@@ -69,7 +84,15 @@ mod tests {
         cm.reset_tile_caches();
         let warm = chase_latency(&mut cm, CoreId(0), base, 32 << 10, 200);
         // Table II cache mode: 166-172 ns vs DRAM flat 140.
-        assert!(warm.median() > ddr, "cache-mode {} vs flat DRAM {ddr}", warm.median());
-        assert!((150.0..220.0).contains(&warm.median()), "cache-mode {}", warm.median());
+        assert!(
+            warm.median() > ddr,
+            "cache-mode {} vs flat DRAM {ddr}",
+            warm.median()
+        );
+        assert!(
+            (150.0..220.0).contains(&warm.median()),
+            "cache-mode {}",
+            warm.median()
+        );
     }
 }

@@ -1,0 +1,192 @@
+//! Parallel experiment orchestration.
+//!
+//! [`SweepExecutor`] fans independent (configuration, benchmark-point) jobs
+//! over a scoped worker pool built on `std::thread::scope` — no external
+//! crates, so the workspace keeps building offline. Workers claim job
+//! indices from a shared atomic cursor, each job constructs whatever state
+//! it needs (typically a fresh [`knl_sim::Machine`], which is `Send`), and
+//! results land in per-job slots that are drained **in canonical job
+//! order** once the scope joins.
+//!
+//! # Determinism contract
+//!
+//! A job is the pair `(index, &item)` handed to a pure worker closure:
+//! everything a job reads is either its own freshly constructed state or
+//! the immutable shared inputs. Per-job random streams must be derived
+//! from the job index (see [`knl_arch::SplitMixRng::for_job`]), never from
+//! a shared mutable RNG. Under that discipline the merged output is
+//! **bit-identical** for every `--jobs` value: `jobs = 1` runs the very
+//! same closure serially, and higher job counts only change *when* each
+//! job runs, not *what* it computes nor the order results are returned in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count used when `--jobs` is absent: the `KNL_JOBS` environment
+/// variable if set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("KNL_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid KNL_JOBS={v:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-width pool that maps a worker closure over a job list and merges
+/// results in job order.
+#[derive(Debug, Clone)]
+pub struct SweepExecutor {
+    jobs: usize,
+    progress: bool,
+}
+
+impl SweepExecutor {
+    /// Executor with an explicit worker count (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepExecutor {
+            jobs: jobs.max(1),
+            progress: false,
+        }
+    }
+
+    /// Executor sized by [`default_jobs`] (`KNL_JOBS` or the core count).
+    pub fn with_default_jobs() -> Self {
+        Self::new(default_jobs())
+    }
+
+    /// Emit a progress line to stderr as each job completes.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `worker(index, &item)` for every item and return the results in
+    /// item order.
+    ///
+    /// With one worker (or one job) this degenerates to a plain serial
+    /// loop over the same closure — the old code path. With more, workers
+    /// claim indices from an atomic cursor so no job is run twice and no
+    /// job is skipped; a panicking job propagates the panic to the caller
+    /// once the scope joins.
+    pub fn run<J, R, F>(&self, label: &str, items: &[J], worker: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(usize, &J) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = self.jobs.min(n);
+        if threads <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let r = worker(i, item);
+                    self.note(label, i, n);
+                    r
+                })
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = worker(i, &items[i]);
+                    *slots[i].lock().expect("sweep result slot poisoned") = Some(r);
+                    self.note(label, i, n);
+                });
+            }
+        });
+        // Canonical-order merge: completion order is irrelevant.
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("sweep result slot poisoned")
+                    .expect("every claimed job stores a result")
+            })
+            .collect()
+    }
+
+    fn note(&self, label: &str, index: usize, total: usize) {
+        if self.progress {
+            eprintln!("[{label}] job {}/{total} done (#{index})", index + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_arch::SplitMixRng;
+
+    #[test]
+    fn results_in_job_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let ex = SweepExecutor::new(4);
+        let out = ex.run("t", &items, |i, &x| {
+            assert_eq!(i, x);
+            // Stagger completion so late slots finish before early ones.
+            let mut rng = SplitMixRng::for_job(1, i as u64);
+            std::thread::sleep(std::time::Duration::from_micros(rng.range_u64(0, 200)));
+            x * 10
+        });
+        assert_eq!(out, (0..37).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let items: Vec<u64> = (0..24).collect();
+        let work = |i: usize, &seed: &u64| {
+            let mut rng = SplitMixRng::for_job(seed, i as u64);
+            (0..100).map(|_| rng.next_f64()).sum::<f64>().to_bits()
+        };
+        let serial = SweepExecutor::new(1).run("s", &items, work);
+        let parallel = SweepExecutor::new(6).run("p", &items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let ex = SweepExecutor::new(8);
+        let empty: Vec<u32> = vec![];
+        assert!(ex.run("e", &empty, |_, &x| x).is_empty());
+        assert_eq!(ex.run("one", &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn jobs_clamped_to_one() {
+        assert_eq!(SweepExecutor::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        SweepExecutor::new(7).run("c", &items, |_, &i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+}

@@ -1,12 +1,10 @@
 //! Benchmark sweep parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Controls the size of the benchmark sweeps. `quick()` keeps unit tests
 /// fast; `paper()` matches the paper's reported sweeps (message sizes
 /// 64 B–256 KB, threads 1–256, two schedules, 1000 iterations scaled down to
 /// keep simulation time reasonable — medians stabilize far earlier).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteParams {
     /// Iterations per measured configuration.
     pub iters: usize,
@@ -40,7 +38,7 @@ impl SuiteParams {
             mem_lines_per_thread: 1024,
             mem_pool_buffers: 4,
             memlat_lines: 32 << 10, // 2 MB
-            seed: 0xBE7C
+            seed: 0xBE7C,
         }
     }
 

@@ -1,0 +1,379 @@
+//! JSON encode/decode for [`SuiteResults`] (the suite cache on disk).
+//!
+//! Hand-rolled over [`knl_stats::json::Json`] so the workspace stays free of
+//! external crates. Floats are rendered with shortest-round-trip formatting,
+//! so `decode(encode(r)) == r` is bit-exact — cached suite results replayed
+//! from disk compare equal to freshly measured ones.
+//!
+//! Decoding is total-but-fallible: any structural mismatch (including files
+//! written by older formats) returns `None` and callers re-measure.
+
+use crate::measurement::{BwPoint, CacheResults, LatencyStat, MemResults, SuiteResults};
+use knl_arch::{ClusterMode, MemoryMode, Schedule};
+use knl_sim::StreamKind;
+use knl_stats::json::Json;
+use knl_stats::{MedianCi, Sample};
+
+/// Render suite results as a JSON string.
+pub fn encode_suite(r: &SuiteResults) -> String {
+    suite_json(r).render()
+}
+
+/// Parse suite results from a JSON string (inverse of [`encode_suite`]).
+pub fn decode_suite(s: &str) -> Option<SuiteResults> {
+    suite_from(&Json::parse(s)?)
+}
+
+fn suite_json(r: &SuiteResults) -> Json {
+    Json::obj(vec![
+        ("cluster", Json::Str(r.cluster.name().into())),
+        ("memory", Json::Str(r.memory.name().into())),
+        ("cache", cache_json(&r.cache)),
+        ("mem", mem_json(&r.mem)),
+    ])
+}
+
+fn suite_from(v: &Json) -> Option<SuiteResults> {
+    Some(SuiteResults {
+        cluster: ClusterMode::from_name(v.get("cluster")?.as_str()?)?,
+        memory: MemoryMode::from_name(v.get("memory")?.as_str()?)?,
+        cache: cache_from(v.get("cache")?)?,
+        mem: mem_from(v.get("mem")?)?,
+    })
+}
+
+fn sample_json(s: &Sample) -> Json {
+    Json::arr(s.values(), |x| Json::Num(*x))
+}
+
+fn sample_from(v: &Json) -> Option<Sample> {
+    let values = v
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Option<Vec<_>>>()?;
+    Some(Sample::from_values(values))
+}
+
+fn lat_json(l: &LatencyStat) -> Json {
+    Json::obj(vec![
+        ("sample", sample_json(&l.sample)),
+        ("median", Json::Num(l.ci.median)),
+        ("lo", Json::Num(l.ci.lo)),
+        ("hi", Json::Num(l.ci.hi)),
+    ])
+}
+
+fn lat_from(v: &Json) -> Option<LatencyStat> {
+    Some(LatencyStat {
+        sample: sample_from(v.get("sample")?)?,
+        ci: MedianCi {
+            median: v.get("median")?.as_f64()?,
+            lo: v.get("lo")?.as_f64()?,
+            hi: v.get("hi")?.as_f64()?,
+        },
+    })
+}
+
+fn bw_point_json(p: &BwPoint) -> Json {
+    Json::obj(vec![
+        ("bytes", Json::Num(p.bytes as f64)),
+        ("threads", Json::Num(p.threads as f64)),
+        ("schedule", Json::Str(p.schedule.name().into())),
+        ("gbps_median", Json::Num(p.gbps_median)),
+        ("gbps_max", Json::Num(p.gbps_max)),
+    ])
+}
+
+fn bw_point_from(v: &Json) -> Option<BwPoint> {
+    Some(BwPoint {
+        bytes: v.get("bytes")?.as_u64()?,
+        threads: v.get("threads")?.as_usize()?,
+        schedule: Schedule::from_name(v.get("schedule")?.as_str()?)?,
+        gbps_median: v.get("gbps_median")?.as_f64()?,
+        gbps_max: v.get("gbps_max")?.as_f64()?,
+    })
+}
+
+fn cache_json(c: &CacheResults) -> Json {
+    let state_lats = |v: &[(char, LatencyStat)]| {
+        Json::Arr(
+            v.iter()
+                .map(|(s, l)| Json::Arr(vec![Json::Str(s.to_string()), lat_json(l)]))
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("local_ns", c.local_ns.as_ref().map_or(Json::Null, lat_json)),
+        ("tile_ns", state_lats(&c.tile_ns)),
+        ("remote_ns", state_lats(&c.remote_ns)),
+        (
+            "remote_map",
+            Json::arr(&c.remote_map, |(core, s, ns)| {
+                Json::Arr(vec![
+                    Json::Num(*core as f64),
+                    Json::Str(s.to_string()),
+                    Json::Num(*ns),
+                ])
+            }),
+        ),
+        ("read_bw_gbps", Json::Num(c.read_bw_gbps)),
+        (
+            "copy_bw_gbps",
+            Json::arr(&c.copy_bw_gbps, |(loc, s, g)| {
+                Json::Arr(vec![
+                    Json::Str(loc.clone()),
+                    Json::Str(s.to_string()),
+                    Json::Num(*g),
+                ])
+            }),
+        ),
+        (
+            "copy_sweep",
+            Json::arr(&c.copy_sweep, |(loc, s, bytes, g)| {
+                Json::Arr(vec![
+                    Json::Str(loc.clone()),
+                    Json::Str(s.to_string()),
+                    Json::Num(*bytes as f64),
+                    Json::Num(*g),
+                ])
+            }),
+        ),
+        (
+            "multiline_read_ns",
+            Json::arr(&c.multiline_read_ns, |(lines, ns)| {
+                Json::Arr(vec![Json::Num(*lines as f64), Json::Num(*ns)])
+            }),
+        ),
+        (
+            "contention",
+            Json::arr(&c.contention, |(n, s)| {
+                Json::Arr(vec![Json::Num(*n as f64), sample_json(s)])
+            }),
+        ),
+        (
+            "congestion",
+            Json::arr(&c.congestion, |(pairs, ns)| {
+                Json::Arr(vec![Json::Num(*pairs as f64), Json::Num(*ns)])
+            }),
+        ),
+    ])
+}
+
+fn cache_from(v: &Json) -> Option<CacheResults> {
+    fn pair(e: &Json) -> Option<(&Json, &Json)> {
+        let a = e.as_arr()?;
+        (a.len() == 2).then(|| (&a[0], &a[1]))
+    }
+    fn triple(e: &Json) -> Option<(&Json, &Json, &Json)> {
+        let a = e.as_arr()?;
+        (a.len() == 3).then(|| (&a[0], &a[1], &a[2]))
+    }
+    let state_lats = |v: &Json| -> Option<Vec<(char, LatencyStat)>> {
+        v.as_arr()?
+            .iter()
+            .map(|e| {
+                let (s, l) = pair(e)?;
+                Some((s.as_char()?, lat_from(l)?))
+            })
+            .collect()
+    };
+    Some(CacheResults {
+        local_ns: match v.get("local_ns")? {
+            Json::Null => None,
+            l => Some(lat_from(l)?),
+        },
+        tile_ns: state_lats(v.get("tile_ns")?)?,
+        remote_ns: state_lats(v.get("remote_ns")?)?,
+        remote_map: v
+            .get("remote_map")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let (core, s, ns) = triple(e)?;
+                Some((core.as_u64()? as u16, s.as_char()?, ns.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        read_bw_gbps: v.get("read_bw_gbps")?.as_f64()?,
+        copy_bw_gbps: v
+            .get("copy_bw_gbps")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let (loc, s, g) = triple(e)?;
+                Some((loc.as_str()?.to_string(), s.as_char()?, g.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        copy_sweep: v
+            .get("copy_sweep")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let a = e.as_arr()?;
+                if a.len() != 4 {
+                    return None;
+                }
+                Some((
+                    a[0].as_str()?.to_string(),
+                    a[1].as_char()?,
+                    a[2].as_u64()?,
+                    a[3].as_f64()?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        multiline_read_ns: v
+            .get("multiline_read_ns")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let (lines, ns) = pair(e)?;
+                Some((lines.as_u64()?, ns.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        contention: v
+            .get("contention")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let (n, s) = pair(e)?;
+                Some((n.as_usize()?, sample_from(s)?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        congestion: v
+            .get("congestion")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let (pairs, ns) = pair(e)?;
+                Some((pairs.as_usize()?, ns.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn mem_json(m: &MemResults) -> Json {
+    Json::obj(vec![
+        (
+            "latency_ns",
+            Json::arr(&m.latency_ns, |(target, l)| {
+                Json::Arr(vec![Json::Str(target.clone()), lat_json(l)])
+            }),
+        ),
+        (
+            "bw_sweeps",
+            Json::arr(&m.bw_sweeps, |(kind, target, pts)| {
+                Json::Arr(vec![
+                    Json::Str(kind.name().into()),
+                    Json::Str(target.clone()),
+                    Json::arr(pts, bw_point_json),
+                ])
+            }),
+        ),
+    ])
+}
+
+fn mem_from(v: &Json) -> Option<MemResults> {
+    Some(MemResults {
+        latency_ns: v
+            .get("latency_ns")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let a = e.as_arr()?;
+                if a.len() != 2 {
+                    return None;
+                }
+                Some((a[0].as_str()?.to_string(), lat_from(&a[1])?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        bw_sweeps: v
+            .get("bw_sweeps")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let a = e.as_arr()?;
+                if a.len() != 3 {
+                    return None;
+                }
+                let pts = a[2]
+                    .as_arr()?
+                    .iter()
+                    .map(bw_point_from)
+                    .collect::<Option<Vec<_>>>()?;
+                Some((
+                    StreamKind::from_name(a[0].as_str()?)?,
+                    a[1].as_str()?.to_string(),
+                    pts,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_suite() -> SuiteResults {
+        let lat = |vals: Vec<f64>| LatencyStat::from_sample(Sample::from_values(vals));
+        SuiteResults {
+            cluster: ClusterMode::Snc4,
+            memory: MemoryMode::Flat,
+            cache: CacheResults {
+                local_ns: Some(lat(vec![3.1, 3.2, 3.15])),
+                tile_ns: vec![('M', lat(vec![21.0, 21.5])), ('E', lat(vec![20.0, 20.25]))],
+                remote_ns: vec![('S', lat(vec![150.0, 151.0, 149.5]))],
+                remote_map: vec![(1, 'M', 154.25), (2, 'E', 160.5)],
+                read_bw_gbps: 1.0 / 3.0,
+                copy_bw_gbps: vec![("remote".into(), 'M', 2.5)],
+                copy_sweep: vec![("remote".into(), 'M', 4096, 1.75)],
+                multiline_read_ns: vec![(1, 150.0), (8, 162.5)],
+                contention: vec![(4, Sample::from_values(vec![200.0, 201.5]))],
+                congestion: vec![(2, 155.5)],
+            },
+            mem: MemResults {
+                latency_ns: vec![("DRAM".into(), lat(vec![128.5, 129.0]))],
+                bw_sweeps: vec![(
+                    StreamKind::Triad,
+                    "MCDRAM".into(),
+                    vec![BwPoint {
+                        bytes: 1 << 20,
+                        threads: 64,
+                        schedule: Schedule::Scatter,
+                        gbps_median: 421.062_500_000_1,
+                        gbps_max: 433.9,
+                    }],
+                )],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let r = sample_suite();
+        let text = encode_suite(&r);
+        let back = decode_suite(&text).expect("decode");
+        assert_eq!(back, r);
+        // Render → parse → render is a fixpoint (canonical form).
+        assert_eq!(encode_suite(&back), text);
+    }
+
+    #[test]
+    fn empty_defaults_roundtrip() {
+        let r = SuiteResults {
+            cluster: ClusterMode::A2A,
+            memory: MemoryMode::Cache,
+            cache: CacheResults::default(),
+            mem: MemResults::default(),
+        };
+        assert_eq!(decode_suite(&encode_suite(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn garbage_and_old_formats_rejected() {
+        assert!(decode_suite("").is_none());
+        assert!(decode_suite("{}").is_none());
+        // serde's externally-tagged enum style from the old format.
+        assert!(decode_suite(r#"{"cluster":{"Snc4":null}}"#).is_none());
+    }
+}

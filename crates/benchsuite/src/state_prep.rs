@@ -1,8 +1,8 @@
 //! Putting lines into a desired MESIF state using *real* coherent operations
 //! (the same way the BenchIT harness arranges states on hardware).
 
-use knl_sim::{AccessKind, Machine, MesifState, SimTime};
 use knl_arch::CoreId;
+use knl_sim::{AccessKind, Machine, MesifState, SimTime};
 
 /// Gap inserted between preparation and measurement so preparation traffic
 /// has fully drained (directory serialization slots, device queues).
@@ -20,7 +20,11 @@ pub fn prep_lines(
     state: MesifState,
     mut now: SimTime,
 ) -> SimTime {
-    assert_ne!(owner.tile(), helper.tile(), "helper must be on another tile");
+    assert_ne!(
+        owner.tile(),
+        helper.tile(),
+        "helper must be on another tile"
+    );
     for i in 0..lines {
         let addr = base + i * 64;
         match state {
@@ -57,7 +61,10 @@ mod tests {
     use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
 
     fn machine() -> Machine {
-        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+        let mut m = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
         m.set_jitter(0);
         m
     }

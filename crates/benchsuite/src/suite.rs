@@ -35,13 +35,19 @@ pub fn run_cache_suite(m: &mut Machine, params: &SuiteParams) -> CacheResults {
         ..CacheResults::default()
     };
 
-    for st in [MesifState::Modified, MesifState::Exclusive, MesifState::Shared, MesifState::Forward]
-    {
+    for st in [
+        MesifState::Modified,
+        MesifState::Exclusive,
+        MesifState::Shared,
+        MesifState::Forward,
+    ] {
         let tile = pointer_chase::transfer_latency(m, tile_owner, reader, helper, st, params.iters);
-        r.tile_ns.push((st.letter(), LatencyStat::from_sample(tile)));
+        r.tile_ns
+            .push((st.letter(), LatencyStat::from_sample(tile)));
         let remote =
             pointer_chase::transfer_latency(m, remote_owner, reader, helper, st, params.iters);
-        r.remote_ns.push((st.letter(), LatencyStat::from_sample(remote)));
+        r.remote_ns
+            .push((st.letter(), LatencyStat::from_sample(remote)));
     }
 
     // Single-thread read/copy bandwidth (max median over the size sweep).
@@ -60,13 +66,19 @@ pub fn run_cache_suite(m: &mut Machine, params: &SuiteParams) -> CacheResults {
     }
     r.read_bw_gbps = best_read;
 
-    for (loc, owner) in
-        [("tile", tile_owner), ("remote", remote_owner)]
-    {
+    for (loc, owner) in [("tile", tile_owner), ("remote", remote_owner)] {
         for st in [MesifState::Modified, MesifState::Exclusive] {
             let mut best: f64 = 0.0;
             for &bytes in &params.c2c_sizes {
-                let s = cachebw::copy_bandwidth(m, owner, reader, helper, st, bytes, params.iters.min(7));
+                let s = cachebw::copy_bandwidth(
+                    m,
+                    owner,
+                    reader,
+                    helper,
+                    st,
+                    bytes,
+                    params.iters.min(7),
+                );
                 best = best.max(s.median());
             }
             r.copy_bw_gbps.push((loc.to_string(), st.letter(), best));
@@ -77,22 +89,47 @@ pub fn run_cache_suite(m: &mut Machine, params: &SuiteParams) -> CacheResults {
     for (loc, owner) in cachebw::fig5_partners(m, reader) {
         for st in [MesifState::Modified, MesifState::Exclusive] {
             for &bytes in &params.c2c_sizes {
-                let s = cachebw::copy_bandwidth(m, owner, reader, helper_for(m, owner, reader), st, bytes, params.iters.min(5));
-                r.copy_sweep.push((loc.to_string(), st.letter(), bytes, s.median()));
+                let s = cachebw::copy_bandwidth(
+                    m,
+                    owner,
+                    reader,
+                    helper_for(m, owner, reader),
+                    st,
+                    bytes,
+                    params.iters.min(5),
+                );
+                r.copy_sweep
+                    .push((loc.to_string(), st.letter(), bytes, s.median()));
             }
         }
     }
 
     // Multi-line latency fit input.
-    let line_counts: Vec<u64> = params.c2c_sizes.iter().map(|b| b / 64).filter(|&l| l >= 1).collect();
-    r.multiline_read_ns =
-        cachebw::multiline_latency(m, remote_owner, reader, helper, &line_counts, params.iters.min(5));
+    let line_counts: Vec<u64> = params
+        .c2c_sizes
+        .iter()
+        .map(|b| b / 64)
+        .filter(|&l| l >= 1)
+        .collect();
+    r.multiline_read_ns = cachebw::multiline_latency(
+        m,
+        remote_owner,
+        reader,
+        helper,
+        &line_counts,
+        params.iters.min(5),
+    );
 
     // Contention. Scatter places each new reader on its own tile so every
     // request serializes at the home directory (the benchmark intent; with
     // sequential issuance a tile sibling would otherwise ride on its
     // sibling's freshly fetched copy).
-    r.contention = contention(m, &params.contention_n, Schedule::Scatter, params.iters.min(7));
+    r.contention = contention(
+        m,
+        &params.contention_n,
+        Schedule::Scatter,
+        params.iters.min(7),
+    );
 
     // Congestion.
     r.congestion = congestion(m, &params.congestion_pairs, params.iters.min(5));
@@ -116,12 +153,26 @@ pub fn run_memory_suite(m: &mut Machine, params: &SuiteParams) -> MemResults {
 
     // Latency rows.
     if m.config().memory != MemoryMode::Cache {
-        let ddr = memlat::memory_latency(m, CoreId(0), NumaKind::Ddr, params.memlat_lines, params.iters * 6);
-        r.latency_ns.push(("DRAM".into(), LatencyStat::from_sample(ddr)));
+        let ddr = memlat::memory_latency(
+            m,
+            CoreId(0),
+            NumaKind::Ddr,
+            params.memlat_lines,
+            params.iters * 6,
+        );
+        r.latency_ns
+            .push(("DRAM".into(), LatencyStat::from_sample(ddr)));
         m.reset_caches();
         if flat {
-            let mc = memlat::memory_latency(m, CoreId(0), NumaKind::Mcdram, params.memlat_lines, params.iters * 6);
-            r.latency_ns.push(("MCDRAM".into(), LatencyStat::from_sample(mc)));
+            let mc = memlat::memory_latency(
+                m,
+                CoreId(0),
+                NumaKind::Mcdram,
+                params.memlat_lines,
+                params.iters * 6,
+            );
+            r.latency_ns
+                .push(("MCDRAM".into(), LatencyStat::from_sample(mc)));
             m.reset_caches();
         }
     } else {
@@ -130,7 +181,8 @@ pub fn run_memory_suite(m: &mut Machine, params: &SuiteParams) -> MemResults {
         let _ = memlat::chase_latency(m, CoreId(0), base, params.memlat_lines, params.iters * 6);
         m.reset_tile_caches();
         let s = memlat::chase_latency(m, CoreId(0), base, params.memlat_lines, params.iters * 6);
-        r.latency_ns.push(("cache".into(), LatencyStat::from_sample(s)));
+        r.latency_ns
+            .push(("cache".into(), LatencyStat::from_sample(s)));
         m.reset_caches();
     }
 
@@ -158,12 +210,47 @@ pub fn run_memory_suite(m: &mut Machine, params: &SuiteParams) -> MemResults {
 
 /// Run everything for one configuration.
 pub fn run_full_suite(cfg: &MachineConfig, params: &SuiteParams) -> SuiteResults {
+    run_full_suite_counted(cfg, params).0
+}
+
+/// Like [`run_full_suite`], also returning the machine's hardware event
+/// counters accumulated over the whole suite (the per-configuration
+/// summary printed by the sweep drivers).
+pub fn run_full_suite_counted(
+    cfg: &MachineConfig,
+    params: &SuiteParams,
+) -> (SuiteResults, knl_sim::Counters) {
     let mut m = Machine::new(cfg.clone());
     let cache = run_cache_suite(&mut m, params);
     m.reset_caches();
     m.reset_devices();
     let mem = run_memory_suite(&mut m, params);
-    SuiteResults { cluster: cfg.cluster, memory: cfg.memory, cache, mem }
+    let counters = m.counters();
+    (
+        SuiteResults {
+            cluster: cfg.cluster,
+            memory: cfg.memory,
+            cache,
+            mem,
+        },
+        counters,
+    )
+}
+
+/// Run the full suite for many configurations on a worker pool, each job
+/// owning a freshly constructed [`Machine`]. Results come back in the
+/// order of `configs` and are bit-identical for every worker count (see
+/// the determinism contract on [`crate::parallel::SweepExecutor`]).
+pub fn run_configs(
+    configs: &[MachineConfig],
+    params: &SuiteParams,
+    jobs: usize,
+) -> Vec<(SuiteResults, knl_sim::Counters)> {
+    crate::parallel::SweepExecutor::new(jobs)
+        .progress(true)
+        .run("suite", configs, |_i, cfg| {
+            run_full_suite_counted(cfg, params)
+        })
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ impl WindowSync {
     pub fn new(num_cores: usize, period_ps: SimTime, max_skew_ns: u64, seed: u64) -> Self {
         let span = (2 * max_skew_ns * 1000 + 1) as i64;
         let skew_ps = (0..num_cores)
-            .map(|c| (splitmix64(seed ^ (c as u64) << 7) as i64).rem_euclid(span) - (max_skew_ns * 1000) as i64)
+            .map(|c| {
+                (splitmix64(seed ^ (c as u64) << 7) as i64).rem_euclid(span)
+                    - (max_skew_ns * 1000) as i64
+            })
             .collect();
         WindowSync { skew_ps, period_ps }
     }

@@ -5,9 +5,9 @@
 //! tree is slightly bushier near the leaves).
 
 use crate::broadcast::TreeBroadcast;
+use crate::pad::CachePadded;
 use crate::plan::RankPlan;
 use crate::reduce::TreeReduce;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Model-tuned allreduce (sum of one u64 per rank; every rank receives the
@@ -29,7 +29,10 @@ impl TreeAllreduce {
             bcast_plan.num_ranks(),
             "plans must span the same ranks"
         );
-        assert_eq!(reduce_plan.root, bcast_plan.root, "plans must share the root");
+        assert_eq!(
+            reduce_plan.root, bcast_plan.root,
+            "plans must share the root"
+        );
         TreeAllreduce {
             reduce: TreeReduce::new(reduce_plan),
             bcast: TreeBroadcast::new(bcast_plan),

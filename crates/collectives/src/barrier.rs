@@ -5,7 +5,7 @@
 //! release atomics with generation counters so the structures are reusable
 //! without reinitialization (sense reversal generalized to a u64 epoch).
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Generalized dissemination barrier with radix `m + 1`: in each of `r`
@@ -31,7 +31,13 @@ impl DisseminationBarrier {
         flags.resize_with(rounds.max(1) * n, || CachePadded::new(AtomicU64::new(0)));
         let mut epochs = Vec::new();
         epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
-        DisseminationBarrier { n, m, rounds, flags, epochs }
+        DisseminationBarrier {
+            n,
+            m,
+            rounds,
+            flags,
+            epochs,
+        }
     }
 
     /// Number of dissemination rounds.

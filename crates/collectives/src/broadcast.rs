@@ -6,8 +6,8 @@
 //! line's neighbourhood, children poll the flag, copy the data, notify
 //! their own children, and acknowledge so the structure is reusable.
 
+use crate::pad::CachePadded;
 use crate::plan::RankPlan;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One payload slot: 7 data words + an epoch flag, all in one padded line.
@@ -19,7 +19,10 @@ struct Slot {
 
 impl Slot {
     fn new() -> Self {
-        Slot { data: std::array::from_fn(|_| AtomicU64::new(0)), flag: AtomicU64::new(0) }
+        Slot {
+            data: std::array::from_fn(|_| AtomicU64::new(0)),
+            flag: AtomicU64::new(0),
+        }
     }
 
     fn publish(&self, value: &[u64; 7], epoch: u64) {
@@ -54,7 +57,12 @@ impl TreeBroadcast {
         acks.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
         let mut epochs = Vec::new();
         epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
-        TreeBroadcast { plan, slots, acks, epochs }
+        TreeBroadcast {
+            plan,
+            slots,
+            acks,
+            epochs,
+        }
     }
 
     /// The plan the structure was built over.
@@ -160,7 +168,14 @@ impl MpiBroadcast {
         acks.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
         let mut epochs = Vec::new();
         epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
-        MpiBroadcast { plan, staging, dest, envelope, acks, epochs }
+        MpiBroadcast {
+            plan,
+            staging,
+            dest,
+            envelope,
+            acks,
+            epochs,
+        }
     }
 
     /// Participate as `rank`; the root passes `Some(value)`.
@@ -207,7 +222,11 @@ mod tests {
                 s.spawn(move || {
                     for it in 0..iters as u64 {
                         let expect = [it + 1, it + 2, it + 3, it + 4, it + 5, it + 6, it + 7];
-                        let v = if rank == 0 { f(rank, Some(expect)) } else { f(rank, None) };
+                        let v = if rank == 0 {
+                            f(rank, Some(expect))
+                        } else {
+                            f(rank, None)
+                        };
                         assert_eq!(v, expect, "rank {rank} iteration {it}");
                     }
                 });

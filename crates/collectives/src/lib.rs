@@ -16,6 +16,7 @@
 pub mod allreduce;
 pub mod barrier;
 pub mod broadcast;
+pub mod pad;
 pub mod plan;
 pub mod reduce;
 pub mod simspec;

@@ -26,7 +26,11 @@ impl RankPlan {
     pub fn direct(tree: &Tree) -> Self {
         let parent = tree.bfs_parents();
         let children = tree.bfs_children();
-        RankPlan { parent, children, root: 0 }
+        RankPlan {
+            parent,
+            children,
+            root: 0,
+        }
     }
 
     /// Hierarchical mapping for `n` ranks pinned by `schedule` on a machine
@@ -35,7 +39,11 @@ impl RankPlan {
     /// attach flat under their leader.
     pub fn hierarchical(tree: &Tree, n: usize, schedule: Schedule, num_cores: usize) -> Self {
         let groups = tile_groups(n, schedule, num_cores);
-        assert_eq!(tree.size(), groups.len(), "tree must span one node per tile group");
+        assert_eq!(
+            tree.size(),
+            groups.len(),
+            "tree must span one node per tile group"
+        );
         let leader_parent = tree.bfs_parents();
         let leader_children = tree.bfs_children();
         let mut parent = vec![None; n];
@@ -49,7 +57,11 @@ impl RankPlan {
                 children[leader].push(member);
             }
         }
-        RankPlan { parent, children, root: groups[0][0] }
+        RankPlan {
+            parent,
+            children,
+            root: groups[0][0],
+        }
     }
 
     /// Number of ranks the plan spans.

@@ -1,8 +1,8 @@
 //! Host-thread reductions (sum of one u64 per rank): model-tuned tree,
 //! centralized atomic (OpenMP-like), and MPI-like binomial with staging.
 
+use crate::pad::CachePadded;
 use crate::plan::RankPlan;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One contribution slot: value + epoch flag in a padded line.
@@ -14,7 +14,10 @@ struct Slot {
 
 impl Slot {
     fn new() -> Self {
-        Slot { value: AtomicU64::new(0), flag: AtomicU64::new(0) }
+        Slot {
+            value: AtomicU64::new(0),
+            flag: AtomicU64::new(0),
+        }
     }
 
     fn publish(&self, v: u64, epoch: u64) {
@@ -49,7 +52,12 @@ impl TreeReduce {
         slots.resize_with(n, || CachePadded::new(Slot::new()));
         let mut epochs = Vec::new();
         epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
-        TreeReduce { plan, slots, release: CachePadded::new(AtomicU64::new(0)), epochs }
+        TreeReduce {
+            plan,
+            slots,
+            release: CachePadded::new(AtomicU64::new(0)),
+            epochs,
+        }
     }
 
     /// The plan the structure was built over.
@@ -140,7 +148,13 @@ impl MpiReduce {
         recv.resize_with(n, || CachePadded::new(Slot::new()));
         let mut epochs = Vec::new();
         epochs.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
-        MpiReduce { plan, staging, recv, release: CachePadded::new(AtomicU64::new(0)), epochs }
+        MpiReduce {
+            plan,
+            staging,
+            recv,
+            release: CachePadded::new(AtomicU64::new(0)),
+            epochs,
+        }
     }
 
     /// Contribute and synchronize; the root gets the sum.

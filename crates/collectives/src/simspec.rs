@@ -45,9 +45,8 @@ impl SimLayout {
     /// Allocate lines in `kind` memory (Figs. 6–8 use MCDRAM), spaced a
     /// page apart to avoid false conflicts.
     pub fn alloc(arena: &mut Arena, kind: NumaKind, n: usize) -> Self {
-        let mut grab = |count: usize| -> Vec<u64> {
-            (0..count).map(|_| arena.alloc(kind, 4096)).collect()
-        };
+        let mut grab =
+            |count: usize| -> Vec<u64> { (0..count).map(|_| arena.alloc(kind, 4096)).collect() };
         SimLayout {
             flag: grab(n),
             ack: grab(n),
@@ -81,20 +80,35 @@ pub fn tree_broadcast_programs(
                 p.push(Op::MarkStart(it));
                 if rank == plan.root {
                     // Publish data + flag (same line): R_I + R_L.
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val: gen,
+                    });
                 } else {
                     let parent = plan.parent[rank].expect("non-root");
                     // Poll the parent's line (contention among siblings).
-                    p.push(Op::WaitFlag { addr: layout.flag[parent], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.flag[parent],
+                        val: gen,
+                    });
                     // Copy into own structure & notify own children.
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val: gen,
+                    });
                 }
                 // Collect subtree acknowledgements, then ack upward.
                 for &c in &plan.children[rank] {
-                    p.push(Op::WaitFlag { addr: layout.ack[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.ack[c],
+                        val: gen,
+                    });
                 }
                 if rank != plan.root {
-                    p.push(Op::SetFlag { addr: layout.ack[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.ack[rank],
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -122,14 +136,26 @@ pub fn tree_reduce_programs(
                 p.push(Op::MarkStart(it));
                 for &c in &plan.children[rank] {
                     // Wait for the child's partial sum and fold it in.
-                    p.push(Op::WaitFlag { addr: layout.flag[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.flag[c],
+                        val: gen,
+                    });
                     p.push(Op::Compute(REDOP_NS * 1000));
                 }
                 if rank == plan.root {
-                    p.push(Op::SetFlag { addr: layout.central, val: gen }); // release
+                    p.push(Op::SetFlag {
+                        addr: layout.central,
+                        val: gen,
+                    }); // release
                 } else {
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val: gen });
-                    p.push(Op::WaitFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val: gen,
+                    });
+                    p.push(Op::WaitFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -157,11 +183,17 @@ pub fn dissemination_barrier_programs(
                 let mut stride = 1usize;
                 for round in 0..rounds {
                     let val = (it * rounds + round) as u64 + 1;
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val,
+                    });
                     for j in 1..=m {
                         let partner = (rank + n - (j * stride) % n) % n;
                         if partner != rank {
-                            p.push(Op::WaitFlag { addr: layout.flag[partner], val });
+                            p.push(Op::WaitFlag {
+                                addr: layout.flag[partner],
+                                val,
+                            });
                         }
                     }
                     stride *= m + 1;
@@ -191,12 +223,24 @@ pub fn central_barrier_programs(
                 p.push(Op::Compute(OMP_DISPATCH_OVERHEAD_NS * 1000));
                 if rank == 0 {
                     for r in 1..n {
-                        p.push(Op::WaitFlag { addr: layout.flag[r], val: gen });
+                        p.push(Op::WaitFlag {
+                            addr: layout.flag[r],
+                            val: gen,
+                        });
                     }
-                    p.push(Op::SetFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 } else {
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val: gen });
-                    p.push(Op::WaitFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val: gen,
+                    });
+                    p.push(Op::WaitFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -222,14 +266,26 @@ pub fn flat_broadcast_programs(
                 p.push(Op::MarkStart(it));
                 p.push(Op::Compute(OMP_DISPATCH_OVERHEAD_NS * 1000));
                 if rank == 0 {
-                    p.push(Op::SetFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                     for r in 1..n {
-                        p.push(Op::WaitFlag { addr: layout.ack[r], val: gen });
+                        p.push(Op::WaitFlag {
+                            addr: layout.ack[r],
+                            val: gen,
+                        });
                     }
                 } else {
                     // All n−1 ranks poll one line: maximal contention.
-                    p.push(Op::WaitFlag { addr: layout.central, val: gen });
-                    p.push(Op::SetFlag { addr: layout.ack[rank], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
+                    p.push(Op::SetFlag {
+                        addr: layout.ack[rank],
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -257,13 +313,25 @@ pub fn central_reduce_programs(
                 p.push(Op::Compute(OMP_DISPATCH_OVERHEAD_NS * 1000));
                 if rank == 0 {
                     for r in 1..n {
-                        p.push(Op::WaitFlag { addr: layout.flag[r], val: gen });
+                        p.push(Op::WaitFlag {
+                            addr: layout.flag[r],
+                            val: gen,
+                        });
                         p.push(Op::Compute(REDOP_NS * 1000));
                     }
-                    p.push(Op::SetFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 } else {
-                    p.push(Op::SetFlag { addr: layout.flag[rank], val: gen });
-                    p.push(Op::WaitFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.flag[rank],
+                        val: gen,
+                    });
+                    p.push(Op::WaitFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -292,7 +360,10 @@ pub fn mpi_broadcast_programs(
                 p.push(Op::MarkStart(it));
                 if rank != plan.root {
                     // Match + receive: staging → private buffer (2nd copy).
-                    p.push(Op::WaitFlag { addr: layout.envelope[rank], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.envelope[rank],
+                        val: gen,
+                    });
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                     p.push(Op::Read(layout.staging[rank]));
                     p.push(Op::Write(layout.flag[rank])); // private recv buffer
@@ -302,13 +373,22 @@ pub fn mpi_broadcast_programs(
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                     p.push(Op::Read(layout.flag[rank]));
                     p.push(Op::Write(layout.staging[c]));
-                    p.push(Op::SetFlag { addr: layout.envelope[c], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.envelope[c],
+                        val: gen,
+                    });
                 }
                 for &c in &plan.children[rank] {
-                    p.push(Op::WaitFlag { addr: layout.ack[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.ack[c],
+                        val: gen,
+                    });
                 }
                 if rank != plan.root {
-                    p.push(Op::SetFlag { addr: layout.ack[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.ack[rank],
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -341,7 +421,10 @@ pub fn mpi_broadcast_single_copy_programs(
                 p.push(Op::MarkStart(it));
                 if rank != plan.root {
                     let parent = plan.parent[rank].expect("non-root");
-                    p.push(Op::WaitFlag { addr: layout.envelope[rank], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.envelope[rank],
+                        val: gen,
+                    });
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                     // Single copy: read straight from the sender's mapped
                     // buffer into the user buffer.
@@ -350,13 +433,22 @@ pub fn mpi_broadcast_single_copy_programs(
                 }
                 for &c in &plan.children[rank] {
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
-                    p.push(Op::SetFlag { addr: layout.envelope[c], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.envelope[c],
+                        val: gen,
+                    });
                 }
                 for &c in &plan.children[rank] {
-                    p.push(Op::WaitFlag { addr: layout.ack[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.ack[c],
+                        val: gen,
+                    });
                 }
                 if rank != plan.root {
-                    p.push(Op::SetFlag { addr: layout.ack[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.ack[rank],
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -383,19 +475,31 @@ pub fn mpi_reduce_programs(
                 p.push(Op::WaitUntil((it as SimTime + 1) * ITER_PERIOD_PS));
                 p.push(Op::MarkStart(it));
                 for &c in &plan.children[rank] {
-                    p.push(Op::WaitFlag { addr: layout.envelope[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.envelope[c],
+                        val: gen,
+                    });
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                     p.push(Op::Read(layout.staging[c]));
                     p.push(Op::Write(layout.flag[rank]));
                     p.push(Op::Compute(REDOP_NS * 1000));
                 }
                 if rank == plan.root {
-                    p.push(Op::SetFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 } else {
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                     p.push(Op::Write(layout.staging[rank]));
-                    p.push(Op::SetFlag { addr: layout.envelope[rank], val: gen });
-                    p.push(Op::WaitFlag { addr: layout.central, val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.envelope[rank],
+                        val: gen,
+                    });
+                    p.push(Op::WaitFlag {
+                        addr: layout.central,
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -424,21 +528,33 @@ pub fn mpi_barrier_programs(
                 p.push(Op::MarkStart(it));
                 // Gather phase.
                 for &c in &plan.children[rank] {
-                    p.push(Op::WaitFlag { addr: layout.envelope[c], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.envelope[c],
+                        val: gen,
+                    });
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                 }
                 if rank != plan.root {
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
-                    p.push(Op::SetFlag { addr: layout.envelope[rank], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.envelope[rank],
+                        val: gen,
+                    });
                 }
                 // Release phase.
                 if rank != plan.root {
-                    p.push(Op::WaitFlag { addr: layout.staging[rank], val: gen });
+                    p.push(Op::WaitFlag {
+                        addr: layout.staging[rank],
+                        val: gen,
+                    });
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
                 }
                 for &c in &plan.children[rank] {
                     p.push(Op::Compute(MPI_MSG_OVERHEAD_NS * 1000));
-                    p.push(Op::SetFlag { addr: layout.staging[c], val: gen });
+                    p.push(Op::SetFlag {
+                        addr: layout.staging[c],
+                        val: gen,
+                    });
                 }
                 p.push(Op::MarkEnd(it));
             }
@@ -451,20 +567,21 @@ pub fn mpi_barrier_programs(
 /// reported quantity.
 pub fn run_collective(m: &mut Machine, programs: Vec<Program>, iters: usize) -> Vec<f64> {
     let result: RunResult = Runner::new(m, programs).run();
-    (0..iters).filter_map(|it| result.iteration_max_ns(it)).collect()
+    (0..iters)
+        .filter_map(|it| result.iteration_max_ns(it))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
-    use knl_core::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
     use knl_core::tree_opt::binomial_tree;
+    use knl_core::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
     use knl_stats::median;
 
     fn machine() -> Machine {
-        let mut m =
-            Machine::new(MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat));
+        let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat));
         m.set_jitter(0);
         m
     }
@@ -482,15 +599,17 @@ mod tests {
         for n in [4usize, 16, 32] {
             let plan = optimize_barrier(&model, n);
             let lay = layout(&m, n);
-            let progs =
-                dissemination_barrier_programs(n, plan.m, &lay, Schedule::Scatter, 64, 5);
+            let progs = dissemination_barrier_programs(n, plan.m, &lay, Schedule::Scatter, 64, 5);
             let t = run_collective(&mut m, progs, 5);
             assert_eq!(t.len(), 5);
             costs.push(median(&t));
             m.reset_caches();
         }
         assert!(costs[2] > costs[0], "barrier cost grows with n: {costs:?}");
-        assert!(costs[2] < 20_000.0, "32-thread barrier stays µs-scale: {costs:?}");
+        assert!(
+            costs[2] < 20_000.0,
+            "32-thread barrier stays µs-scale: {costs:?}"
+        );
     }
 
     #[test]
@@ -520,7 +639,11 @@ mod tests {
         };
         assert!(tuned < flat, "tuned {tuned} vs OpenMP-like {flat}");
         assert!(tuned < mpi, "tuned {tuned} vs MPI-like {mpi}");
-        assert!(mpi / tuned > 2.0, "MPI-like should lag well behind: {}", mpi / tuned);
+        assert!(
+            mpi / tuned > 2.0,
+            "MPI-like should lag well behind: {}",
+            mpi / tuned
+        );
     }
 
     #[test]
@@ -561,7 +684,10 @@ mod tests {
                 mpi_broadcast_single_copy_programs(&bplan, &lay, Schedule::Scatter, 64, iters);
             median(&run_collective(&mut m, progs, iters))
         };
-        assert!(single < double, "single-copy {single} must beat double-copy {double}");
+        assert!(
+            single < double,
+            "single-copy {single} must beat double-copy {double}"
+        );
         // And the model-tuned tree still wins (shape + no matching overhead).
         m.reset_caches();
         let model = CapabilityModel::paper_reference();
@@ -570,7 +696,10 @@ mod tests {
             let progs = tree_broadcast_programs(&plan, &lay, Schedule::Scatter, 64, iters);
             median(&run_collective(&mut m, progs, iters))
         };
-        assert!(tuned < single, "tuned {tuned} still beats single-copy MPI {single}");
+        assert!(
+            tuned < single,
+            "tuned {tuned} still beats single-copy MPI {single}"
+        );
     }
 
     #[test]
@@ -590,6 +719,9 @@ mod tests {
             let progs = central_barrier_programs(n, &lay, Schedule::Scatter, 64, iters);
             median(&run_collective(&mut m, progs, iters))
         };
-        assert!(diss < central, "dissemination {diss} vs centralized {central}");
+        assert!(
+            diss < central,
+            "dissemination {diss} vs centralized {central}"
+        );
     }
 }

@@ -6,9 +6,9 @@
 //! iterations per generation keeps the harness handshake out of the
 //! measured cost.
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 type Job = Arc<dyn Fn(usize, usize) + Send + Sync>;
@@ -24,7 +24,7 @@ struct Shared {
 pub struct Team {
     n: usize,
     shared: Arc<Shared>,
-    job: Arc<parking_lot::RwLock<Option<(Job, usize)>>>,
+    job: Arc<RwLock<Option<(Job, usize)>>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -34,11 +34,12 @@ impl Team {
         assert!(n >= 1);
         let shared = Arc::new(Shared {
             generation: CachePadded::new(AtomicU64::new(0)),
-            done: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            done: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             stop: AtomicBool::new(false),
         });
-        let job: Arc<parking_lot::RwLock<Option<(Job, usize)>>> =
-            Arc::new(parking_lot::RwLock::new(None));
+        let job: Arc<RwLock<Option<(Job, usize)>>> = Arc::new(RwLock::new(None));
         let mut workers = Vec::new();
         for rank in 1..n {
             let shared = Arc::clone(&shared);
@@ -55,7 +56,7 @@ impl Team {
                         continue;
                     }
                     seen = gen;
-                    let guard = job.read();
+                    let guard = job.read().expect("team job lock poisoned");
                     if let Some((f, iters)) = guard.as_ref() {
                         for it in 0..*iters {
                             f(rank, it);
@@ -66,7 +67,12 @@ impl Team {
                 }
             }));
         }
-        Team { n, shared, job, workers }
+        Team {
+            n,
+            shared,
+            job,
+            workers,
+        }
     }
 
     /// Team size (including the caller's rank 0).
@@ -76,13 +82,17 @@ impl Team {
 
     /// Run `f(rank, iteration)` `iters` times on every rank (including the
     /// caller as rank 0) and return the elapsed wall time.
-    pub fn time<F: Fn(usize, usize) + Send + Sync + 'static>(&self, iters: usize, f: F) -> Duration {
-        *self.job.write() = Some((Arc::new(f), iters));
+    pub fn time<F: Fn(usize, usize) + Send + Sync + 'static>(
+        &self,
+        iters: usize,
+        f: F,
+    ) -> Duration {
+        *self.job.write().expect("team job lock poisoned") = Some((Arc::new(f), iters));
         let gen = self.shared.generation.load(Ordering::Relaxed) + 1;
         let start = Instant::now();
         self.shared.generation.store(gen, Ordering::Release);
         {
-            let guard = self.job.read();
+            let guard = self.job.read().expect("team job lock poisoned");
             if let Some((f, iters)) = guard.as_ref() {
                 for it in 0..*iters {
                     f(0, it);

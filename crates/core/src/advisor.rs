@@ -6,10 +6,9 @@
 
 use crate::model::CapabilityModel;
 use knl_sim::StreamKind;
-use serde::{Deserialize, Serialize};
 
 /// A coarse application phase profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseProfile {
     /// Closest streaming kernel to the phase's access mix.
     pub kind: StreamKind,
@@ -23,7 +22,7 @@ pub struct PhaseProfile {
 }
 
 /// Recommendation outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// Allocate the hot data in MCDRAM.
     Mcdram,
@@ -34,7 +33,7 @@ pub enum Placement {
 }
 
 /// Advice with the predicted speedup.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Advice {
     /// Recommended placement.
     pub placement: Placement,
@@ -82,7 +81,11 @@ pub fn advise(model: &CapabilityModel, phases: &[PhaseProfile]) -> Advice {
             "thread-level parallelism too low to exploit MCDRAM bandwidth (predicted {speedup:.2}×)"
         )
     };
-    Advice { placement, speedup, reason }
+    Advice {
+        placement,
+        speedup,
+        reason,
+    }
 }
 
 fn phase_speedup(model: &CapabilityModel, p: &PhaseProfile) -> f64 {
@@ -113,7 +116,12 @@ mod tests {
     fn streaming_many_threads_wants_mcdram() {
         let a = advise(
             &model(),
-            &[PhaseProfile { kind: StreamKind::Triad, threads: 64, weight: 1.0, latency_bound: false }],
+            &[PhaseProfile {
+                kind: StreamKind::Triad,
+                threads: 64,
+                weight: 1.0,
+                latency_bound: false,
+            }],
         );
         assert_eq!(a.placement, Placement::Mcdram);
         assert!(a.speedup > 3.0, "triad @64: {}", a.speedup);
@@ -123,7 +131,12 @@ mod tests {
     fn single_thread_indifferent() {
         let a = advise(
             &model(),
-            &[PhaseProfile { kind: StreamKind::Copy, threads: 1, weight: 1.0, latency_bound: false }],
+            &[PhaseProfile {
+                kind: StreamKind::Copy,
+                threads: 1,
+                weight: 1.0,
+                latency_bound: false,
+            }],
         );
         assert!(
             a.placement != Placement::Mcdram,
@@ -135,7 +148,12 @@ mod tests {
     fn latency_bound_prefers_dram() {
         let a = advise(
             &model(),
-            &[PhaseProfile { kind: StreamKind::Read, threads: 8, weight: 1.0, latency_bound: true }],
+            &[PhaseProfile {
+                kind: StreamKind::Read,
+                threads: 8,
+                weight: 1.0,
+                latency_bound: true,
+            }],
         );
         assert!(a.speedup <= 1.0, "latency-bound speedup {}", a.speedup);
         assert_ne!(a.placement, Placement::Mcdram);
@@ -146,8 +164,18 @@ mod tests {
         let a = advise(
             &model(),
             &[
-                PhaseProfile { kind: StreamKind::Triad, threads: 64, weight: 0.1, latency_bound: false },
-                PhaseProfile { kind: StreamKind::Read, threads: 2, weight: 0.9, latency_bound: true },
+                PhaseProfile {
+                    kind: StreamKind::Triad,
+                    threads: 64,
+                    weight: 0.1,
+                    latency_bound: false,
+                },
+                PhaseProfile {
+                    kind: StreamKind::Read,
+                    threads: 2,
+                    weight: 0.9,
+                    latency_bound: true,
+                },
             ],
         );
         assert!(a.speedup < 1.5, "mostly latency-bound: {}", a.speedup);

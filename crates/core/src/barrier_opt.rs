@@ -12,10 +12,9 @@
 //! off: it would add an intra-tile gather and broadcast stage.
 
 use crate::model::CapabilityModel;
-use serde::{Deserialize, Serialize};
 
 /// Chosen barrier parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BarrierPlan {
     /// Threads the barrier synchronizes.
     pub n: usize,
@@ -45,14 +44,29 @@ pub fn rounds(n: usize, m: usize) -> usize {
 pub fn optimize_barrier(model: &CapabilityModel, n: usize) -> BarrierPlan {
     assert!(n >= 1);
     if n == 1 {
-        return BarrierPlan { n, r: 0, m: 0, cost_ns: 0.0 };
+        return BarrierPlan {
+            n,
+            r: 0,
+            m: 0,
+            cost_ns: 0.0,
+        };
     }
-    let mut best = BarrierPlan { n, r: rounds(n, 1), m: 1, cost_ns: f64::INFINITY };
+    let mut best = BarrierPlan {
+        n,
+        r: rounds(n, 1),
+        m: 1,
+        cost_ns: f64::INFINITY,
+    };
     for m in 1..n {
         let r = rounds(n, m);
         let cost = r as f64 * (model.ri_ns + m as f64 * model.rr_ns);
         if cost < best.cost_ns {
-            best = BarrierPlan { n, r, m, cost_ns: cost };
+            best = BarrierPlan {
+                n,
+                r,
+                m,
+                cost_ns: cost,
+            };
         }
         if r == 1 {
             break; // larger m only costs more at a single round

@@ -4,13 +4,12 @@
 //! introducing extra overhead and not using our resources efficiently."
 
 use crate::overhead::OverheadModel;
-use serde::{Deserialize, Serialize};
 
 /// The paper's efficiency threshold.
 pub const EFFICIENCY_THRESHOLD: f64 = 0.10;
 
 /// Verdict for one (size, threads) operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Efficiency {
     /// Thread count of the operating point.
     pub threads: usize,
@@ -45,9 +44,17 @@ pub fn efficiency_sweep<F: Fn(usize) -> f64>(
 ) -> (Vec<Efficiency>, Option<usize>) {
     let points: Vec<Efficiency> = threads
         .iter()
-        .map(|&t| Efficiency { threads: t, memory_s: memory_model(t), overhead_s: overhead.seconds(t) })
+        .map(|&t| Efficiency {
+            threads: t,
+            memory_s: memory_model(t),
+            overhead_s: overhead.seconds(t),
+        })
         .collect();
-    let last_efficient = points.iter().filter(|p| p.is_efficient()).map(|p| p.threads).max();
+    let last_efficient = points
+        .iter()
+        .filter(|p| p.is_efficient())
+        .map(|p| p.threads)
+        .max();
     (points, last_efficient)
 }
 
@@ -57,15 +64,30 @@ mod tests {
     use knl_stats::LinearFit;
 
     fn overhead() -> OverheadModel {
-        OverheadModel { fit: LinearFit { alpha: 1e-6, beta: 1e-6, r2: 1.0, n: 5 } }
+        OverheadModel {
+            fit: LinearFit {
+                alpha: 1e-6,
+                beta: 1e-6,
+                r2: 1.0,
+                n: 5,
+            },
+        }
     }
 
     #[test]
     fn ratio_and_rule() {
-        let e = Efficiency { threads: 4, memory_s: 100e-6, overhead_s: 5e-6 };
+        let e = Efficiency {
+            threads: 4,
+            memory_s: 100e-6,
+            overhead_s: 5e-6,
+        };
         assert!((e.ratio() - 0.05).abs() < 1e-12);
         assert!(e.is_efficient());
-        let bad = Efficiency { threads: 64, memory_s: 10e-6, overhead_s: 5e-6 };
+        let bad = Efficiency {
+            threads: 64,
+            memory_s: 10e-6,
+            overhead_s: 5e-6,
+        };
         assert!(!bad.is_efficient());
     }
 
@@ -85,7 +107,11 @@ mod tests {
 
     #[test]
     fn zero_memory_model_is_inefficient() {
-        let e = Efficiency { threads: 1, memory_s: 0.0, overhead_s: 1e-9 };
+        let e = Efficiency {
+            threads: 1,
+            memory_s: 0.0,
+            overhead_s: 1e-9,
+        };
         assert!(!e.is_efficient());
     }
 }

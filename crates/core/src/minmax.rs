@@ -4,10 +4,8 @@
 //! algorithm [...]. We optimize for the best case because the worst rarely
 //! happens in practice."
 
-use serde::{Deserialize, Serialize};
-
 /// A best/worst-case pair (any unit; collectives use nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinMax {
     /// Best-case value.
     pub best: f64,
@@ -33,17 +31,26 @@ impl MinMax {
     /// Component-wise sum (sequential composition).
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: MinMax) -> MinMax {
-        MinMax { best: self.best + other.best, worst: self.worst + other.worst }
+        MinMax {
+            best: self.best + other.best,
+            worst: self.worst + other.worst,
+        }
     }
 
     /// Component-wise max (parallel composition / makespan).
     pub fn max(self, other: MinMax) -> MinMax {
-        MinMax { best: self.best.max(other.best), worst: self.worst.max(other.worst) }
+        MinMax {
+            best: self.best.max(other.best),
+            worst: self.worst.max(other.worst),
+        }
     }
 
     /// Multiply both bounds by `k`.
     pub fn scale(self, k: f64) -> MinMax {
-        MinMax { best: self.best * k, worst: self.worst * k }
+        MinMax {
+            best: self.best * k,
+            worst: self.worst * k,
+        }
     }
 
     /// Does `v` fall inside the envelope (with `slack` fractional margin)?

@@ -3,13 +3,12 @@
 use knl_benchsuite::SuiteResults;
 use knl_sim::StreamKind;
 use knl_stats::{fit_linear, LinearFit};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Bandwidth curve: achievable GB/s as a function of thread count for one
 /// (kernel, target) pair, taken from the fill-tiles sweep (the schedule the
 /// paper's applications use) with piecewise-linear interpolation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BwCurve {
     /// (threads, GB/s median), sorted by threads.
     pub points: Vec<(usize, f64)>,
@@ -39,7 +38,7 @@ impl BwCurve {
 }
 
 /// Memory-side capabilities.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MemCapability {
     /// Latency (ns) per target label ("DRAM", "MCDRAM", "cache").
     pub latency_ns: BTreeMap<String, f64>,
@@ -60,7 +59,7 @@ impl MemCapability {
 }
 
 /// The fitted capability model (paper §IV-A, §V-A).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CapabilityModel {
     /// Configuration label the model was fitted on (e.g. "SNC4-flat").
     pub config: String,
@@ -103,7 +102,12 @@ impl CapabilityModel {
             .iter()
             .map(|(c, l)| (*c, l.median_ns()))
             .collect();
-        let rl_ns = r.cache.local_ns.as_ref().map(|l| l.median_ns()).unwrap_or(f64::NAN);
+        let rl_ns = r
+            .cache
+            .local_ns
+            .as_ref()
+            .map(|l| l.median_ns())
+            .unwrap_or(f64::NAN);
         // R_R: shared/forward remote read (flag re-reads find the flag in
         // the writer's cache in M; model-tuning uses the measured state mix —
         // we take the average of S/F and M as the paper's single R_R).
@@ -126,7 +130,12 @@ impl CapabilityModel {
         };
 
         let multiline = if r.cache.multiline_read_ns.len() >= 2 {
-            let xs: Vec<f64> = r.cache.multiline_read_ns.iter().map(|(n, _)| *n as f64).collect();
+            let xs: Vec<f64> = r
+                .cache
+                .multiline_read_ns
+                .iter()
+                .map(|(n, _)| *n as f64)
+                .collect();
             let ys: Vec<f64> = r.cache.multiline_read_ns.iter().map(|(_, l)| *l).collect();
             fit_linear(&xs, &ys)
         } else {
@@ -148,7 +157,9 @@ impl CapabilityModel {
             }
             mem.bw.insert(
                 (kind.name().to_string(), target.clone()),
-                BwCurve { points: by_threads.into_iter().collect() },
+                BwCurve {
+                    points: by_threads.into_iter().collect(),
+                },
             );
         }
 
@@ -210,22 +221,50 @@ impl CapabilityModel {
         mem.latency_ns.insert("DRAM".into(), 135.0);
         mem.latency_ns.insert("MCDRAM".into(), 167.5);
         let ddr_read = BwCurve {
-            points: vec![(1, 5.0), (4, 20.0), (8, 40.0), (16, 71.0), (32, 71.0), (64, 71.0)],
+            points: vec![
+                (1, 5.0),
+                (4, 20.0),
+                (8, 40.0),
+                (16, 71.0),
+                (32, 71.0),
+                (64, 71.0),
+            ],
         };
         let mc_read = BwCurve {
-            points: vec![(1, 8.0), (8, 60.0), (16, 120.0), (32, 200.0), (64, 243.0), (128, 243.0)],
+            points: vec![
+                (1, 8.0),
+                (8, 60.0),
+                (16, 120.0),
+                (32, 200.0),
+                (64, 243.0),
+                (128, 243.0),
+            ],
         };
         let ddr_triad = BwCurve {
             points: vec![(1, 8.0), (8, 45.0), (16, 71.0), (32, 71.0), (64, 71.0)],
         };
         let mc_triad = BwCurve {
-            points: vec![(1, 8.0), (8, 64.0), (16, 128.0), (32, 240.0), (64, 371.0), (256, 371.0)],
+            points: vec![
+                (1, 8.0),
+                (8, 64.0),
+                (16, 128.0),
+                (32, 240.0),
+                (64, 371.0),
+                (256, 371.0),
+            ],
         };
         let ddr_copy = BwCurve {
             points: vec![(1, 8.0), (8, 45.0), (16, 69.0), (64, 69.0)],
         };
         let mc_copy = BwCurve {
-            points: vec![(1, 8.0), (8, 60.0), (16, 120.0), (32, 240.0), (64, 342.0), (256, 342.0)],
+            points: vec![
+                (1, 8.0),
+                (8, 60.0),
+                (16, 120.0),
+                (32, 240.0),
+                (64, 342.0),
+                (256, 342.0),
+            ],
         };
         mem.bw.insert(("read".into(), "DRAM".into()), ddr_read);
         mem.bw.insert(("read".into(), "MCDRAM".into()), mc_read);
@@ -240,8 +279,18 @@ impl CapabilityModel {
             ri_ns: 167.5,
             tile_ns: tile,
             remote_ns: remote,
-            contention: knl_stats::LinearFit { alpha: 200.0, beta: 34.0, r2: 1.0, n: 8 },
-            multiline: knl_stats::LinearFit { alpha: 100.0, beta: 8.5, r2: 1.0, n: 8 },
+            contention: knl_stats::LinearFit {
+                alpha: 200.0,
+                beta: 34.0,
+                r2: 1.0,
+                n: 8,
+            },
+            multiline: knl_stats::LinearFit {
+                alpha: 100.0,
+                beta: 8.5,
+                r2: 1.0,
+                n: 8,
+            },
             l1_ns: 3.8,
             l2_ns: 14.0,
             mem,
@@ -264,14 +313,18 @@ mod tests {
 
     #[test]
     fn bw_curve_interpolates() {
-        let c = BwCurve { points: vec![(1, 10.0), (4, 40.0), (16, 70.0)] };
+        let c = BwCurve {
+            points: vec![(1, 10.0), (4, 40.0), (16, 70.0)],
+        };
         assert_eq!(c.gbps(1), 10.0);
         assert_eq!(c.gbps(4), 40.0);
         assert!((c.gbps(2) - 20.0).abs() < 1e-9);
         assert!((c.gbps(10) - 55.0).abs() < 1e-9);
         assert_eq!(c.gbps(100), 70.0);
         // Below first point: linear from origin.
-        let c2 = BwCurve { points: vec![(4, 40.0), (16, 70.0)] };
+        let c2 = BwCurve {
+            points: vec![(4, 40.0), (16, 70.0)],
+        };
         assert!((c2.gbps(2) - 20.0).abs() < 1e-9);
     }
 
@@ -296,7 +349,11 @@ mod tests {
         assert!((m.rl_ns - 3.8).abs() < 1.0, "R_L {}", m.rl_ns);
         assert!((80.0..170.0).contains(&m.rr_ns), "R_R {}", m.rr_ns);
         assert!((130.0..210.0).contains(&m.ri_ns), "R_I {}", m.ri_ns);
-        assert!((20.0..48.0).contains(&m.contention.beta), "β {}", m.contention.beta);
+        assert!(
+            (20.0..48.0).contains(&m.contention.beta),
+            "β {}",
+            m.contention.beta
+        );
         assert!(m.multiline.beta > 0.0);
         // Bandwidth curves present and monotone-ish.
         let ddr = m.mem.gbps(StreamKind::Read, "DRAM", 32).unwrap();

@@ -5,10 +5,9 @@
 //! with the memory model."
 
 use knl_stats::{fit_linear, LinearFit};
-use serde::{Deserialize, Serialize};
 
 /// Linear overhead in seconds as a function of thread count.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OverheadModel {
     /// Fitted `seconds = α + β·threads` line.
     pub fit: LinearFit,
@@ -25,7 +24,9 @@ impl OverheadModel {
             .iter()
             .map(|(t, s)| (s - memory_model(*t)).max(0.0))
             .collect();
-        OverheadModel { fit: fit_linear(&xs, &ys) }
+        OverheadModel {
+            fit: fit_linear(&xs, &ys),
+        }
     }
 
     /// Overhead (seconds) at `threads`.
@@ -47,8 +48,10 @@ mod tests {
     fn recovers_linear_overhead() {
         // Synthetic: measured = model + (2µs + 1µs·threads).
         let model = |_t: usize| 10e-6;
-        let measured: Vec<(usize, f64)> =
-            [1usize, 2, 4, 8, 16].iter().map(|&t| (t, 10e-6 + 2e-6 + 1e-6 * t as f64)).collect();
+        let measured: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&t| (t, 10e-6 + 2e-6 + 1e-6 * t as f64))
+            .collect();
         let o = OverheadModel::fit(&measured, model);
         assert!((o.fit.alpha - 2e-6).abs() < 1e-8, "α {}", o.fit.alpha);
         assert!((o.fit.beta - 1e-6).abs() < 1e-9, "β {}", o.fit.beta);

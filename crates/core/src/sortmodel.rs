@@ -21,10 +21,9 @@
 
 use crate::model::CapabilityModel;
 use knl_sim::StreamKind;
-use serde::{Deserialize, Serialize};
 
 /// Which Eq. 3–5 `costmem` variant to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostBasis {
     /// Worst case: per-line memory latency.
     Latency,
@@ -143,7 +142,10 @@ impl<'a> SortModel<'a> {
     /// work, each producing a `N·2^j/p`-line run, synchronized by flag
     /// lines (`R_L + R_R` each).
     pub fn sort_seconds(&self, bytes: u64, p: usize, basis: CostBasis) -> f64 {
-        assert!(p >= 1 && p.is_power_of_two(), "model assumes power-of-two threads");
+        assert!(
+            p >= 1 && p.is_power_of_two(),
+            "model assumes power-of-two threads"
+        );
         let total_lines = (bytes as f64 / 64.0).max(1.0);
         // More threads than lines adds no parallelism (each chunk must hold
         // at least one line); clamp to keep the model monotone in size.

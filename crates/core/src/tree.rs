@@ -1,11 +1,9 @@
 //! Generic trees for broadcast/reduce plans, with the ASCII rendering used
 //! to display Fig. 1.
 
-use serde::{Deserialize, Serialize};
-
 /// A rooted tree. Node identity is positional; the planner later maps
 /// positions onto tiles/threads.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     /// Subtrees, in notification order (earliest child first).
     pub children: Vec<Tree>,
@@ -14,7 +12,9 @@ pub struct Tree {
 impl Tree {
     /// A single node with no children.
     pub fn leaf() -> Self {
-        Tree { children: Vec::new() }
+        Tree {
+            children: Vec::new(),
+        }
     }
 
     /// A node with the given subtrees.
@@ -29,7 +29,11 @@ impl Tree {
 
     /// Height in edges (leaf = 0).
     pub fn height(&self) -> usize {
-        self.children.iter().map(|c| 1 + c.height()).max().unwrap_or(0)
+        self.children
+            .iter()
+            .map(|c| 1 + c.height())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Root degree.
@@ -119,7 +123,10 @@ mod tests {
 
     fn sample() -> Tree {
         // root with children [leaf, (leaf leaf)]
-        Tree::new(vec![Tree::leaf(), Tree::new(vec![Tree::leaf(), Tree::leaf()])])
+        Tree::new(vec![
+            Tree::leaf(),
+            Tree::new(vec![Tree::leaf(), Tree::leaf()]),
+        ])
     }
 
     #[test]

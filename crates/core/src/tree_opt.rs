@@ -21,10 +21,9 @@
 
 use crate::model::CapabilityModel;
 use crate::tree::Tree;
-use serde::{Deserialize, Serialize};
 
 /// Broadcast or reduce flavour of Eq. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeKind {
     /// Data flows root → leaves.
     Broadcast,
@@ -33,7 +32,7 @@ pub enum TreeKind {
 }
 
 /// Result of tree optimization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreePlan {
     /// Operation the tree was optimized for.
     pub kind: TreeKind,
@@ -64,7 +63,12 @@ pub fn optimize_tree(model: &CapabilityModel, n: usize, kind: TreeKind) -> TreeP
     }
     let tree = build_tree(n, &best_split);
     debug_assert_eq!(tree.size(), n);
-    TreePlan { kind, n, tree, cost_ns: best_cost[n] }
+    TreePlan {
+        kind,
+        n,
+        tree,
+        cost_ns: best_cost[n],
+    }
 }
 
 /// Completion time of child `i` (1-based) reading the parent's data under
@@ -259,7 +263,10 @@ mod tests {
             let tuned = optimize_tree(&m, n, TreeKind::Broadcast).cost_ns;
             let binom = tree_cost(&m, &binomial_tree(n), TreeKind::Broadcast);
             let flat = tree_cost(&m, &flat_tree(n), TreeKind::Broadcast);
-            assert!(tuned <= binom + 1e-6, "n={n}: tuned {tuned} vs binomial {binom}");
+            assert!(
+                tuned <= binom + 1e-6,
+                "n={n}: tuned {tuned} vs binomial {binom}"
+            );
             assert!(tuned <= flat + 1e-6, "n={n}: tuned {tuned} vs flat {flat}");
         }
     }
@@ -276,7 +283,10 @@ mod tests {
         let sizes: Vec<usize> = plan.tree.children.iter().map(Tree::size).collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        assert_eq!(sizes, sorted, "earlier children must get larger subtrees: {sizes:?}");
+        assert_eq!(
+            sizes, sorted,
+            "earlier children must get larger subtrees: {sizes:?}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl Arena {
                 end: n.range.end,
             })
             .collect();
-        Arena { regions, rr: [0, 0] }
+        Arena {
+            regions,
+            rr: [0, 0],
+        }
     }
 
     /// Allocate `bytes` (rounded up to whole lines) from memory of `kind`,
@@ -93,7 +96,10 @@ impl Arena {
             .iter_mut()
             .find(|r| r.kind == kind && r.cluster == cluster)
             .unwrap_or_else(|| panic!("no {kind:?} region in cluster {cluster}"));
-        assert!(r.end - r.next >= need, "cluster {cluster} {kind:?} exhausted");
+        assert!(
+            r.end - r.next >= need,
+            "cluster {cluster} {kind:?} exhausted"
+        );
         let addr = r.next;
         r.next += need;
         addr
@@ -101,7 +107,11 @@ impl Arena {
 
     /// Remaining bytes of `kind` across all clusters.
     pub fn remaining(&self, kind: NumaKind) -> u64 {
-        self.regions.iter().filter(|r| r.kind == kind).map(|r| r.end - r.next).sum()
+        self.regions
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.end - r.next)
+            .sum()
     }
 }
 
@@ -149,7 +159,11 @@ mod tests {
                 map.node_of(x).unwrap().cluster
             })
             .collect();
-        assert_eq!(clusters.len(), 4, "four allocations should hit four clusters");
+        assert_eq!(
+            clusters.len(),
+            4,
+            "four allocations should hit four clusters"
+        );
     }
 
     #[test]

@@ -50,13 +50,26 @@ impl TagCache {
     /// Panics unless `capacity_bytes` is a multiple of `ways * 64`.
     pub fn new(capacity_bytes: u64, ways: usize) -> Self {
         let lines = (capacity_bytes >> LINE_SHIFT) as usize;
-        assert!(ways > 0 && lines.is_multiple_of(ways), "capacity must be a multiple of ways*64");
+        assert!(
+            ways > 0 && lines.is_multiple_of(ways),
+            "capacity must be a multiple of ways*64"
+        );
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two, got {sets}"
+        );
         TagCache {
             ways,
             sets,
-            slots: vec![Way { tag: EMPTY, version: 0, lru: 0 }; lines],
+            slots: vec![
+                Way {
+                    tag: EMPTY,
+                    version: 0,
+                    lru: 0
+                };
+                lines
+            ],
             tick: 0,
         }
     }
@@ -99,7 +112,9 @@ impl TagCache {
     pub fn present_any_version(&self, line: u64) -> bool {
         let set = self.set_of(line);
         let base = set * self.ways;
-        self.slots[base..base + self.ways].iter().any(|w| w.tag == line)
+        self.slots[base..base + self.ways]
+            .iter()
+            .any(|w| w.tag == line)
     }
 
     /// Insert `line` with `version`, evicting the LRU way if needed.
@@ -114,11 +129,19 @@ impl TagCache {
             let was_current = w.version == version;
             w.version = version;
             w.lru = tick;
-            return if was_current { Insert::Hit } else { Insert::Placed };
+            return if was_current {
+                Insert::Hit
+            } else {
+                Insert::Placed
+            };
         }
         // Free way?
         if let Some(w) = slots.iter_mut().find(|w| w.tag == EMPTY) {
-            *w = Way { tag: line, version, lru: tick };
+            *w = Way {
+                tag: line,
+                version,
+                lru: tick,
+            };
             return Insert::Placed;
         }
         // Evict LRU.
@@ -127,7 +150,11 @@ impl TagCache {
             .min_by_key(|w| w.lru)
             .expect("non-empty set");
         let evicted = victim.tag;
-        *victim = Way { tag: line, version, lru: tick };
+        *victim = Way {
+            tag: line,
+            version,
+            lru: tick,
+        };
         Insert::Evicted(evicted)
     }
 
@@ -137,7 +164,11 @@ impl TagCache {
         let set = self.set_of(line);
         for w in self.set_slots(set) {
             if w.tag == line {
-                *w = Way { tag: EMPTY, version: 0, lru: 0 };
+                *w = Way {
+                    tag: EMPTY,
+                    version: 0,
+                    lru: 0,
+                };
                 return true;
             }
         }
@@ -162,7 +193,11 @@ impl TagCache {
     /// Drop every entry (used between benchmark repetitions).
     pub fn clear(&mut self) {
         for w in &mut self.slots {
-            *w = Way { tag: EMPTY, version: 0, lru: 0 };
+            *w = Way {
+                tag: EMPTY,
+                version: 0,
+                lru: 0,
+            };
         }
     }
 }
@@ -255,7 +290,10 @@ mod tests {
                 evictions += 1;
             }
         }
-        assert_eq!(evictions, 0, "distinct lines filling capacity must not evict");
+        assert_eq!(
+            evictions, 0,
+            "distinct lines filling capacity must not evict"
+        );
         // One more round of distinct lines now evicts every time.
         for i in 64..128u64 {
             assert!(matches!(c.insert(i, 0), Insert::Evicted(_)));

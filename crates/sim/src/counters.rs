@@ -1,9 +1,7 @@
 //! Event counters collected by the machine during a run.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate hardware event counts (whole machine).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Loads/stores satisfied by the requesting core's L1.
     pub l1_hits: u64,
@@ -33,19 +31,24 @@ impl Counters {
         self.ddr_accesses + self.mcdram_accesses
     }
 
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturates at zero per field:
+    /// a snapshot taken before a counter reset (e.g. a fresh `Machine` for
+    /// the next sweep job) must not panic the whole run in debug builds or
+    /// wrap to garbage in release builds.
     pub fn since(&self, earlier: &Counters) -> Counters {
         Counters {
-            l1_hits: self.l1_hits - earlier.l1_hits,
-            l2_hits: self.l2_hits - earlier.l2_hits,
-            remote_cache_hits: self.remote_cache_hits - earlier.remote_cache_hits,
-            ddr_accesses: self.ddr_accesses - earlier.ddr_accesses,
-            mcdram_accesses: self.mcdram_accesses - earlier.mcdram_accesses,
-            mcache_hits: self.mcache_hits - earlier.mcache_hits,
-            mcache_misses: self.mcache_misses - earlier.mcache_misses,
-            writebacks: self.writebacks - earlier.writebacks,
-            invalidations: self.invalidations - earlier.invalidations,
-            nt_stores: self.nt_stores - earlier.nt_stores,
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            remote_cache_hits: self
+                .remote_cache_hits
+                .saturating_sub(earlier.remote_cache_hits),
+            ddr_accesses: self.ddr_accesses.saturating_sub(earlier.ddr_accesses),
+            mcdram_accesses: self.mcdram_accesses.saturating_sub(earlier.mcdram_accesses),
+            mcache_hits: self.mcache_hits.saturating_sub(earlier.mcache_hits),
+            mcache_misses: self.mcache_misses.saturating_sub(earlier.mcache_misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            nt_stores: self.nt_stores.saturating_sub(earlier.nt_stores),
         }
     }
 }
@@ -56,11 +59,35 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = Counters { l1_hits: 10, ddr_accesses: 4, ..Default::default() };
-        let b = Counters { l1_hits: 25, ddr_accesses: 9, ..Default::default() };
+        let a = Counters {
+            l1_hits: 10,
+            ddr_accesses: 4,
+            ..Default::default()
+        };
+        let b = Counters {
+            l1_hits: 25,
+            ddr_accesses: 9,
+            ..Default::default()
+        };
         let d = b.since(&a);
         assert_eq!(d.l1_hits, 15);
         assert_eq!(d.ddr_accesses, 5);
         assert_eq!(d.memory_accesses(), 5);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        let before = Counters {
+            l1_hits: 100,
+            writebacks: 7,
+            ..Default::default()
+        };
+        let after_reset = Counters {
+            l1_hits: 3,
+            ..Default::default()
+        };
+        let d = after_reset.since(&before);
+        assert_eq!(d.l1_hits, 0);
+        assert_eq!(d.writebacks, 0);
     }
 }

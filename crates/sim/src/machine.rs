@@ -132,6 +132,14 @@ pub struct Machine {
     jitter_seq: u64,
 }
 
+// Sweep workers (knl-benchsuite's executor) each own a fresh Machine on a
+// scoped thread; keep the type `Send` so a future field (Rc, RefCell over
+// shared state, raw pointer) can't silently break the parallel drivers.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
+
 impl Machine {
     /// Instantiate the simulated machine for one configuration.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -256,7 +264,13 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Perform one coherent access; returns completion time and provenance.
-    pub fn access(&mut self, core: CoreId, addr: u64, kind: AccessKind, now: SimTime) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: u64,
+        kind: AccessKind,
+        now: SimTime,
+    ) -> AccessOutcome {
         let line = addr >> LINE_SHIFT;
         let tile = core.tile();
         match kind {
@@ -266,7 +280,14 @@ impl Machine {
         }
     }
 
-    fn read(&mut self, core: CoreId, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
+    fn read(
+        &mut self,
+        core: CoreId,
+        tile: TileId,
+        line: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> AccessOutcome {
         let t = self.cfg.timing.clone();
         let ver = self.dir.get(&line).map_or(0, |e| e.version);
 
@@ -274,11 +295,17 @@ impl Machine {
         if self.l1[core.0 as usize].lookup(line, ver) {
             self.counters.l1_hits += 1;
             let dur = self.jitter(t.l1_hit_ps, line);
-            return AccessOutcome { complete: now + dur, served_by: ServedBy::L1 };
+            return AccessOutcome {
+                complete: now + dur,
+                served_by: ServedBy::L1,
+            };
         }
 
         // Same-tile L2 hit.
-        let tile_state = self.dir.get(&line).map_or(MesifState::Invalid, |e| e.state_of(tile));
+        let tile_state = self
+            .dir
+            .get(&line)
+            .map_or(MesifState::Invalid, |e| e.state_of(tile));
         if tile_state != MesifState::Invalid && self.l2[tile.0 as usize].lookup(line, ver) {
             self.counters.l2_hits += 1;
             let is_m = tile_state == MesifState::Modified;
@@ -290,15 +317,19 @@ impl Machine {
             self.l2_port_busy[tile.0 as usize] = start + port;
             let complete = (start + self.jitter(lat, line)).max(start + port);
             self.l1_fill(core, line, ver);
-            return AccessOutcome { complete, served_by: ServedBy::TileL2(tile_state) };
+            return AccessOutcome {
+                complete,
+                served_by: ServedBy::TileL2(tile_state),
+            };
         }
 
         // Remote path: requester -> home CHA.
         let home = self.map.home_directory(addr);
         let req_pos = self.topo.tile_position(tile);
         let home_pos = self.topo.tile_position(home);
-        let t_req =
-            self.mesh.traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        let t_req = self
+            .mesh
+            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
 
         let entry = self.dir.entry(line).or_default();
         let wait = entry.busy_until.saturating_sub(t_req);
@@ -314,11 +345,9 @@ impl Machine {
                 _ => 0,
             };
             let sup_pos = self.topo.tile_position(sup);
-            let t_data = self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps)
-                + t.remote_l2_ps
-                + extra;
-            let complete =
-                self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
+            let t_data =
+                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
+            let complete = self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
             self.counters.remote_cache_hits += 1;
             let entry = self.dir.get_mut(&line).expect("entry exists");
             if st == MesifState::Modified {
@@ -328,7 +357,10 @@ impl Machine {
             entry.grant_read(tile);
             AccessOutcome {
                 complete: now + self.jitter(complete - now, line),
-                served_by: ServedBy::RemoteCache { holder: sup, state: st },
+                served_by: ServedBy::RemoteCache {
+                    holder: sup,
+                    state: st,
+                },
             }
         } else {
             let (ready, served_by) = self.memory_read(addr, line, home_pos, t_svc);
@@ -336,7 +368,10 @@ impl Machine {
             let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
             let entry = self.dir.get_mut(&line).expect("entry exists");
             entry.grant_read(tile);
-            AccessOutcome { complete: now + self.jitter(complete - now, line), served_by }
+            AccessOutcome {
+                complete: now + self.jitter(complete - now, line),
+                served_by,
+            }
         };
 
         let ver = self.dir.get(&line).map_or(0, |e| e.version);
@@ -345,9 +380,19 @@ impl Machine {
         outcome
     }
 
-    fn write(&mut self, core: CoreId, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
+    fn write(
+        &mut self,
+        core: CoreId,
+        tile: TileId,
+        line: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> AccessOutcome {
         let t = self.cfg.timing.clone();
-        let tile_state = self.dir.get(&line).map_or(MesifState::Invalid, |e| e.state_of(tile));
+        let tile_state = self
+            .dir
+            .get(&line)
+            .map_or(MesifState::Invalid, |e| e.state_of(tile));
         let ver = self.dir.get(&line).map_or(0, |e| e.version);
 
         // Silent upgrade: tile already owns the line (M or E).
@@ -360,9 +405,15 @@ impl Machine {
                 t.l1_hit_ps
             } else {
                 self.counters.l2_hits += 1;
-                t.tile_l2_ps(tile_state == MesifState::Modified, tile_state == MesifState::Exclusive)
+                t.tile_l2_ps(
+                    tile_state == MesifState::Modified,
+                    tile_state == MesifState::Exclusive,
+                )
             };
-            self.dir.get_mut(&line).expect("owned line has entry").grant_write(tile);
+            self.dir
+                .get_mut(&line)
+                .expect("owned line has entry")
+                .grant_write(tile);
             // The version advanced (sibling-core L1 copies die); re-stamp
             // the writer's own caches.
             let ver = self.dir[&line].version;
@@ -371,7 +422,11 @@ impl Machine {
             let dur = self.jitter(lat, line);
             return AccessOutcome {
                 complete: now + dur,
-                served_by: if in_l1 { ServedBy::L1 } else { ServedBy::TileL2(tile_state) },
+                served_by: if in_l1 {
+                    ServedBy::L1
+                } else {
+                    ServedBy::TileL2(tile_state)
+                },
             };
         }
 
@@ -379,8 +434,9 @@ impl Machine {
         let home = self.map.home_directory(addr);
         let req_pos = self.topo.tile_position(tile);
         let home_pos = self.topo.tile_position(home);
-        let t_req =
-            self.mesh.traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        let t_req = self
+            .mesh
+            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
 
         let entry = self.dir.entry(line).or_default();
         let wait = entry.busy_until.saturating_sub(t_req);
@@ -389,7 +445,9 @@ impl Machine {
 
         let supplier = entry.supplier().filter(|&s| s != tile);
         let other_sharers = match supplier {
-            Some(_) => entry.num_holders().saturating_sub(usize::from(entry.sharers.contains(&tile))),
+            Some(_) => entry
+                .num_holders()
+                .saturating_sub(usize::from(entry.sharers.contains(&tile))),
             None => entry.num_holders(),
         };
 
@@ -401,12 +459,17 @@ impl Machine {
                 _ => 0,
             };
             let sup_pos = self.topo.tile_position(sup);
-            let at_sup = self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps)
-                + t.remote_l2_ps
-                + extra;
+            let at_sup =
+                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
             let ready = self.mesh.traverse(sup_pos, req_pos, at_sup + t.inject_ps);
             self.counters.remote_cache_hits += 1;
-            (ready, ServedBy::RemoteCache { holder: sup, state: st })
+            (
+                ready,
+                ServedBy::RemoteCache {
+                    holder: sup,
+                    state: st,
+                },
+            )
         } else if tile_state != MesifState::Invalid {
             // Upgrade from S/F: data already local; only permission needed.
             let ready = self.mesh.traverse(home_pos, req_pos, t_svc + t.inject_ps);
@@ -428,7 +491,10 @@ impl Machine {
         let ver = self.dir.get(&line).map_or(0, |e| e.version);
         self.l2_fill(tile, line, ver);
         self.l1_fill(core, line, ver);
-        AccessOutcome { complete: now + self.jitter(complete - now, line), served_by }
+        AccessOutcome {
+            complete: now + self.jitter(complete - now, line),
+            served_by,
+        }
     }
 
     fn nt_store(&mut self, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
@@ -451,7 +517,10 @@ impl Machine {
         // throttle on write-combining-buffer capacity.
         let req_pos = self.topo.tile_position(tile);
         let accept = self.memory_write(addr, line, req_pos, now + t.issue_gap_ps);
-        AccessOutcome { complete: accept + extra, served_by: ServedBy::Posted }
+        AccessOutcome {
+            complete: accept + extra,
+            served_by: ServedBy::Posted,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -460,7 +529,13 @@ impl Machine {
 
     /// Read `line` from memory; `from_pos` is where the request departs
     /// (home CHA). Returns (data-ready-at-device time, provenance).
-    fn memory_read(&mut self, addr: u64, line: u64, from_pos: (i32, i32), t0: SimTime) -> (SimTime, ServedBy) {
+    fn memory_read(
+        &mut self,
+        addr: u64,
+        line: u64,
+        from_pos: (i32, i32),
+        t0: SimTime,
+    ) -> (SimTime, ServedBy) {
         let t = self.cfg.timing.clone();
         let in_ddr = matches!(self.map.mem_target(addr), MemTarget::Ddr { .. });
         if self.mcache.enabled() && in_ddr {
@@ -522,7 +597,9 @@ impl Machine {
             let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
             let edc_dev = 6 + edc as usize;
             match self.mcache.access(line, true) {
-                McacheOutcome::Hit | McacheOutcome::MissCold | McacheOutcome::MissCleanEvict { .. } => {
+                McacheOutcome::Hit
+                | McacheOutcome::MissCold
+                | McacheOutcome::MissCleanEvict { .. } => {
                     self.counters.mcdram_accesses += 1;
                     self.devices[edc_dev].write(arrive)
                 }
@@ -592,7 +669,11 @@ impl Machine {
         now: SimTime,
     ) -> SimTime {
         let t = self.cfg.timing.clone();
-        let ov = if vectorized { t.ov_c2c_copy_vec } else { t.ov_c2c_copy_scalar } as usize;
+        let ov = if vectorized {
+            t.ov_c2c_copy_vec
+        } else {
+            t.ov_c2c_copy_scalar
+        } as usize;
         let lines = knl_arch::lines_for(bytes);
         let mut ring: Vec<SimTime> = vec![now; ov.max(1)];
         let mut issue = now;
@@ -614,9 +695,20 @@ impl Machine {
 
     /// Read `bytes` from `src` into registers (no destination buffer),
     /// overlapping up to the read MLP cap.
-    pub fn read_buf(&mut self, core: CoreId, src: u64, bytes: u64, vectorized: bool, now: SimTime) -> SimTime {
+    pub fn read_buf(
+        &mut self,
+        core: CoreId,
+        src: u64,
+        bytes: u64,
+        vectorized: bool,
+        now: SimTime,
+    ) -> SimTime {
         let t = self.cfg.timing.clone();
-        let ov = if vectorized { t.ov_c2c_read_vec } else { t.ov_c2c_read_scalar } as usize;
+        let ov = if vectorized {
+            t.ov_c2c_read_vec
+        } else {
+            t.ov_c2c_read_scalar
+        } as usize;
         let lines = knl_arch::lines_for(bytes);
         let mut ring: Vec<SimTime> = vec![now; ov.max(1)];
         let mut issue = now;
@@ -661,7 +753,9 @@ impl Machine {
         now: SimTime,
         deadline: SimTime,
     ) -> (SimTime, u64) {
-        self.stream_chunk_shared(core, kind, a, b, c, start_line, max_lines, vectorized, state, now, deadline, 1)
+        self.stream_chunk_shared(
+            core, kind, a, b, c, start_line, max_lines, vectorized, state, now, deadline, 1,
+        )
     }
 
     /// [`Machine::stream_chunk`] with `core_threads` HyperThreads sharing
@@ -686,8 +780,12 @@ impl Machine {
         use crate::ops::StreamKind::*;
         let t = self.cfg.timing.clone();
         let share = core_threads.max(1);
-        let ov_load =
-            ((if vectorized { t.ov_mem_vec } else { t.ov_mem_scalar }) / share).max(1) as usize;
+        let ov_load = ((if vectorized {
+            t.ov_mem_vec
+        } else {
+            t.ov_mem_scalar
+        }) / share)
+            .max(1) as usize;
         let ov_nt = (t.max_nt_outstanding / share).max(1) as usize;
         let issue_gap = t.issue_gap_ps * share as u64;
         let tile = core.tile();
@@ -743,8 +841,10 @@ impl Machine {
         let line = addr >> LINE_SHIFT;
         let home = self.map.home_directory(addr);
         let home_pos = self.topo.tile_position(home);
-        let t_svc = self.mesh.traverse(req_pos, home_pos, gated + t.l2_miss_detect_ps + t.inject_ps)
-            + t.cha_lookup_ps;
+        let t_svc =
+            self.mesh
+                .traverse(req_pos, home_pos, gated + t.l2_miss_detect_ps + t.inject_ps)
+                + t.cha_lookup_ps;
         let (ready, served) = self.memory_read(addr, line, home_pos, t_svc);
         let served_pos = self.served_pos(served);
         let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
@@ -845,7 +945,9 @@ impl Machine {
     /// The MESIF state `tile` currently holds `addr` in (directory's view).
     pub fn line_state(&self, addr: u64, tile: TileId) -> MesifState {
         let line = addr >> LINE_SHIFT;
-        self.dir.get(&line).map_or(MesifState::Invalid, |e| e.state_of(tile))
+        self.dir
+            .get(&line)
+            .map_or(MesifState::Invalid, |e| e.state_of(tile))
     }
 
     fn jitter(&mut self, dur: SimTime, line: u64) -> SimTime {
@@ -923,7 +1025,10 @@ mod tests {
             let o = m.access(c, mc + i * 64, AccessKind::Read, (1000 + i) * 1_000_000);
             tmc += o.complete - (1000 + i) * 1_000_000;
         }
-        assert!(tmc > tddr, "MCDRAM latency must exceed DDR ({tmc} vs {tddr})");
+        assert!(
+            tmc > tddr,
+            "MCDRAM latency must exceed DDR ({tmc} vs {tddr})"
+        );
     }
 
     #[test]
@@ -946,7 +1051,11 @@ mod tests {
                 (ns - expect_ns).abs() < expect_ns * 0.35 + 2.0,
                 "state {state:?}: got {ns} ns, expected ~{expect_ns}"
             );
-            assert!(matches!(out.served_by, ServedBy::TileL2(_)), "{:?}", out.served_by);
+            assert!(
+                matches!(out.served_by, ServedBy::TileL2(_)),
+                "{:?}",
+                out.served_by
+            );
         }
     }
 
@@ -973,7 +1082,10 @@ mod tests {
         m.prepare_line(owner, addr_m, MesifState::Modified);
         m.prepare_line(owner, addr_s, MesifState::Forward);
         let tm = m.access(reader, addr_m, AccessKind::Read, 0).complete;
-        let ts = m.access(reader, addr_s, AccessKind::Read, 10_000_000).complete - 10_000_000;
+        let ts = m
+            .access(reader, addr_s, AccessKind::Read, 10_000_000)
+            .complete
+            - 10_000_000;
         assert!(tm > ts, "M {tm} must exceed S/F {ts}");
     }
 
@@ -1031,7 +1143,10 @@ mod tests {
         let c = CoreId(0);
         let addr = 1 << 20;
         let miss = m.access(c, addr, AccessKind::Read, 0);
-        assert!(matches!(miss.served_by, ServedBy::Memory(MemTarget::Ddr { .. })));
+        assert!(matches!(
+            miss.served_by,
+            ServedBy::Memory(MemTarget::Ddr { .. })
+        ));
         // Evict from L1+L2 is hard; instead touch a different line mapping
         // to the same mcache set? Simpler: re-read after clearing the tile
         // caches — the memory-side cache keeps its content.
@@ -1043,11 +1158,18 @@ mod tests {
         }
         m.dir.clear();
         let hit = m.access(c, addr, AccessKind::Read, 10_000_000);
-        assert!(matches!(hit.served_by, ServedBy::McacheHit { .. }), "{:?}", hit.served_by);
+        assert!(
+            matches!(hit.served_by, ServedBy::McacheHit { .. }),
+            "{:?}",
+            hit.served_by
+        );
         // Cache-mode hit latency exceeds a flat DDR access (tag check +
         // MCDRAM's higher device latency), per Table II.
         let hit_ns = (hit.complete - 10_000_000) as f64 / 1000.0;
-        assert!((140.0..210.0).contains(&hit_ns), "cache-mode latency {hit_ns}");
+        assert!(
+            (140.0..210.0).contains(&hit_ns),
+            "cache-mode latency {hit_ns}"
+        );
     }
 
     #[test]
@@ -1084,7 +1206,10 @@ mod tests {
         let r = crate::runner::run_programs(&mut m, progs);
         let bytes = 32 * lines_per_core * 64;
         let gbps = (bytes as f64 / 1e9) / (r.end_time as f64 / 1e12);
-        assert!((55.0..85.0).contains(&gbps), "aggregate DDR read {gbps} GB/s");
+        assert!(
+            (55.0..85.0).contains(&gbps),
+            "aggregate DDR read {gbps} GB/s"
+        );
     }
 
     #[test]
@@ -1106,7 +1231,10 @@ mod tests {
         );
         assert_eq!(n, 8192);
         let gbps = (8192.0 * 64.0 / 1e9) / (done as f64 / 1e12);
-        assert!((5.0..11.0).contains(&gbps), "single-thread DDR read {gbps} GB/s");
+        assert!(
+            (5.0..11.0).contains(&gbps),
+            "single-thread DDR read {gbps} GB/s"
+        );
     }
 
     #[test]
@@ -1127,7 +1255,10 @@ mod tests {
             100_000, // 100 ns slice
         );
         assert!(n < 1_000_000, "slice must stop early, did {n} lines");
-        assert!((100_000..400_000).contains(&t), "frontier near deadline: {t}");
+        assert!(
+            (100_000..400_000).contains(&t),
+            "frontier near deadline: {t}"
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ pub struct MemorySideCache {
 impl MemorySideCache {
     /// Build with `capacity_bytes` of MCDRAM operating as cache.
     pub fn new(capacity_bytes: u64) -> Self {
-        MemorySideCache { sets: capacity_bytes >> knl_arch::LINE_SHIFT, tags: HashMap::new(), hits: 0, misses: 0 }
+        MemorySideCache {
+            sets: capacity_bytes >> knl_arch::LINE_SHIFT,
+            tags: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Whether any capacity is configured.
@@ -81,9 +86,13 @@ impl MemorySideCache {
                 *e = Entry { line, dirty };
                 self.misses += 1;
                 if victim.dirty {
-                    McacheOutcome::MissDirtyEvict { victim_line: victim.line }
+                    McacheOutcome::MissDirtyEvict {
+                        victim_line: victim.line,
+                    }
                 } else {
-                    McacheOutcome::MissCleanEvict { victim_line: victim.line }
+                    McacheOutcome::MissCleanEvict {
+                        victim_line: victim.line,
+                    }
                 }
             }
             None => {
@@ -96,7 +105,11 @@ impl MemorySideCache {
 
     /// Peek without filling (used by diagnostics).
     pub fn contains(&self, line: u64) -> bool {
-        self.enabled() && self.tags.get(&self.set_of(line)).is_some_and(|e| e.line == line)
+        self.enabled()
+            && self
+                .tags
+                .get(&self.set_of(line))
+                .is_some_and(|e| e.line == line)
     }
 
     /// Hit fraction since construction or [`MemorySideCache::reset_stats`].
@@ -139,7 +152,10 @@ mod tests {
         let mut c = MemorySideCache::new(64 * 64);
         c.access(1, false);
         // Line 65 maps to the same set (1 + 64).
-        assert_eq!(c.access(65, false), McacheOutcome::MissCleanEvict { victim_line: 1 });
+        assert_eq!(
+            c.access(65, false),
+            McacheOutcome::MissCleanEvict { victim_line: 1 }
+        );
         assert!(!c.contains(1));
         assert!(c.contains(65));
     }
@@ -148,7 +164,10 @@ mod tests {
     fn dirty_eviction_reported() {
         let mut c = MemorySideCache::new(64 * 64);
         c.access(1, true);
-        assert_eq!(c.access(65, false), McacheOutcome::MissDirtyEvict { victim_line: 1 });
+        assert_eq!(
+            c.access(65, false),
+            McacheOutcome::MissDirtyEvict { victim_line: 1 }
+        );
     }
 
     #[test]
@@ -156,7 +175,10 @@ mod tests {
         let mut c = MemorySideCache::new(64 * 64);
         c.access(1, false);
         c.access(1, true); // hit that dirties
-        assert_eq!(c.access(65, false), McacheOutcome::MissDirtyEvict { victim_line: 1 });
+        assert_eq!(
+            c.access(65, false),
+            McacheOutcome::MissDirtyEvict { victim_line: 1 }
+        );
     }
 
     #[test]
@@ -175,8 +197,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = MemorySideCache::new(64 * 64); // 64 lines
-        // Touch 128 distinct lines twice; second pass must still miss
-        // (every set holds the *other* conflicting line by then).
+                                                   // Touch 128 distinct lines twice; second pass must still miss
+                                                   // (every set holds the *other* conflicting line by then).
         for round in 0..2 {
             for l in 0..128u64 {
                 c.access(l, false);
@@ -185,7 +207,10 @@ mod tests {
                 c.reset_stats();
             }
         }
-        assert_eq!(c.hits, 0, "direct-mapped 2x-capacity cyclic sweep never hits");
+        assert_eq!(
+            c.hits, 0,
+            "direct-mapped 2x-capacity cyclic sweep never hits"
+        );
     }
 
     #[test]

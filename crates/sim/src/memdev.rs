@@ -140,7 +140,11 @@ impl MemDevice {
         } else {
             self.p.write_mixed_ps
         };
-        let turnaround = if self.last == Dir::Read { self.p.turnaround_ps } else { 0 };
+        let turnaround = if self.last == Dir::Read {
+            self.p.turnaround_ps
+        } else {
+            0
+        };
         self.last = Dir::Write;
         let v = self.vclock.max(arrival.saturating_sub(self.window_ps));
         let start = v + turnaround;
@@ -275,7 +279,11 @@ mod tests {
         for _ in 0..1000u64 {
             last = d.read(t0);
         }
-        assert!(last >= t0 + 5_000 * 1000 - 1_000 - 5_000, "burst must queue: {}", last - t0);
+        assert!(
+            last >= t0 + 5_000 * 1000 - 1_000 - 5_000,
+            "burst must queue: {}",
+            last - t0
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
     use super::*;
 
     fn analytic() -> Mesh {
-        Mesh::new(MeshConfig { hop_ps: 1_500, ring_service_ps: None })
+        Mesh::new(MeshConfig {
+            hop_ps: 1_500,
+            ring_service_ps: None,
+        })
     }
 
     #[test]
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn occupancy_queues_on_shared_ring() {
         // Slow rings: two messages on the same column ring serialize.
-        let mut m = Mesh::new(MeshConfig { hop_ps: 1_000, ring_service_ps: Some(50_000) });
+        let mut m = Mesh::new(MeshConfig {
+            hop_ps: 1_000,
+            ring_service_ps: Some(50_000),
+        });
         let a = m.traverse((0, 0), (0, 5), 0);
         let b = m.traverse((0, 5), (0, 0), 0);
         assert!(b > a, "second message queues: {a} vs {b}");
@@ -127,7 +133,10 @@ mod tests {
 
     #[test]
     fn fast_rings_add_no_queueing() {
-        let mut occ = Mesh::new(MeshConfig { hop_ps: 1_500, ring_service_ps: Some(100) });
+        let mut occ = Mesh::new(MeshConfig {
+            hop_ps: 1_500,
+            ring_service_ps: Some(100),
+        });
         let mut ana = analytic();
         for i in 0..20u64 {
             let t = i * 10_000;
@@ -139,7 +148,10 @@ mod tests {
 
     #[test]
     fn reset_clears_rings() {
-        let mut m = Mesh::new(MeshConfig { hop_ps: 1_000, ring_service_ps: Some(50_000) });
+        let mut m = Mesh::new(MeshConfig {
+            hop_ps: 1_000,
+            ring_service_ps: Some(50_000),
+        });
         for _ in 0..10 {
             m.traverse((0, 0), (0, 5), 0);
         }
@@ -152,6 +164,9 @@ mod tests {
         for _ in 0..20 {
             last = m.traverse((0, 0), (0, 5), 0);
         }
-        assert!(last >= 20 * 50_000 - RING_REORDER_WINDOW_PS, "burst queues: {last}");
+        assert!(
+            last >= 20 * 50_000 - RING_REORDER_WINDOW_PS,
+            "burst queues: {last}"
+        );
     }
 }

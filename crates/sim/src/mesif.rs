@@ -8,10 +8,9 @@
 //! so private L1s never need to be walked.
 
 use knl_arch::TileId;
-use serde::{Deserialize, Serialize};
 
 /// The five MESIF states, from the perspective of one tile's copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesifState {
     /// Dirty, exclusive to one tile.
     Modified,
@@ -353,17 +352,13 @@ mod tests {
             }
             let owners = [T0, T1, T2]
                 .iter()
-                .filter(|&&x| {
-                    matches!(e.state_of(x), MesifState::Modified | MesifState::Exclusive)
-                })
+                .filter(|&&x| matches!(e.state_of(x), MesifState::Modified | MesifState::Exclusive))
                 .count();
             assert!(owners <= 1);
             if owners == 1 {
                 let sharers = [T0, T1, T2]
                     .iter()
-                    .filter(|&&x| {
-                        matches!(e.state_of(x), MesifState::Shared | MesifState::Forward)
-                    })
+                    .filter(|&&x| matches!(e.state_of(x), MesifState::Shared | MesifState::Forward))
                     .count();
                 assert_eq!(sharers, 0, "M/E excludes S/F copies");
             }

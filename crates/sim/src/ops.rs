@@ -1,12 +1,11 @@
 //! Operations executable by a simulated thread.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Streaming-kernel flavours (the paper's four access patterns, §V-A):
 /// copy `a[i] = b[i]`, read `a = b[i]`, write `b[i] = a`, and
 /// triad `a[i] = b[i] + s·c[i]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamKind {
     /// `a[i] = b[i]`.
     Copy,
@@ -20,8 +19,12 @@ pub enum StreamKind {
 
 impl StreamKind {
     /// The four kernels, in the paper's order.
-    pub const ALL: [StreamKind; 4] =
-        [StreamKind::Copy, StreamKind::Read, StreamKind::Write, StreamKind::Triad];
+    pub const ALL: [StreamKind; 4] = [
+        StreamKind::Copy,
+        StreamKind::Read,
+        StreamKind::Write,
+        StreamKind::Triad,
+    ];
 
     /// Bytes moved per line-iteration as counted by the paper (reads +
     /// writes): copy 2, read 1, write 1, triad 3.
@@ -41,6 +44,11 @@ impl StreamKind {
             StreamKind::Write => "write",
             StreamKind::Triad => "triad",
         }
+    }
+
+    /// Inverse of [`name`](Self::name), for decoding cached results.
+    pub fn from_name(name: &str) -> Option<StreamKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 

@@ -15,7 +15,10 @@ pub struct Program {
 impl Program {
     /// Program pinned to a specific hardware thread.
     pub fn new(hw: HwThreadId) -> Self {
-        Program { hw, ops: Vec::new() }
+        Program {
+            hw,
+            ops: Vec::new(),
+        }
     }
 
     /// Convenience: pin to the first HyperThread of `core`.

@@ -1,28 +1,43 @@
 //! Property tests on the simulator's core invariants.
+//!
+//! Randomized but deterministic: cases are drawn from [`SplitMixRng`] with
+//! fixed seeds (the workspace builds offline with no external crates, so
+//! these are hand-rolled property loops rather than `proptest` macros).
 
-use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, TileId};
+use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, SplitMixRng, TileId};
 use knl_sim::{AccessKind, Machine, MesifState, Op, Program, Runner};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 fn machine() -> Machine {
-    let mut m = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+    let mut m = Machine::new(MachineConfig::knl7210(
+        ClusterMode::Quadrant,
+        MemoryMode::Flat,
+    ));
     m.set_jitter(0);
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Single-writer/multiple-reader: after any interleaving of reads and
-    /// writes from random cores to a small set of lines, no line is ever
-    /// owned (M/E) by one tile while another tile holds any copy.
-    #[test]
-    fn mesif_swmr_invariant(ops in proptest::collection::vec((0u16..64, 0u64..4, any::<bool>()), 1..120)) {
+/// Single-writer/multiple-reader: after any interleaving of reads and
+/// writes from random cores to a small set of lines, no line is ever
+/// owned (M/E) by one tile while another tile holds any copy.
+#[test]
+fn mesif_swmr_invariant() {
+    let mut rng = SplitMixRng::seed_from_u64(0xB001);
+    for case in 0..CASES {
         let mut m = machine();
         let mut now = 0u64;
-        for (core, line_idx, is_write) in ops {
+        let n_ops = rng.range_usize(1, 120);
+        for _ in 0..n_ops {
+            let core = rng.range_u32(0, 64) as u16;
+            let line_idx = rng.range_u64(0, 4);
+            let is_write = rng.next_u64() & 1 == 1;
             let addr = (1u64 << 22) + line_idx * 64;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             now = m.access(CoreId(core), addr, kind, now).complete + 1_000;
 
             for li in 0..4u64 {
@@ -36,36 +51,50 @@ proptest! {
                         MesifState::Invalid => {}
                     }
                 }
-                prop_assert!(owners <= 1, "line {li}: {owners} owners");
-                prop_assert!(owners == 0 || sharers == 0, "line {li}: owner coexists with {sharers} sharers");
+                assert!(owners <= 1, "case {case}, line {li}: {owners} owners");
+                assert!(
+                    owners == 0 || sharers == 0,
+                    "case {case}, line {li}: owner coexists with {sharers} sharers"
+                );
             }
         }
     }
+}
 
-    /// Time never runs backwards: every access completes at or after its
-    /// issue time, and repeated accesses from one core are monotone.
-    #[test]
-    fn completion_monotone(ops in proptest::collection::vec((0u16..64, 0u64..64, 0u8..3), 1..100)) {
+/// Time never runs backwards: every access completes at or after its
+/// issue time, and repeated accesses from one core are monotone.
+#[test]
+fn completion_monotone() {
+    let mut rng = SplitMixRng::seed_from_u64(0xB002);
+    for _ in 0..CASES {
         let mut m = machine();
         let mut now = 0u64;
-        for (core, line_idx, k) in ops {
+        let n_ops = rng.range_usize(1, 100);
+        for _ in 0..n_ops {
+            let core = rng.range_u32(0, 64) as u16;
+            let line_idx = rng.range_u64(0, 64);
             let addr = (1u64 << 23) + line_idx * 64;
-            let kind = match k {
+            let kind = match rng.range_u32(0, 3) {
                 0 => AccessKind::Read,
                 1 => AccessKind::Write,
                 _ => AccessKind::NtStore,
             };
             let out = m.access(CoreId(core), addr, kind, now);
-            prop_assert!(out.complete >= now, "{kind:?} completed before issue");
+            assert!(out.complete >= now, "{kind:?} completed before issue");
             now = out.complete;
         }
     }
+}
 
-    /// The runner executes any well-formed flag dag: a random chain of
-    /// producers/consumers over distinct flags always terminates with
-    /// increasing end time, never deadlocks.
-    #[test]
-    fn runner_flag_chains_terminate(n in 2usize..10, seed in 0u64..1000) {
+/// The runner executes any well-formed flag dag: a random chain of
+/// producers/consumers over distinct flags always terminates with
+/// increasing end time, never deadlocks.
+#[test]
+fn runner_flag_chains_terminate() {
+    let mut rng = SplitMixRng::seed_from_u64(0xB003);
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 10);
+        let seed = rng.range_u64(0, 1000);
         let mut m = machine();
         let base = 1u64 << 24;
         // Thread i waits for flag i-1 (except 0) then sets flag i: a chain.
@@ -80,42 +109,42 @@ proptest! {
         };
         let programs: Vec<Program> = order
             .iter()
-            .enumerate()
-            .map(|(pos, &rank)| {
+            .map(|&rank| {
                 let mut p = Program::on_core(CoreId((rank * 2) as u16));
-                let _ = pos;
                 if rank > 0 {
-                    p.push(Op::WaitFlag { addr: base + (rank as u64 - 1) * 4096, val: 1 });
+                    p.push(Op::WaitFlag {
+                        addr: base + (rank as u64 - 1) * 4096,
+                        val: 1,
+                    });
                 }
                 p.push(Op::Compute(1_000));
-                p.push(Op::SetFlag { addr: base + rank as u64 * 4096, val: 1 });
+                p.push(Op::SetFlag {
+                    addr: base + rank as u64 * 4096,
+                    val: 1,
+                });
                 p
             })
             .collect();
         let result = Runner::new(&mut m, programs).run();
-        prop_assert!(result.end_time > 0);
+        assert!(result.end_time > 0);
     }
+}
 
-    /// Failure injection: pathological timing parameters (zero or huge
-    /// primitive costs, extreme jitter) must never break the simulator's
-    /// structural invariants — time stays monotone, accesses complete, the
-    /// SWMR invariant holds.
-    #[test]
-    fn pathological_timing_keeps_invariants(
-        hop in 0u64..50_000,
-        inject in 0u64..100_000,
-        cha in 0u64..200_000,
-        serialize in 0u64..200_000,
-        ddr_lat in 1_000u64..500_000,
-        jitter in 0u32..60,
-    ) {
+/// Failure injection: pathological timing parameters (zero or huge
+/// primitive costs, extreme jitter) must never break the simulator's
+/// structural invariants — time stays monotone, accesses complete, the
+/// SWMR invariant holds.
+#[test]
+fn pathological_timing_keeps_invariants() {
+    let mut rng = SplitMixRng::seed_from_u64(0xB004);
+    for case in 0..CASES {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);
-        cfg.timing.hop_ps = hop;
-        cfg.timing.inject_ps = inject;
-        cfg.timing.cha_lookup_ps = cha;
-        cfg.timing.cha_line_serialize_ps = serialize;
-        cfg.timing.ddr_lat_ps = ddr_lat;
-        cfg.timing.jitter_pct = jitter;
+        cfg.timing.hop_ps = rng.range_u64(0, 50_000);
+        cfg.timing.inject_ps = rng.range_u64(0, 100_000);
+        cfg.timing.cha_lookup_ps = rng.range_u64(0, 200_000);
+        cfg.timing.cha_line_serialize_ps = rng.range_u64(0, 200_000);
+        cfg.timing.ddr_lat_ps = rng.range_u64(1_000, 500_000);
+        cfg.timing.jitter_pct = rng.range_u32(0, 60);
         let mut m = Machine::new(cfg);
         let mut now = 0u64;
         for i in 0..40u64 {
@@ -127,23 +156,32 @@ proptest! {
                 _ => AccessKind::NtStore,
             };
             let out = m.access(core, addr, kind, now);
-            prop_assert!(out.complete >= now);
+            assert!(out.complete >= now, "case {case}: completion ran backwards");
             now = out.complete;
         }
         // SWMR still holds on the touched lines.
         for li in 0..6u64 {
             let a = (1u64 << 22) + li * 64;
             let owners = (0..32u16)
-                .filter(|&t| matches!(m.line_state(a, TileId(t)), MesifState::Modified | MesifState::Exclusive))
+                .filter(|&t| {
+                    matches!(
+                        m.line_state(a, TileId(t)),
+                        MesifState::Modified | MesifState::Exclusive
+                    )
+                })
                 .count();
-            prop_assert!(owners <= 1);
+            assert!(owners <= 1, "case {case}, line {li}: {owners} owners");
         }
     }
+}
 
-    /// Device queueing conserves work: streaming N lines through one core
-    /// takes at least N * service_time at the device aggregate rate.
-    #[test]
-    fn stream_time_lower_bounded(lines in 64u64..4096) {
+/// Device queueing conserves work: streaming N lines through one core
+/// takes at least N * service_time at the device aggregate rate.
+#[test]
+fn stream_time_lower_bounded() {
+    let mut rng = SplitMixRng::seed_from_u64(0xB005);
+    for _ in 0..CASES {
+        let lines = rng.range_u64(64, 4096);
         let mut m = machine();
         let mut p = Program::on_core(CoreId(0));
         p.push(Op::MarkStart(0))
@@ -159,9 +197,12 @@ proptest! {
         let r = Runner::new(&mut m, vec![p]).run();
         let d = r.duration_ps(0, 0).unwrap();
         // Issue bound: `lines * issue_gap`; and the path latency floor.
-        prop_assert!(d >= lines * 400, "{lines} lines in {d} ps breaks the issue bound");
+        assert!(
+            d >= lines * 400,
+            "{lines} lines in {d} ps breaks the issue bound"
+        );
         // Single-thread bandwidth cannot exceed MLP*64B/latency ≈ 12 GB/s.
         let gbps = (lines as f64 * 64.0 / 1e9) / (d as f64 / 1e12);
-        prop_assert!(gbps < 14.0, "single-thread {gbps} GB/s is impossibly high");
+        assert!(gbps < 14.0, "single-thread {gbps} GB/s is impossibly high");
     }
 }

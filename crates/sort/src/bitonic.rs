@@ -76,7 +76,7 @@ pub fn sort16(v: &mut [u32; 16]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use knl_arch::SplitMixRng;
 
     #[test]
     fn sort16_sorts_known() {
@@ -103,39 +103,45 @@ mod tests {
         assert_eq!(hi, std::array::from_fn(|i| 100 + i as u32));
     }
 
-    proptest! {
-        #[test]
-        fn sort16_random(mut v in proptest::array::uniform16(any::<u32>())) {
+    #[test]
+    fn sort16_random() {
+        let mut rng = SplitMixRng::seed_from_u64(0xD004);
+        for _ in 0..256 {
+            let mut v: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
             let mut expect = v;
             expect.sort_unstable();
             sort16(&mut v);
-            prop_assert_eq!(v, expect);
+            assert_eq!(v, expect);
         }
+    }
 
-        #[test]
-        fn merge16_random(a in proptest::array::uniform16(any::<u32>()),
-                          b in proptest::array::uniform16(any::<u32>())) {
-            let mut lo = a;
-            let mut hi = b;
+    #[test]
+    fn merge16_random() {
+        let mut rng = SplitMixRng::seed_from_u64(0xD005);
+        for _ in 0..256 {
+            let mut lo: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
+            let mut hi: [u32; 16] = std::array::from_fn(|_| rng.next_u32());
             lo.sort_unstable();
             hi.sort_unstable();
             let mut expect: Vec<u32> = lo.iter().chain(hi.iter()).copied().collect();
             expect.sort_unstable();
             bitonic_merge16(&mut lo, &mut hi);
             let got: Vec<u32> = lo.iter().chain(hi.iter()).copied().collect();
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect);
         }
+    }
 
-        // The 0–1 principle: a comparison network sorts all inputs iff it
-        // sorts all 0/1 inputs. Exhaustively checking 2^16 patterns per
-        // case is cheap enough to sample heavily.
-        #[test]
-        fn sort16_zero_one_principle(bits in 0u32..65536) {
+    // The 0–1 principle: a comparison network sorts all inputs iff it
+    // sorts all 0/1 inputs. 2^16 patterns is cheap enough to check
+    // exhaustively.
+    #[test]
+    fn sort16_zero_one_principle() {
+        for bits in 0u32..65536 {
             let mut v: [u32; 16] = std::array::from_fn(|i| (bits >> i) & 1);
             let ones = v.iter().sum::<u32>() as usize;
             sort16(&mut v);
             for (i, &x) in v.iter().enumerate() {
-                prop_assert_eq!(x, u32::from(i >= 16 - ones));
+                assert_eq!(x, u32::from(i >= 16 - ones));
             }
         }
     }

@@ -85,7 +85,7 @@ fn scalar_merge_into(a: &[u32], b: &[u32], out: &mut [u32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use knl_arch::SplitMixRng;
 
     fn check(a: Vec<u32>, b: Vec<u32>) {
         let mut a = a;
@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn merge_vector_sized() {
-        check((0..64).map(|i| i * 2).collect(), (0..64).map(|i| i * 2 + 1).collect());
+        check(
+            (0..64).map(|i| i * 2).collect(),
+            (0..64).map(|i| i * 2 + 1).collect(),
+        );
         check((0..64).collect(), (64..128).collect());
         check((64..128).collect(), (0..64).collect());
     }
@@ -127,16 +130,27 @@ mod tests {
         check(vec![1, 1, 2, 2], vec![1, 2, 2, 3]);
     }
 
-    proptest! {
-        #[test]
-        fn merge_random(a in proptest::collection::vec(any::<u32>(), 0..400),
-                        b in proptest::collection::vec(any::<u32>(), 0..400)) {
+    fn random_vec(rng: &mut SplitMixRng, lo: usize, hi: usize) -> Vec<u32> {
+        let n = rng.range_usize(lo, hi);
+        (0..n).map(|_| rng.next_u32()).collect()
+    }
+
+    #[test]
+    fn merge_random() {
+        let mut rng = SplitMixRng::seed_from_u64(0xD002);
+        for _ in 0..256 {
+            let a = random_vec(&mut rng, 0, 400);
+            let b = random_vec(&mut rng, 0, 400);
             check(a, b);
         }
+    }
 
-        #[test]
-        fn merge_random_vector_heavy(a in proptest::collection::vec(any::<u32>(), 100..300),
-                                     b in proptest::collection::vec(any::<u32>(), 100..300)) {
+    #[test]
+    fn merge_random_vector_heavy() {
+        let mut rng = SplitMixRng::seed_from_u64(0xD003);
+        for _ in 0..256 {
+            let a = random_vec(&mut rng, 100, 300);
+            let b = random_vec(&mut rng, 100, 300);
             check(a, b);
         }
     }

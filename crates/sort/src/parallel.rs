@@ -127,8 +127,7 @@ fn sort_small(v: &mut [u32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use knl_arch::SplitMixRng;
 
     fn check(mut v: Vec<u32>, threads: usize) {
         let mut expect = v.clone();
@@ -148,8 +147,8 @@ mod tests {
 
     #[test]
     fn random_large_various_threads() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let v: Vec<u32> = (0..100_000).map(|_| rng.gen()).collect();
+        let mut rng = SplitMixRng::seed_from_u64(42);
+        let v: Vec<u32> = (0..100_000).map(|_| rng.next_u32()).collect();
         for threads in [1, 2, 4, 8] {
             check(v.clone(), threads);
         }
@@ -157,9 +156,9 @@ mod tests {
 
     #[test]
     fn non_power_of_two_lengths() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SplitMixRng::seed_from_u64(7);
         for n in [17usize, 100, 1000, 12345, 65537] {
-            let v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            let v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
             check(v, 4);
         }
     }
@@ -181,9 +180,9 @@ mod tests {
 
     #[test]
     fn sort_run_matches_std() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = SplitMixRng::seed_from_u64(9);
         for n in [16usize, 31, 32, 100, 4096, 5000] {
-            let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut v: Vec<u32> = (0..n).map(|_| rng.range_u32(0, 1000)).collect();
             let mut expect = v.clone();
             expect.sort_unstable();
             sort_run(&mut v);
@@ -191,11 +190,13 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn sorts_random(v in proptest::collection::vec(any::<u32>(), 0..5000),
-                        threads in 1usize..9) {
+    #[test]
+    fn sorts_random() {
+        let mut rng = SplitMixRng::seed_from_u64(0xD001);
+        for _ in 0..64 {
+            let n = rng.range_usize(0, 5000);
+            let v: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+            let threads = rng.range_usize(1, 9);
             check(v, threads);
         }
     }

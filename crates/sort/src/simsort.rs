@@ -41,7 +41,10 @@ pub struct SimSortSpec {
 
 /// Simulate one full sort; returns seconds of simulated time.
 pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
-    assert!(spec.threads.is_power_of_two(), "threads must be a power of two");
+    assert!(
+        spec.threads.is_power_of_two(),
+        "threads must be a power of two"
+    );
     let num_cores = m.config().num_cores();
     let total_lines = (spec.bytes / 64).max(1);
     let p = spec.threads;
@@ -69,8 +72,19 @@ pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
             // cache-resident until the run width outgrows the tile L2.
             for pass in 0..chunk_passes {
                 let width_lines = (1u64 << pass).div_ceil(4).min(chunk_lines);
-                let (src, dst) = if pass.is_multiple_of(2) { (buf_a, buf_b) } else { (buf_b, buf_a) };
-                push_phase_a_pass(&mut prog, src + my_off, dst + my_off, chunk_lines, width_lines, pass == 0);
+                let (src, dst) = if pass.is_multiple_of(2) {
+                    (buf_a, buf_b)
+                } else {
+                    (buf_b, buf_a)
+                };
+                push_phase_a_pass(
+                    &mut prog,
+                    src + my_off,
+                    dst + my_off,
+                    chunk_lines,
+                    width_lines,
+                    pass == 0,
+                );
             }
             // Phase B: active while rank % 2^j == 0.
             let mut done_stage = 0u32;
@@ -80,17 +94,26 @@ pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
                 }
                 let partner = rank + (1usize << (j - 1));
                 // Wait for the partner's sub-run (it signals when inactive).
-                prog.push(Op::WaitFlag { addr: flags[partner], val: 1 });
+                prog.push(Op::WaitFlag {
+                    addr: flags[partner],
+                    val: 1,
+                });
                 let out_lines = chunk_lines << j;
                 let pass_idx = chunk_passes + j;
-                let (src, dst) =
-                    if pass_idx.is_multiple_of(2) { (buf_a, buf_b) } else { (buf_b, buf_a) };
+                let (src, dst) = if pass_idx.is_multiple_of(2) {
+                    (buf_a, buf_b)
+                } else {
+                    (buf_b, buf_a)
+                };
                 push_memory_pass(&mut prog, src + my_off, dst + my_off, out_lines);
                 done_stage = j;
             }
             let _ = done_stage;
             // Signal completion of all my active work.
-            prog.push(Op::SetFlag { addr: flags[rank], val: 1 });
+            prog.push(Op::SetFlag {
+                addr: flags[rank],
+                val: 1,
+            });
             prog.push(Op::MarkEnd(0));
             prog
         })
@@ -115,7 +138,9 @@ fn push_phase_a_pass(
         push_memory_pass(prog, src, dst, chunk_lines);
     } else {
         // Cache-resident pass: L2-rate traffic + network compute.
-        prog.push(Op::Compute(chunk_lines * (CACHED_PASS_PS_PER_LINE + COMPUTE_PS_PER_LINE)));
+        prog.push(Op::Compute(
+            chunk_lines * (CACHED_PASS_PS_PER_LINE + COMPUTE_PS_PER_LINE),
+        ));
     }
 }
 
@@ -124,7 +149,12 @@ fn push_phase_a_pass(
 /// behaviour is simulated, large spans stream.
 fn push_memory_pass(prog: &mut Program, src: u64, dst: u64, lines: u64) {
     if lines <= COHERENT_PATH_LINES {
-        prog.push(Op::CopyBuf { src, dst, bytes: lines * 64, vectorized: true });
+        prog.push(Op::CopyBuf {
+            src,
+            dst,
+            bytes: lines * 64,
+            vectorized: true,
+        });
     } else {
         prog.push(Op::Stream {
             kind: StreamKind::Copy,
@@ -150,7 +180,12 @@ mod tests {
     }
 
     fn spec(bytes: u64, threads: usize, memory: NumaKind) -> SimSortSpec {
-        SimSortSpec { bytes, threads, schedule: Schedule::FillTiles, memory }
+        SimSortSpec {
+            bytes,
+            threads,
+            schedule: Schedule::FillTiles,
+            memory,
+        }
     }
 
     #[test]

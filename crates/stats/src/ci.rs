@@ -7,10 +7,9 @@
 //! `l = n/2 − z·√n/2`, `u = 1 + n/2 + z·√n/2` (z = 1.96) is customary.
 
 use crate::summary::quantile_sorted;
-use serde::{Deserialize, Serialize};
 
 /// Median together with its 95% confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MedianCi {
     /// Sample median.
     pub median: f64,
@@ -48,14 +47,22 @@ pub fn median_ci95(xs: &[f64]) -> MedianCi {
     let n = v.len();
     let med = quantile_sorted(&v, 0.5);
     if n < 3 {
-        return MedianCi { median: med, lo: med, hi: med };
+        return MedianCi {
+            median: med,
+            lo: med,
+            hi: med,
+        };
     }
     let (l, u) = if n <= 70 {
         exact_binomial_bounds(n)
     } else {
         normal_approx_bounds(n)
     };
-    MedianCi { median: med, lo: v[l], hi: v[u.min(n - 1)] }
+    MedianCi {
+        median: med,
+        lo: v[l],
+        hi: v[u.min(n - 1)],
+    }
 }
 
 /// Exact binomial bounds for X ~ B(n, 1/2): the 0-based lower index is the
@@ -139,7 +146,11 @@ mod tests {
 
     #[test]
     fn relative_halfwidth_zero_median() {
-        let ci = MedianCi { median: 0.0, lo: -1.0, hi: 1.0 };
+        let ci = MedianCi {
+            median: 0.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
         assert!(ci.relative_halfwidth().is_infinite());
         assert!(!ci.within(0.1));
     }

@@ -7,6 +7,7 @@
 //! boxplot summaries used by the figure regenerators.
 
 pub mod ci;
+pub mod json;
 pub mod regression;
 pub mod sample;
 pub mod summary;

@@ -4,10 +4,8 @@
 //! `α + β·N` to multi-line transfer latencies (§IV-A.4), and a linear
 //! overhead model to small-message sort costs (§V-B.2). All are simple OLS.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a simple linear regression `y ≈ alpha + beta * x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Intercept α.
     pub alpha: f64,
@@ -28,7 +26,12 @@ impl LinearFit {
     /// A degenerate fit representing a constant value (used when a capability
     /// is measured at a single operating point).
     pub fn constant(c: f64) -> Self {
-        LinearFit { alpha: c, beta: 0.0, r2: 1.0, n: 1 }
+        LinearFit {
+            alpha: c,
+            beta: 0.0,
+            r2: 1.0,
+            n: 1,
+        }
     }
 }
 
@@ -55,8 +58,17 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LinearFit { alpha, beta, r2, n: xs.len() }
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        alpha,
+        beta,
+        r2,
+        n: xs.len(),
+    }
 }
 
 #[cfg(test)]
@@ -77,8 +89,10 @@ mod tests {
     fn noisy_line_close() {
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
         // Deterministic "noise".
-        let ys: Vec<f64> =
-            xs.iter().map(|&x| 5.0 + 2.0 * x + ((x * 7.0).sin())).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 5.0 + 2.0 * x + ((x * 7.0).sin()))
+            .collect();
         let f = fit_linear(&xs, &ys);
         assert!((f.alpha - 5.0).abs() < 0.5, "{f:?}");
         assert!((f.beta - 2.0).abs() < 0.05, "{f:?}");
@@ -108,7 +122,12 @@ mod tests {
 
     #[test]
     fn eval_roundtrip() {
-        let f = LinearFit { alpha: 1.0, beta: 2.0, r2: 1.0, n: 2 };
+        let f = LinearFit {
+            alpha: 1.0,
+            beta: 2.0,
+            r2: 1.0,
+            n: 2,
+        };
         assert_eq!(f.eval(3.0), 7.0);
         assert_eq!(LinearFit::constant(9.0).eval(123.0), 9.0);
     }

@@ -2,13 +2,12 @@
 
 use crate::ci::{median_ci95, MedianCi};
 use crate::summary::{boxplot, mean, median, quantile, stddev, BoxplotSummary};
-use serde::{Deserialize, Serialize};
 
 /// A set of repeated observations (e.g. per-iteration latencies of one
 /// benchmark configuration). The paper's reporting discipline — median of the
 /// per-iteration maxima across threads — is built by pushing each iteration's
 /// max and then reading [`Sample::median`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Sample {
     values: Vec<f64>,
 }
@@ -71,7 +70,10 @@ impl Sample {
 
     /// Largest observation (-inf when empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Median with its nonparametric 95% CI.
@@ -92,7 +94,9 @@ impl Sample {
 
 impl FromIterator<f64> for Sample {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Sample { values: iter.into_iter().collect() }
+        Sample {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -21,7 +21,10 @@ pub fn stddev(xs: &[f64]) -> f64 {
 /// Quantile with linear interpolation between closest ranks (type-7, the R and
 /// NumPy default). `q` must be in `[0, 1]`. Returns `NaN` for an empty slice.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return f64::NAN;
     }
@@ -85,7 +88,12 @@ pub fn boxplot(xs: &[f64]) -> BoxplotSummary {
     let lo_fence = q1 - 1.5 * iqr;
     let hi_fence = q3 + 1.5 * iqr;
     let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(q1);
-    let whisker_hi = v.iter().rev().copied().find(|&x| x <= hi_fence).unwrap_or(q3);
+    let whisker_hi = v
+        .iter()
+        .rev()
+        .copied()
+        .find(|&x| x <= hi_fence)
+        .unwrap_or(q3);
     BoxplotSummary {
         min: *v.first().unwrap_or(&f64::NAN),
         whisker_lo,

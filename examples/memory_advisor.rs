@@ -36,14 +36,34 @@ fn main() {
             "bitonic merge sort (threads halve away; merges interleave two \
              input streams, so the tail phases are latency-bound)",
             vec![
-                PhaseProfile { kind: StreamKind::Copy, threads: 64, weight: 0.2, latency_bound: false },
-                PhaseProfile { kind: StreamKind::Copy, threads: 8, weight: 0.2, latency_bound: true },
-                PhaseProfile { kind: StreamKind::Copy, threads: 1, weight: 0.6, latency_bound: true },
+                PhaseProfile {
+                    kind: StreamKind::Copy,
+                    threads: 64,
+                    weight: 0.2,
+                    latency_bound: false,
+                },
+                PhaseProfile {
+                    kind: StreamKind::Copy,
+                    threads: 8,
+                    weight: 0.2,
+                    latency_bound: true,
+                },
+                PhaseProfile {
+                    kind: StreamKind::Copy,
+                    threads: 1,
+                    weight: 0.6,
+                    latency_bound: true,
+                },
             ],
         ),
         (
             "single-threaded ETL (copy, 1 thread)",
-            vec![PhaseProfile { kind: StreamKind::Copy, threads: 1, weight: 1.0, latency_bound: false }],
+            vec![PhaseProfile {
+                kind: StreamKind::Copy,
+                threads: 1,
+                weight: 1.0,
+                latency_bound: false,
+            }],
         ),
     ];
 

@@ -20,7 +20,10 @@ use knl::model::{optimize_barrier, optimize_tree, CapabilityModel, TreeKind};
 use std::sync::Arc;
 
 fn main() {
-    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 8);
+    let n = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
     let iters = 2_000;
     println!("running {iters} iterations of each collective on {n} host threads\n");
 
@@ -29,14 +32,24 @@ fn main() {
 
     // ---- barrier ----
     let plan = optimize_barrier(&model, n);
-    println!("barrier: model-tuned radix m={} ({} rounds)", plan.m, plan.r);
+    println!(
+        "barrier: model-tuned radix m={} ({} rounds)",
+        plan.m, plan.r
+    );
     let tuned = Arc::new(DisseminationBarrier::new(n, plan.m));
     let b = Arc::clone(&tuned);
     let d_tuned = team.time(iters, move |rank, _| b.wait(rank));
     let central = Arc::new(CentralizedBarrier::new(n));
     let c = Arc::clone(&central);
     let d_central = team.time(iters, move |rank, _| c.wait(rank));
-    report("barrier", iters, &[("dissemination (tuned)", d_tuned), ("centralized (OpenMP-like)", d_central)]);
+    report(
+        "barrier",
+        iters,
+        &[
+            ("dissemination (tuned)", d_tuned),
+            ("centralized (OpenMP-like)", d_central),
+        ],
+    );
 
     // ---- broadcast ----
     let tree = optimize_tree(&model, n, TreeKind::Broadcast).tree;
@@ -63,7 +76,11 @@ fn main() {
     report(
         "broadcast",
         iters,
-        &[("tuned tree", d_tree), ("flat (OpenMP-like)", d_flat), ("binomial+staging (MPI-like)", d_mpi)],
+        &[
+            ("tuned tree", d_tree),
+            ("flat (OpenMP-like)", d_flat),
+            ("binomial+staging (MPI-like)", d_mpi),
+        ],
     );
 
     // ---- reduce ----
@@ -89,14 +106,21 @@ fn main() {
     report(
         "reduce",
         iters,
-        &[("tuned tree", d_tree), ("central atomic (OpenMP-like)", d_central), ("binomial+staging (MPI-like)", d_mpi)],
+        &[
+            ("tuned tree", d_tree),
+            ("central atomic (OpenMP-like)", d_central),
+            ("binomial+staging (MPI-like)", d_mpi),
+        ],
     );
 }
 
 fn report(what: &str, iters: usize, results: &[(&str, std::time::Duration)]) {
     println!("--- {what} ---");
     for (name, d) in results {
-        println!("  {name:<30} {:>9.0} ns/op", d.as_nanos() as f64 / iters as f64);
+        println!(
+            "  {name:<30} {:>9.0} ns/op",
+            d.as_nanos() as f64 / iters as f64
+        );
     }
     println!();
 }

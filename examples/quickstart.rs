@@ -13,7 +13,12 @@ use knl::sim::Machine;
 fn main() {
     // 1. Pick one of the fifteen machine configurations.
     let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
-    println!("machine: {} ({} cores, {} tiles)", cfg.label(), cfg.num_cores(), cfg.active_tiles);
+    println!(
+        "machine: {} ({} cores, {} tiles)",
+        cfg.label(),
+        cfg.num_cores(),
+        cfg.active_tiles
+    );
 
     // 2. Run the cache-to-cache capability benchmarks on the simulator.
     let mut machine = Machine::new(cfg);
@@ -22,7 +27,10 @@ fn main() {
     println!("running capability benchmarks (quick sweep)...");
     let cache = run_cache_suite(&mut machine, &params);
 
-    println!("  local L1 latency : {:>6.1} ns", cache.local_ns.as_ref().unwrap().median_ns());
+    println!(
+        "  local L1 latency : {:>6.1} ns",
+        cache.local_ns.as_ref().unwrap().median_ns()
+    );
     for (st, l) in &cache.tile_ns {
         println!("  tile {st} latency   : {:>6.1} ns", l.median_ns());
     }
@@ -41,11 +49,17 @@ fn main() {
         .sum::<f64>()
         / cache.remote_ns.len() as f64;
     println!("\nfitted R_R (remote line read): {:.1} ns", model.rr_ns);
-    println!("contention law: T_C(N) = {:.0} + {:.1}·N ns", model.contention.alpha, model.contention.beta);
+    println!(
+        "contention law: T_C(N) = {:.0} + {:.1}·N ns",
+        model.contention.alpha, model.contention.beta
+    );
 
     // 4. Model-tune algorithms.
     let tree = optimize_tree(&model, 32, TreeKind::Broadcast);
-    println!("\nmodel-tuned broadcast tree over 32 tiles ({:.0} ns):", tree.cost_ns);
+    println!(
+        "\nmodel-tuned broadcast tree over 32 tiles ({:.0} ns):",
+        tree.cost_ns
+    );
     println!("{}", tree.tree.render());
 
     let barrier = optimize_barrier(&model, 64);

@@ -11,7 +11,7 @@ use knl::model::overhead::OverheadModel;
 use knl::model::sortmodel::{CostBasis, SortModel};
 use knl::model::CapabilityModel;
 use knl::sort::parallel_merge_sort;
-use rand::{Rng, SeedableRng};
+use knl_arch::SplitMixRng;
 use std::time::Instant;
 
 fn main() {
@@ -19,11 +19,13 @@ fn main() {
     let sort_model = SortModel::new(&model, "DRAM");
 
     // Sort real data on this host at a few sizes/thread counts.
-    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
     println!("host parallelism: {host_threads}\n");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = SplitMixRng::seed_from_u64(1);
     for (label, n_elems) in [("1 KB", 256usize), ("4 MB", 1 << 20), ("64 MB", 16 << 20)] {
-        let data: Vec<u32> = (0..n_elems).map(|_| rng.gen()).collect();
+        let data: Vec<u32> = (0..n_elems).map(|_| rng.next_u32()).collect();
         print!("{label:>6}: ");
         for threads in [1usize, 2, 4] {
             let mut v = data.clone();
@@ -38,7 +40,10 @@ fn main() {
 
     // The KNL-model predictions (Eqs. 3–5): latency vs bandwidth basis.
     println!("\nKNL model predictions for sorting on the paper's machine (DRAM):");
-    println!("{:>8} {:>12} {:>14} {:>14}", "bytes", "threads", "mem model lat", "mem model BW");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "bytes", "threads", "mem model lat", "mem model BW"
+    );
     for bytes in [1u64 << 10, 4 << 20, 1 << 30] {
         for threads in [1usize, 16, 64] {
             let lat = sort_model.sort_seconds(bytes, threads, CostBasis::Latency);
@@ -50,7 +55,12 @@ fn main() {
     // Efficiency assessment with a synthetic overhead model (α = 2 µs,
     // β = 0.8 µs/thread — the shape measured in fig10_sort).
     let overhead = OverheadModel {
-        fit: knl::stats::LinearFit { alpha: 2e-6, beta: 0.8e-6, r2: 1.0, n: 8 },
+        fit: knl::stats::LinearFit {
+            alpha: 2e-6,
+            beta: 0.8e-6,
+            r2: 1.0,
+            n: 8,
+        },
     };
     println!("\nefficiency (10% rule) for 4 MB on the KNL model:");
     let mem = |t: usize| sort_model.sort_seconds(4 << 20, t, CostBasis::Bandwidth);
@@ -62,7 +72,11 @@ fn main() {
             p.memory_s * 1e6,
             p.overhead_s * 1e6,
             p.ratio() * 100.0,
-            if p.is_efficient() { "memory-bound" } else { "overhead-bound" }
+            if p.is_efficient() {
+                "memory-bound"
+            } else {
+                "overhead-bound"
+            }
         );
     }
     match last {

@@ -31,11 +31,25 @@ fn table1_quadrant_bands() {
 
     // Latency rows (paper: 3.8 / 34 / 18 / 14 / 119 / 116 / 107–117).
     in_band(c.local_ns.as_ref().unwrap().median_ns(), 3.2, 4.4, "L1");
-    let tile = |s: char| c.tile_ns.iter().find(|(x, _)| *x == s).unwrap().1.median_ns();
+    let tile = |s: char| {
+        c.tile_ns
+            .iter()
+            .find(|(x, _)| *x == s)
+            .unwrap()
+            .1
+            .median_ns()
+    };
     in_band(tile('M'), 27.0, 41.0, "tile M");
     in_band(tile('E'), 14.5, 22.0, "tile E");
     in_band(tile('S'), 11.0, 17.0, "tile S");
-    let remote = |s: char| c.remote_ns.iter().find(|(x, _)| *x == s).unwrap().1.median_ns();
+    let remote = |s: char| {
+        c.remote_ns
+            .iter()
+            .find(|(x, _)| *x == s)
+            .unwrap()
+            .1
+            .median_ns()
+    };
     in_band(remote('M'), 95.0, 145.0, "remote M");
     in_band(remote('S'), 85.0, 130.0, "remote S");
     assert!(remote('M') > remote('S'), "M slower than S/F");
@@ -43,7 +57,11 @@ fn table1_quadrant_bands() {
     // Bandwidth rows (paper: read 2.5, copy tile E 9.2, copy remote 7.5).
     in_band(c.read_bw_gbps, 1.8, 3.3, "read BW");
     let copy = |loc: &str, s: char| {
-        c.copy_bw_gbps.iter().find(|(l, x, _)| l == loc && *x == s).unwrap().2
+        c.copy_bw_gbps
+            .iter()
+            .find(|(l, x, _)| l == loc && *x == s)
+            .unwrap()
+            .2
     };
     in_band(copy("tile", 'E'), 7.0, 11.5, "copy tile E");
     in_band(copy("tile", 'M'), 5.5, 9.5, "copy tile M");
@@ -59,7 +77,11 @@ fn table1_quadrant_bands() {
     assert!(fit.r2 > 0.95, "contention linearity r²={}", fit.r2);
 
     // Congestion: none (paper Table I).
-    let lo = c.congestion.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
+    let lo = c
+        .congestion
+        .iter()
+        .map(|(_, l)| *l)
+        .fold(f64::INFINITY, f64::min);
     let hi = c.congestion.iter().map(|(_, l)| *l).fold(0.0, f64::max);
     assert!(hi / lo < 1.25, "congestion must be flat: {lo}..{hi}");
 }
@@ -76,17 +98,57 @@ fn table2_flat_quadrant_bands() {
     assert!(r.latency("MCDRAM").unwrap() > r.latency("DRAM").unwrap());
 
     // DDR bandwidth (paper: read 77, write 36, copy ~70, triad ~74).
-    in_band(r.table_cell(StreamKind::Read, "DRAM").unwrap(), 60.0, 85.0, "DDR read");
-    in_band(r.table_cell(StreamKind::Write, "DRAM").unwrap(), 27.0, 45.0, "DDR write");
-    in_band(r.table_cell(StreamKind::Copy, "DRAM").unwrap(), 48.0, 80.0, "DDR copy");
-    in_band(r.table_cell(StreamKind::Triad, "DRAM").unwrap(), 52.0, 85.0, "DDR triad");
+    in_band(
+        r.table_cell(StreamKind::Read, "DRAM").unwrap(),
+        60.0,
+        85.0,
+        "DDR read",
+    );
+    in_band(
+        r.table_cell(StreamKind::Write, "DRAM").unwrap(),
+        27.0,
+        45.0,
+        "DDR write",
+    );
+    in_band(
+        r.table_cell(StreamKind::Copy, "DRAM").unwrap(),
+        48.0,
+        80.0,
+        "DDR copy",
+    );
+    in_band(
+        r.table_cell(StreamKind::Triad, "DRAM").unwrap(),
+        52.0,
+        85.0,
+        "DDR triad",
+    );
 
     // MCDRAM bandwidth at 64 threads (paper: read 314, write 171,
     // copy 333, triad 340; quick sweep reaches most of it).
-    in_band(r.table_cell(StreamKind::Read, "MCDRAM").unwrap(), 200.0, 340.0, "MCDRAM read");
-    in_band(r.table_cell(StreamKind::Write, "MCDRAM").unwrap(), 120.0, 190.0, "MCDRAM write");
-    in_band(r.table_cell(StreamKind::Copy, "MCDRAM").unwrap(), 230.0, 380.0, "MCDRAM copy");
-    in_band(r.table_cell(StreamKind::Triad, "MCDRAM").unwrap(), 230.0, 490.0, "MCDRAM triad");
+    in_band(
+        r.table_cell(StreamKind::Read, "MCDRAM").unwrap(),
+        200.0,
+        340.0,
+        "MCDRAM read",
+    );
+    in_band(
+        r.table_cell(StreamKind::Write, "MCDRAM").unwrap(),
+        120.0,
+        190.0,
+        "MCDRAM write",
+    );
+    in_band(
+        r.table_cell(StreamKind::Copy, "MCDRAM").unwrap(),
+        230.0,
+        380.0,
+        "MCDRAM copy",
+    );
+    in_band(
+        r.table_cell(StreamKind::Triad, "MCDRAM").unwrap(),
+        230.0,
+        490.0,
+        "MCDRAM triad",
+    );
 
     // Ratios that carry the paper's narrative.
     let mc = r.table_cell(StreamKind::Read, "MCDRAM").unwrap();
@@ -101,14 +163,22 @@ fn table2_cache_mode_bands() {
     let r = run_memory_suite(&mut m, &params());
 
     // Cache-mode latency exceeds flat DRAM's (paper: 166-172 vs 140).
-    in_band(r.latency("cache").unwrap(), 150.0, 230.0, "cache-mode latency");
+    in_band(
+        r.latency("cache").unwrap(),
+        150.0,
+        230.0,
+        "cache-mode latency",
+    );
 
     // Cache-mode bandwidth sits between DDR and flat MCDRAM and is lower
     // than flat MCDRAM (the paper's qualitative point).
     let read = r.table_cell(StreamKind::Read, "cache").unwrap();
     in_band(read, 60.0, 220.0, "cache-mode read");
 
-    let mut flat = Machine::new(MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat));
+    let mut flat = Machine::new(MachineConfig::knl7210(
+        ClusterMode::Quadrant,
+        MemoryMode::Flat,
+    ));
     let fr = run_memory_suite(&mut flat, &params());
     assert!(
         read < fr.table_cell(StreamKind::Read, "MCDRAM").unwrap(),
@@ -126,8 +196,18 @@ fn cluster_modes_differ_mainly_in_bandwidth_not_latency() {
         let cfg = MachineConfig::knl7210(cm, MemoryMode::Flat);
         let mut m = Machine::new(cfg);
         let c = run_cache_suite(&mut m, &p);
-        lat.push(c.remote_ns.iter().find(|(s, _)| *s == 'M').unwrap().1.median_ns());
+        lat.push(
+            c.remote_ns
+                .iter()
+                .find(|(s, _)| *s == 'M')
+                .unwrap()
+                .1
+                .median_ns(),
+        );
     }
     let ratio = lat[0].max(lat[1]) / lat[0].min(lat[1]);
-    assert!(ratio < 1.2, "remote M latency across modes within 20%: {lat:?}");
+    assert!(
+        ratio < 1.2,
+        "remote M latency across modes within 20%: {lat:?}"
+    );
 }

@@ -39,7 +39,11 @@ fn measure_fit_tune_verify() {
     // The fitted parameters are in the paper's bands.
     assert!((3.0..5.0).contains(&model.rl_ns), "R_L {}", model.rl_ns);
     assert!((80.0..170.0).contains(&model.rr_ns), "R_R {}", model.rr_ns);
-    assert!((25.0..45.0).contains(&model.contention.beta), "β {}", model.contention.beta);
+    assert!(
+        (25.0..45.0).contains(&model.contention.beta),
+        "β {}",
+        model.contention.beta
+    );
 
     // Tune and run on the machine the model was fitted on.
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat);

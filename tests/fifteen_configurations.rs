@@ -1,9 +1,9 @@
 //! The paper's fifteen configurations (5 cluster × 3 memory modes) all
 //! construct, simulate, and respect their structural invariants.
 
+use knl::arch::CoreId;
 use knl::arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind};
 use knl::sim::{AccessKind, Machine};
-use knl::arch::CoreId;
 
 #[test]
 fn all_fifteen_simulate_an_access() {
@@ -16,7 +16,10 @@ fn all_fifteen_simulate_an_access() {
         assert!(out.complete > 0, "{label}");
         // Second read is an L1 hit everywhere.
         let again = m.access(CoreId(0), 4096, AccessKind::Read, out.complete);
-        assert!(again.complete - out.complete < 10_000, "{label}: L1 hit expected");
+        assert!(
+            again.complete - out.complete < 10_000,
+            "{label}: L1 hit expected"
+        );
     }
 }
 
@@ -26,7 +29,11 @@ fn numa_exposure_matches_mode() {
         let topo = cfg.topology();
         let map = cfg.address_map(&topo);
         let nodes = map.numa_nodes().len();
-        let sw_clusters = if cfg.cluster.software_numa() { cfg.cluster.num_clusters() } else { 1 };
+        let sw_clusters = if cfg.cluster.software_numa() {
+            cfg.cluster.num_clusters()
+        } else {
+            1
+        };
         let kinds = match cfg.memory {
             MemoryMode::Cache => 1,
             _ => 2,
@@ -43,7 +50,9 @@ fn address_maps_cover_and_roundtrip() {
         let step = map.addressable_bytes() / 257; // prime-ish sampling
         for i in 0..256u64 {
             let addr = (i * step) & !63;
-            let node = map.node_of(addr).unwrap_or_else(|| panic!("{}: {addr:#x}", cfg.label()));
+            let node = map
+                .node_of(addr)
+                .unwrap_or_else(|| panic!("{}: {addr:#x}", cfg.label()));
             assert!(node.range.contains(&addr));
             let _ = map.mem_target(addr);
             let home = map.home_directory(addr);
@@ -67,7 +76,10 @@ fn mcdram_capacity_only_flat_part_allocatable() {
             "{}: {flat_mc} vs {expect}",
             cfg.label()
         );
-        assert_eq!(map.mcdram_cache_bytes(), cfg.memory.mcdram_cache_bytes(cfg.mcdram_bytes));
+        assert_eq!(
+            map.mcdram_cache_bytes(),
+            cfg.memory.mcdram_cache_bytes(cfg.mcdram_bytes)
+        );
     }
 }
 

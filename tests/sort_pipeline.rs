@@ -9,12 +9,12 @@ use knl::model::CapabilityModel;
 use knl::sim::Machine;
 use knl::sort::simsort::{run_simsort, SimSortSpec};
 use knl::sort::{merge_runs, parallel_merge_sort};
-use rand::{Rng, SeedableRng};
+use knl_arch::SplitMixRng;
 
 #[test]
 fn host_sort_correct_at_scale() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
-    let mut v: Vec<u32> = (0..2_000_000).map(|_| rng.gen()).collect();
+    let mut rng = SplitMixRng::seed_from_u64(0xBEEF);
+    let mut v: Vec<u32> = (0..2_000_000).map(|_| rng.next_u32()).collect();
     let mut expect = v.clone();
     expect.sort_unstable();
     parallel_merge_sort(&mut v, 4);
@@ -24,10 +24,10 @@ fn host_sort_correct_at_scale() {
 #[test]
 fn merge_kernel_feeds_parallel_sort() {
     // The vectorized merge agrees with a scalar reference at awkward sizes.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = SplitMixRng::seed_from_u64(7);
     for (la, lb) in [(1000, 1), (16, 17), (4097, 255), (100_000, 99_999)] {
-        let mut a: Vec<u32> = (0..la).map(|_| rng.gen()).collect();
-        let mut b: Vec<u32> = (0..lb).map(|_| rng.gen()).collect();
+        let mut a: Vec<u32> = (0..la).map(|_| rng.next_u32()).collect();
+        let mut b: Vec<u32> = (0..lb).map(|_| rng.next_u32()).collect();
         a.sort_unstable();
         b.sort_unstable();
         let mut out = vec![0; la + lb];
@@ -86,7 +86,10 @@ fn model_tracks_simulated_sort() {
         );
         // The latency-basis model is the pessimistic envelope.
         let lat = sm.sort_seconds(bytes, threads, CostBasis::Latency);
-        assert!(lat > measured, "latency model must upper-bound: {lat} vs {measured}");
+        assert!(
+            lat > measured,
+            "latency model must upper-bound: {lat} vs {measured}"
+        );
     }
 }
 
