@@ -139,3 +139,60 @@ fn ddr_interleave_uniform() {
         }
     }
 }
+
+/// Address decode round-trip: every random line address resolves to a
+/// NUMA node whose range contains it, the backing device agrees with the
+/// node's kind, and the flat device index stays in bounds.
+#[test]
+fn address_decode_roundtrips_to_containing_node() {
+    use knl_arch::address::NUM_MEM_DEVICES;
+    use knl_arch::MemTarget;
+    let mut rng = SplitMixRng::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let cm = arb_cluster(&mut rng);
+        let mm = arb_memory(&mut rng);
+        let cfg = MachineConfig::knl7210(cm, mm);
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let span = map.addressable_bytes();
+        for _ in 0..16 {
+            let addr = rng.range_u64(0, span - 64) & !63;
+            let node = map
+                .node_of(addr)
+                .unwrap_or_else(|| panic!("{cm:?}/{mm:?}: {addr:#x} in no node"));
+            assert!(node.range.contains(&addr), "{cm:?}/{mm:?}: range mismatch");
+            let target = map.mem_target(addr);
+            assert!(target.device_index() < NUM_MEM_DEVICES);
+            match target {
+                MemTarget::Ddr { .. } => assert_eq!(node.kind, NumaKind::Ddr),
+                MemTarget::Mcdram { .. } => assert_eq!(node.kind, NumaKind::Mcdram),
+            }
+        }
+    }
+}
+
+/// Interleaving is line-granular: every byte of one 64-B line maps to the
+/// same device and home directory, so a line never straddles devices.
+#[test]
+fn interleaving_is_line_granular() {
+    let mut rng = SplitMixRng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let cm = arb_cluster(&mut rng);
+        let mm = arb_memory(&mut rng);
+        let cfg = MachineConfig::knl7210(cm, mm);
+        let topo = cfg.topology();
+        let map = cfg.address_map(&topo);
+        let span = map.addressable_bytes();
+        let line = rng.range_u64(0, span / 64) * 64;
+        let t0 = map.mem_target(line);
+        let h0 = map.home_directory(line);
+        for off in [1u64, 17, 31, 63] {
+            assert_eq!(
+                map.mem_target(line + off),
+                t0,
+                "{cm:?}/{mm:?} {line:#x}+{off}"
+            );
+            assert_eq!(map.home_directory(line + off), h0);
+        }
+    }
+}

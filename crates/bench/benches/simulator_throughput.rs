@@ -4,13 +4,20 @@
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::microbench::case;
-use knl_sim::{AccessKind, Machine, Op, Program, Runner, StreamKind};
+use knl_sim::{AccessKind, CheckLevel, Machine, Op, Program, Runner, StreamKind};
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::knl7210(
         ClusterMode::Quadrant,
         MemoryMode::Flat,
     ))
+}
+
+fn machine_checked(level: CheckLevel) -> Machine {
+    Machine::with_check(
+        MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
+        level,
+    )
 }
 
 fn main() {
@@ -45,6 +52,25 @@ fn main() {
         case("sim_access", "remote_transfer", None, || {
             // Ping-pong one line between two tiles: every access is a
             // remote ownership transfer.
+            let core = if flip { CoreId(0) } else { CoreId(30) };
+            flip = !flip;
+            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
+            now
+        });
+    }
+
+    // `--check off` must be free (the acceptance bar for leaving the hook
+    // compiled into the hot paths), and the checked levels' cost should
+    // stay visible here so it never silently creeps into `off`.
+    for (name, level) in [
+        ("remote_transfer_check_off", CheckLevel::Off),
+        ("remote_transfer_check_inv", CheckLevel::Invariants),
+        ("remote_transfer_check_full", CheckLevel::FullOracle),
+    ] {
+        let mut m = machine_checked(level);
+        let mut now = 0;
+        let mut flip = false;
+        case("sim_access", name, None, || {
             let core = if flip { CoreId(0) } else { CoreId(30) };
             flip = !flip;
             now = m.access(core, 1 << 21, AccessKind::Write, now).complete;

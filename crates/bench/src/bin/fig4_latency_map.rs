@@ -9,9 +9,9 @@
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::executor;
+use knl_bench::sweep::{executor, machine};
 use knl_benchsuite::pointer_chase::{invalid_latency_salted, transfer_latency};
-use knl_sim::{Machine, MesifState};
+use knl_sim::MesifState;
 
 fn main() {
     let conf = RunConf::from_args();
@@ -33,14 +33,14 @@ fn main() {
         conf.jobs
     );
     let per_partner = executor(&conf).run("fig4", &partners, |_i, &partner| {
-        let mut m = Machine::new(cfg.clone());
+        let mut m = machine(&conf, cfg.clone());
         let owner = CoreId(partner);
         // Helper: any tile different from both owner and origin.
         let helper = (0..num_cores)
             .map(CoreId)
             .find(|c| c.tile() != owner.tile() && c.tile() != origin.tile())
             .expect("machine has ≥3 tiles");
-        states
+        let row = states
             .map(|st| {
                 let sample = if st == MesifState::Invalid {
                     invalid_latency_salted(&mut m, origin, iters, partner as u64)
@@ -49,7 +49,9 @@ fn main() {
                 };
                 (st.letter(), sample.median())
             })
-            .to_vec()
+            .to_vec();
+        m.finish_check();
+        row
     });
     let map: Vec<(u16, char, f64)> = partners
         .iter()

@@ -5,9 +5,9 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode, Schedule};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::{executor, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters};
 use knl_benchsuite::membw::{bandwidth_sample, Target};
-use knl_sim::{Machine, StreamKind};
+use knl_sim::StreamKind;
 
 fn main() {
     let conf = RunConf::from_args();
@@ -40,11 +40,12 @@ fn main() {
         conf.jobs
     );
     let results = executor(&conf).run("fig9", &points, |_i, &(sched, t)| {
-        let mut m = Machine::new(cfg.clone());
+        let mut m = machine(&conf, cfg.clone());
         let mc = bandwidth_sample(&mut m, StreamKind::Triad, Target::Mcdram, t, sched, &params);
         m.reset_devices();
         m.reset_caches();
         let dd = bandwidth_sample(&mut m, StreamKind::Triad, Target::Ddr, t, sched, &params);
+        m.finish_check();
         (mc.median(), dd.median(), m.counters())
     });
 

@@ -5,9 +5,8 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, f2, Table};
 use knl_bench::runconf::RunConf;
-use knl_bench::sweep::{executor, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters};
 use knl_benchsuite::run_cache_suite;
-use knl_sim::Machine;
 use knl_stats::fit_linear;
 
 fn main() {
@@ -26,8 +25,9 @@ fn main() {
     );
     let results = executor(&conf).run("table1", &ClusterMode::ALL, |_i, &cm| {
         let cfg = MachineConfig::knl7210(cm, MemoryMode::Flat);
-        let mut m = Machine::new(cfg);
+        let mut m = machine(&conf, cfg);
         let res = run_cache_suite(&mut m, &params);
+        m.finish_check();
         (res, m.counters())
     });
     let mut columns = Vec::new();

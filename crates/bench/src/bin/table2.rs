@@ -5,9 +5,9 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::RunConf;
-use knl_bench::sweep::{executor, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters};
 use knl_benchsuite::{run_memory_suite, MemResults};
-use knl_sim::{Machine, StreamKind};
+use knl_sim::StreamKind;
 
 fn main() {
     let conf = RunConf::from_args();
@@ -25,8 +25,9 @@ fn main() {
     );
     let results = executor(&conf).run("table2", &points, |_i, &(mm, cm)| {
         let cfg = MachineConfig::knl7210(cm, mm);
-        let mut m = Machine::new(cfg);
+        let mut m = machine(&conf, cfg);
         let res = run_memory_suite(&mut m, &params);
+        m.finish_check();
         (res, m.counters())
     });
     let mut results = results.into_iter();

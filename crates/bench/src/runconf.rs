@@ -1,6 +1,7 @@
 //! Command-line handling shared by the figure/table binaries.
 
 use knl_benchsuite::SuiteParams;
+use knl_sim::CheckLevel;
 
 /// Effort level of a regeneration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,10 @@ pub struct RunConf {
     /// or the machine's available parallelism). `1` forces the serial
     /// path; results are bit-identical either way.
     pub jobs: usize,
+    /// Coherence checking level (`--check off|invariants|full`, or
+    /// `KNL_CHECK`). A pure observer: results are bit-identical at every
+    /// level; non-`off` levels panic on any protocol violation.
+    pub check: CheckLevel,
 }
 
 impl RunConf {
@@ -61,6 +66,7 @@ impl RunConf {
         let mut conf = RunConf {
             effort: Effort::Quick,
             jobs: knl_benchsuite::default_jobs(),
+            check: default_check(),
         };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
@@ -71,15 +77,24 @@ impl RunConf {
                     let v = args.next().ok_or("--jobs requires a value")?;
                     conf.jobs = parse_jobs(&v)?;
                 }
+                "--check" => {
+                    let v = args.next().ok_or("--check requires a value")?;
+                    conf.check = parse_check(&v)?;
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         conf.jobs = parse_jobs(v)?;
+                    } else if let Some(v) = other.strip_prefix("--check=") {
+                        conf.check = parse_check(v)?;
                     } else if other == "--help" || other == "-h" {
                         eprintln!(
-                            "usage: [--quick|--paper] [--jobs N]\n\
+                            "usage: [--quick|--paper] [--jobs N] [--check LEVEL]\n\
                              \x20 quick sweeps are the default; --jobs defaults to KNL_JOBS\n\
                              \x20 or the available parallelism (--jobs 1 runs serially;\n\
-                             \x20 results are bit-identical for every N)"
+                             \x20 results are bit-identical for every N)\n\
+                             \x20 --check off|invariants|full (default KNL_CHECK or off)\n\
+                             \x20 runs the coherence invariant checker / memory oracle;\n\
+                             \x20 it never changes results, only panics on violations"
                         );
                         std::process::exit(0);
                     } else {
@@ -97,6 +112,18 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(format!("--jobs expects a positive integer, got {v:?}")),
     }
+}
+
+fn parse_check(v: &str) -> Result<CheckLevel, String> {
+    CheckLevel::parse(v).ok_or_else(|| format!("--check expects off|invariants|full, got {v:?}"))
+}
+
+/// The `KNL_CHECK` environment default (`off` when unset or unparsable).
+fn default_check() -> CheckLevel {
+    std::env::var("KNL_CHECK")
+        .ok()
+        .and_then(|v| CheckLevel::parse(&v))
+        .unwrap_or(CheckLevel::Off)
 }
 
 /// Parse `--paper` / `--quick` from argv (quick is the default).
@@ -131,8 +158,30 @@ mod tests {
             RunConf {
                 effort: Effort::Paper,
                 jobs: 3,
+                check: CheckLevel::Off,
             }
         );
+    }
+
+    #[test]
+    fn check_flag_forms() {
+        assert_eq!(parse(&[]).unwrap().check, CheckLevel::Off);
+        assert_eq!(
+            parse(&["--check", "invariants"]).unwrap().check,
+            CheckLevel::Invariants
+        );
+        assert_eq!(
+            parse(&["--check=full"]).unwrap().check,
+            CheckLevel::FullOracle
+        );
+        assert_eq!(parse(&["--check=off"]).unwrap().check, CheckLevel::Off);
+    }
+
+    #[test]
+    fn bad_check_rejected() {
+        assert!(parse(&["--check"]).is_err());
+        assert!(parse(&["--check", "sometimes"]).is_err());
+        assert!(parse(&["--check=maybe"]).is_err());
     }
 
     #[test]

@@ -3,12 +3,21 @@
 //! hardware-counter summary every binary prints after its sweep.
 
 use crate::runconf::RunConf;
+use knl_arch::MachineConfig;
 use knl_benchsuite::SweepExecutor;
-use knl_sim::Counters;
+use knl_sim::{Counters, Machine};
 
 /// Executor honouring `--jobs` / `KNL_JOBS`, with per-job progress lines.
 pub fn executor(conf: &RunConf) -> SweepExecutor {
     SweepExecutor::new(conf.jobs).progress(true)
+}
+
+/// A machine honouring `--check` / `KNL_CHECK`. Jobs that build their
+/// machine through this helper run under the requested coherence checking
+/// level; call [`Machine::finish_check`] before dropping the machine so
+/// the final counter/oracle reconciliation runs too.
+pub fn machine(conf: &RunConf, cfg: MachineConfig) -> Machine {
+    Machine::with_check(cfg, conf.check)
 }
 
 /// One-line hardware-counter summary for a finished configuration.
@@ -39,7 +48,23 @@ mod tests {
         let conf = RunConf {
             effort: Effort::Quick,
             jobs: 3,
+            check: knl_sim::CheckLevel::Off,
         };
         assert_eq!(executor(&conf).jobs(), 3);
+    }
+
+    #[test]
+    fn machine_helper_carries_check_level() {
+        use knl_arch::{ClusterMode, MemoryMode};
+        let mut conf = RunConf {
+            effort: Effort::Quick,
+            jobs: 1,
+            check: knl_sim::CheckLevel::Invariants,
+        };
+        let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+        let m = machine(&conf, cfg.clone());
+        assert_eq!(m.check_level(), knl_sim::CheckLevel::Invariants);
+        conf.check = knl_sim::CheckLevel::Off;
+        assert_eq!(machine(&conf, cfg).check_level(), knl_sim::CheckLevel::Off);
     }
 }

@@ -10,7 +10,7 @@ use crate::memlat;
 use crate::params::SuiteParams;
 use crate::pointer_chase;
 use knl_arch::{CoreId, MachineConfig, MemoryMode, NumaKind, Schedule};
-use knl_sim::{Machine, MesifState, StreamKind};
+use knl_sim::{CheckLevel, Machine, MesifState, StreamKind};
 
 /// Owner/reader/helper placement used by the single-line benchmarks: reader
 /// on core 0, same-tile owner on core 1, remote owner, and a helper tile.
@@ -220,11 +220,25 @@ pub fn run_full_suite_counted(
     cfg: &MachineConfig,
     params: &SuiteParams,
 ) -> (SuiteResults, knl_sim::Counters) {
-    let mut m = Machine::new(cfg.clone());
+    run_full_suite_counted_checked(cfg, params, CheckLevel::Off)
+}
+
+/// Like [`run_full_suite_counted`], with the machine running under a
+/// coherence [`CheckLevel`]. The checker is a pure observer, so results
+/// are bit-identical to the unchecked run; at any level other than
+/// [`CheckLevel::Off`] the final reconciliation (`Machine::finish_check`)
+/// runs before returning and panics on any violation.
+pub fn run_full_suite_counted_checked(
+    cfg: &MachineConfig,
+    params: &SuiteParams,
+    check: CheckLevel,
+) -> (SuiteResults, knl_sim::Counters) {
+    let mut m = Machine::with_check(cfg.clone(), check);
     let cache = run_cache_suite(&mut m, params);
     m.reset_caches();
     m.reset_devices();
     let mem = run_memory_suite(&mut m, params);
+    m.finish_check();
     let counters = m.counters();
     (
         SuiteResults {
@@ -246,10 +260,22 @@ pub fn run_configs(
     params: &SuiteParams,
     jobs: usize,
 ) -> Vec<(SuiteResults, knl_sim::Counters)> {
+    run_configs_checked(configs, params, jobs, CheckLevel::Off)
+}
+
+/// Like [`run_configs`], threading a coherence [`CheckLevel`] through the
+/// worker pool: every job's machine runs under the same level, preserving
+/// the executor's bit-for-bit determinism contract for any `jobs`.
+pub fn run_configs_checked(
+    configs: &[MachineConfig],
+    params: &SuiteParams,
+    jobs: usize,
+    check: CheckLevel,
+) -> Vec<(SuiteResults, knl_sim::Counters)> {
     crate::parallel::SweepExecutor::new(jobs)
         .progress(true)
         .run("suite", configs, |_i, cfg| {
-            run_full_suite_counted(cfg, params)
+            run_full_suite_counted_checked(cfg, params, check)
         })
 }
 

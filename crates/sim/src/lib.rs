@@ -25,6 +25,8 @@
 pub mod alloc;
 pub mod cache;
 pub mod counters;
+pub mod fuzz;
+pub mod invariants;
 pub mod machine;
 pub mod mcache;
 pub mod memdev;
@@ -36,6 +38,7 @@ pub mod runner;
 
 pub use alloc::Arena;
 pub use counters::Counters;
+pub use invariants::{CheckLevel, CoherenceChecker};
 pub use machine::{AccessKind, Machine};
 pub use mesif::MesifState;
 pub use ops::{Op, StreamKind};

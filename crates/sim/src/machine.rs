@@ -10,10 +10,11 @@
 use crate::alloc::Arena;
 use crate::cache::{Insert, TagCache};
 use crate::counters::Counters;
+use crate::invariants::{CheckLevel, CoherenceChecker, ProtoEvent};
 use crate::mcache::{McacheOutcome, MemorySideCache};
 use crate::memdev::{DeviceParams, MemDevice};
 use crate::mesh::{Mesh, MeshConfig};
-use crate::mesif::{DirEntry, MesifState};
+use crate::mesif::{DirEntry, GlobalState, MesifState};
 use crate::SimTime;
 use knl_arch::address::NUM_MEM_DEVICES;
 use knl_arch::topology::splitmix64;
@@ -130,6 +131,12 @@ pub struct Machine {
     counters: Counters,
     jitter_pct: u32,
     jitter_seq: u64,
+    /// Dynamic coherence checking; `None` at [`CheckLevel::Off`], so the
+    /// hot paths pay one never-taken branch when checking is disabled.
+    checker: Option<Box<CoherenceChecker>>,
+    /// Fault injection for checker tests: a write skips invalidating one
+    /// stale holder (see [`Machine::debug_skip_invalidation`]).
+    skip_invalidation: bool,
 }
 
 // Sweep workers (knl-benchsuite's executor) each own a fresh Machine on a
@@ -191,7 +198,54 @@ impl Machine {
             counters: Counters::default(),
             jitter_pct,
             jitter_seq: 0,
+            checker: None,
+            skip_invalidation: false,
         }
+    }
+
+    /// [`Machine::new`] with dynamic checking enabled at `level`.
+    pub fn with_check(cfg: MachineConfig, level: CheckLevel) -> Self {
+        let mut m = Self::new(cfg);
+        m.set_check_level(level);
+        m
+    }
+
+    /// Enable/disable dynamic coherence checking. Attaching mid-run is
+    /// fine: counter reconciliation works on the delta from this point.
+    pub fn set_check_level(&mut self, level: CheckLevel) {
+        self.checker = match level {
+            CheckLevel::Off => None,
+            _ => Some(Box::new(CoherenceChecker::new(level, self.counters))),
+        };
+    }
+
+    /// The active checking level.
+    pub fn check_level(&self) -> CheckLevel {
+        self.checker.as_ref().map_or(CheckLevel::Off, |c| c.level())
+    }
+
+    /// The attached checker, if any (tests and diagnostics).
+    pub fn checker(&self) -> Option<&CoherenceChecker> {
+        self.checker.as_deref()
+    }
+
+    /// End-of-run verification: reconcile the checker's message counters
+    /// with [`Machine::counters`] and, at [`CheckLevel::FullOracle`], check
+    /// the final memory image against the sequential reference. No-op when
+    /// checking is off; panics with a `coherence violation` report on any
+    /// divergence.
+    pub fn finish_check(&self) {
+        if let Some(ck) = self.checker.as_ref() {
+            ck.finish(&self.counters);
+        }
+    }
+
+    /// Fault injection for checker tests: while enabled, a write that
+    /// should invalidate other holders leaves one stale sharer behind —
+    /// the "skipped invalidation" directory bug the checker must catch.
+    #[doc(hidden)]
+    pub fn debug_skip_invalidation(&mut self, on: bool) {
+        self.skip_invalidation = on;
     }
 
     /// The configuration the machine was built with.
@@ -244,6 +298,9 @@ impl Machine {
         }
         self.l2_port_busy.fill(0);
         self.dir.clear();
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_reset();
+        }
     }
 
     /// Clear device queue backlog (memory devices and mesh rings).
@@ -294,6 +351,9 @@ impl Machine {
         // L1 hit.
         if self.l1[core.0 as usize].lookup(line, ver) {
             self.counters.l1_hits += 1;
+            if let Some(ck) = self.checker.as_mut() {
+                ck.observe_read(line, false);
+            }
             let dur = self.jitter(t.l1_hit_ps, line);
             return AccessOutcome {
                 complete: now + dur,
@@ -317,6 +377,9 @@ impl Machine {
             self.l2_port_busy[tile.0 as usize] = start + port;
             let complete = (start + self.jitter(lat, line)).max(start + port);
             self.l1_fill(core, line, ver);
+            if let Some(ck) = self.checker.as_mut() {
+                ck.observe_read(line, false);
+            }
             return AccessOutcome {
                 complete,
                 served_by: ServedBy::TileL2(tile_state),
@@ -355,6 +418,10 @@ impl Machine {
                 self.counters.writebacks += 1;
             }
             entry.grant_read(tile);
+            if let Some(ck) = self.checker.as_mut() {
+                ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
+                ck.observe_read(line, false);
+            }
             AccessOutcome {
                 complete: now + self.jitter(complete - now, line),
                 served_by: ServedBy::RemoteCache {
@@ -368,6 +435,10 @@ impl Machine {
             let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
             let entry = self.dir.get_mut(&line).expect("entry exists");
             entry.grant_read(tile);
+            if let Some(ck) = self.checker.as_mut() {
+                ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
+                ck.observe_read(line, true);
+            }
             AccessOutcome {
                 complete: now + self.jitter(complete - now, line),
                 served_by,
@@ -410,13 +481,19 @@ impl Machine {
                     tile_state == MesifState::Exclusive,
                 )
             };
-            self.dir
-                .get_mut(&line)
-                .expect("owned line has entry")
-                .grant_write(tile);
+            let entry = self.dir.get_mut(&line).expect("owned line has entry");
+            let invalidated = entry.grant_write(tile);
+            if let Some(ck) = self.checker.as_mut() {
+                ck.on_event(
+                    line,
+                    ProtoEvent::GrantWrite { tile, invalidated },
+                    entry,
+                    true,
+                );
+            }
             // The version advanced (sibling-core L1 copies die); re-stamp
             // the writer's own caches.
-            let ver = self.dir[&line].version;
+            let ver = entry.version;
             self.l2_fill(tile, line, ver);
             self.l1_fill(core, line, ver);
             let dur = self.jitter(lat, line);
@@ -482,7 +559,33 @@ impl Machine {
         };
 
         let entry = self.dir.get_mut(&line).expect("entry exists");
+        // Fault injection (checker tests): remember one holder whose
+        // invalidation we are about to "forget".
+        let stale = if self.skip_invalidation {
+            match &entry.state {
+                GlobalState::Exclusive { owner } | GlobalState::Modified { owner }
+                    if *owner != tile =>
+                {
+                    Some(*owner)
+                }
+                GlobalState::Shared { .. } => entry.sharers.iter().copied().find(|&s| s != tile),
+                _ => None,
+            }
+        } else {
+            None
+        };
         let invalidated = entry.grant_write(tile);
+        if let Some(s) = stale {
+            entry.sharers.push(s);
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_event(
+                line,
+                ProtoEvent::GrantWrite { tile, invalidated },
+                entry,
+                true,
+            );
+        }
         self.counters.invalidations += invalidated as u64;
         let inv_cost = invalidated as u64 * t.invalidate_per_sharer_ps;
         let _ = other_sharers;
@@ -500,17 +603,35 @@ impl Machine {
     fn nt_store(&mut self, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
         let t = self.cfg.timing.clone();
         self.counters.nt_stores += 1;
-        // Invalidate any cached copies (rare for streaming workloads).
+        // Invalidate any cached copies (rare for streaming workloads). One
+        // invalidation message goes to *each* holder — the same accounting
+        // as the RFO path, which the coherence checker reconciles exactly.
         let mut extra = 0;
+        let mut destroyed = None;
         if let Some(entry) = self.dir.get_mut(&line) {
-            if entry.num_holders() > 0 {
+            let holders = entry.num_holders();
+            if holders > 0 {
                 let dirty = entry.invalidate_all();
-                self.counters.invalidations += 1;
-                extra = t.invalidate_per_sharer_ps;
-                if dirty {
-                    self.counters.writebacks += 1;
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.on_event(
+                        line,
+                        ProtoEvent::InvalidateAll { holders, dirty },
+                        entry,
+                        true,
+                    );
                 }
+                destroyed = Some((holders, dirty));
             }
+        }
+        if let Some((holders, dirty)) = destroyed {
+            self.counters.invalidations += holders as u64;
+            extra = holders as u64 * t.invalidate_per_sharer_ps;
+            if dirty {
+                self.counters.writebacks += 1;
+            }
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_nt_store(line);
         }
         // Posted: the core only pays the issue cost; the device is occupied
         // in the background. The accept time is returned to let callers
@@ -569,6 +690,9 @@ impl Machine {
                         let vt = self.map.mem_target(victim_addr);
                         self.devices[vt.device_index()].write(ready);
                         self.counters.writebacks += 1;
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.note_external_writeback();
+                        }
                     }
                     (ready, ServedBy::Memory(target))
                 }
@@ -614,6 +738,9 @@ impl Machine {
                     // collapses toward the DDR write rate in Table II).
                     let drained = self.devices[vt.device_index()].write(accept);
                     self.counters.writebacks += 1;
+                    if let Some(ck) = self.checker.as_mut() {
+                        ck.note_external_writeback();
+                    }
                     drained
                 }
             }
@@ -883,17 +1010,55 @@ impl Machine {
 
     fn l2_fill(&mut self, tile: TileId, line: u64, version: u32) {
         if let Insert::Evicted(victim) = self.l2[tile.0 as usize].insert(line, version) {
+            let mut dirty = None;
             if let Some(entry) = self.dir.get_mut(&victim) {
-                if entry.evict(tile) {
-                    // Dirty victim: write back in the background.
-                    self.counters.writebacks += 1;
-                    let victim_addr = victim << LINE_SHIFT;
-                    let pos = self.topo.tile_position(tile);
-                    let when = self.l2_port_busy[tile.0 as usize];
-                    self.memory_write(victim_addr, victim, pos, when);
+                let d = entry.evict(tile);
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.on_event(victim, ProtoEvent::Evict { tile, dirty: d }, entry, true);
                 }
+                dirty = Some(d);
+            }
+            if dirty == Some(true) {
+                // Dirty victim: write back in the background.
+                self.counters.writebacks += 1;
+                let victim_addr = victim << LINE_SHIFT;
+                let pos = self.topo.tile_position(tile);
+                let when = self.l2_port_busy[tile.0 as usize];
+                self.memory_write(victim_addr, victim, pos, when);
             }
         }
+    }
+
+    /// Explicitly drop `addr`'s line from `core`'s tile (both L1s and the
+    /// shared L2), updating the directory; a dirty copy is written back in
+    /// the background. Returns the core-visible completion time. This is
+    /// the [`crate::ops::Op::Evict`] primitive the coherence fuzzer uses to
+    /// exercise eviction paths without overflowing the tag arrays.
+    pub fn evict_line(&mut self, core: CoreId, addr: u64, now: SimTime) -> SimTime {
+        let t = self.cfg.timing.clone();
+        let line = addr >> LINE_SHIFT;
+        let tile = core.tile();
+        for c in tile.cores() {
+            if (c.0 as usize) < self.l1.len() {
+                self.l1[c.0 as usize].remove(line);
+            }
+        }
+        self.l2[tile.0 as usize].remove(line);
+        let mut dirty = None;
+        if let Some(entry) = self.dir.get_mut(&line) {
+            let d = entry.evict(tile);
+            if let Some(ck) = self.checker.as_mut() {
+                ck.on_event(line, ProtoEvent::Evict { tile, dirty: d }, entry, true);
+            }
+            dirty = Some(d);
+        }
+        if dirty == Some(true) {
+            self.counters.writebacks += 1;
+            let pos = self.topo.tile_position(tile);
+            self.memory_write(addr, line, pos, now + t.issue_gap_ps);
+        }
+        // The core pays only the flush issue; write-backs are posted.
+        now + t.l1_hit_ps
     }
 
     /// Pre-load a line into a tile's caches in a given state without timing
@@ -904,20 +1069,47 @@ impl Machine {
         match state {
             MesifState::Invalid => {
                 if let Some(entry) = self.dir.get_mut(&line) {
-                    entry.invalidate_all();
+                    let holders = entry.num_holders();
+                    let dirty = entry.invalidate_all();
+                    if let Some(ck) = self.checker.as_mut() {
+                        ck.on_event(
+                            line,
+                            ProtoEvent::InvalidateAll { holders, dirty },
+                            entry,
+                            false,
+                        );
+                    }
                 }
             }
             MesifState::Modified => {
                 let entry = self.dir.entry(line).or_default();
-                entry.grant_write(tile);
+                let invalidated = entry.grant_write(tile);
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.on_event(
+                        line,
+                        ProtoEvent::GrantWrite { tile, invalidated },
+                        entry,
+                        false,
+                    );
+                }
                 let ver = entry.version;
                 self.l2_fill(tile, line, ver);
                 self.l1_fill(core, line, ver);
             }
             MesifState::Exclusive => {
                 let entry = self.dir.entry(line).or_default();
-                entry.invalidate_all();
+                let holders = entry.num_holders();
+                let dirty = entry.invalidate_all();
                 entry.grant_read(tile); // first reader ⇒ E
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.on_event(
+                        line,
+                        ProtoEvent::InvalidateAll { holders, dirty },
+                        entry,
+                        false,
+                    );
+                    ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, false);
+                }
                 let ver = entry.version;
                 self.l2_fill(tile, line, ver);
                 self.l1_fill(core, line, ver);
@@ -926,14 +1118,24 @@ impl Machine {
                 // Owner reads, then a helper tile reads, leaving the owner S
                 // and the helper F; for an F request we re-read from `core`.
                 let entry = self.dir.entry(line).or_default();
-                entry.invalidate_all();
+                let holders = entry.num_holders();
+                let dirty = entry.invalidate_all();
                 let helper = TileId((tile.0 + 1) % self.cfg.active_tiles as u16);
-                if state == MesifState::Shared {
-                    entry.grant_read(tile);
-                    entry.grant_read(helper);
+                let (first, second) = if state == MesifState::Shared {
+                    (tile, helper)
                 } else {
-                    entry.grant_read(helper);
-                    entry.grant_read(tile);
+                    (helper, tile)
+                };
+                entry.grant_read(first);
+                entry.grant_read(second);
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.on_event(
+                        line,
+                        ProtoEvent::InvalidateAll { holders, dirty },
+                        entry,
+                        false,
+                    );
+                    ck.on_event(line, ProtoEvent::GrantRead { tile: second }, entry, false);
                 }
                 let ver = entry.version;
                 self.l2_fill(tile, line, ver);
@@ -1179,6 +1381,51 @@ mod tests {
         let out = m.access(c, 4096, AccessKind::NtStore, 0);
         assert!(matches!(out.served_by, ServedBy::Posted));
         assert_eq!(m.counters().nt_stores, 1);
+    }
+
+    #[test]
+    fn nt_store_invalidates_every_holder() {
+        // An NT store destroys all cached copies; the invalidation counter
+        // must reflect each one, exactly like an RFO (audit fix pinned by
+        // the checker's counter reconciliation).
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let mut t = 0;
+        for c in [CoreId(0), CoreId(2), CoreId(4)] {
+            t = m.access(c, 4096, AccessKind::Read, t).complete;
+        }
+        let before = m.counters().invalidations;
+        m.access(CoreId(6), 4096, AccessKind::NtStore, t);
+        assert_eq!(m.counters().invalidations - before, 3);
+    }
+
+    #[test]
+    fn checked_machine_matches_unchecked_timing() {
+        // CheckLevel must be a pure observer: identical access timings and
+        // counters with the oracle on or off.
+        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+        let mut plain = Machine::new(cfg.clone());
+        let mut checked = Machine::with_check(cfg, crate::invariants::CheckLevel::FullOracle);
+        plain.set_jitter(0);
+        checked.set_jitter(0);
+        let mut tp = 0;
+        let mut tc = 0;
+        for (i, kind) in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::Read,
+            AccessKind::NtStore,
+            AccessKind::Read,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let c = CoreId((i as u16 % 4) * 2);
+            tp = plain.access(c, 4096, *kind, tp).complete;
+            tc = checked.access(c, 4096, *kind, tc).complete;
+            assert_eq!(tp, tc, "op {i}");
+        }
+        assert_eq!(plain.counters(), checked.counters());
+        checked.finish_check();
     }
 
     #[test]

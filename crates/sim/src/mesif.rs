@@ -366,6 +366,73 @@ mod tests {
     }
 
     #[test]
+    fn evict_forward_then_reread_restores_forward() {
+        // Once the F holder evicts, memory supplies — until the next read,
+        // whose requester becomes the new forwarder.
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        e.evict(T1);
+        assert_eq!(e.supplier(), None);
+        assert_eq!(e.grant_read(T2), MesifState::Forward);
+        assert_eq!(e.supplier(), Some(T2));
+        assert_eq!(e.state_of(T0), MesifState::Shared);
+    }
+
+    #[test]
+    fn evict_non_holder_is_noop() {
+        let mut e = DirEntry::default();
+        e.grant_write(T0);
+        let v = e.version;
+        assert!(!e.evict(T1), "a tile without a copy owes no write-back");
+        assert_eq!(e.state_of(T0), MesifState::Modified);
+        assert_eq!(e.version, v);
+        let mut s = DirEntry::default();
+        s.grant_read(T0);
+        s.grant_read(T1);
+        assert!(!s.evict(T2));
+        assert_eq!(s.num_holders(), 2);
+    }
+
+    #[test]
+    fn evict_last_sharer_then_read_is_exclusive() {
+        // Last-sharer downgrade: S with one holder collapses to Uncached on
+        // evict, so the next reader starts a fresh E epoch.
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.grant_read(T1);
+        e.evict(T1);
+        e.evict(T0);
+        assert_eq!(e.state, GlobalState::Uncached);
+        assert!(e.sharers.is_empty(), "no stale sharers may survive");
+        assert_eq!(e.grant_read(T2), MesifState::Exclusive);
+    }
+
+    #[test]
+    fn invalidate_all_preserves_future_busy_slot() {
+        // The home CHA's service slot outlives the copies: invalidation is
+        // a directory action and must not rewind `busy_until` (the checker
+        // enforces per-line monotonicity).
+        let mut e = DirEntry::default();
+        e.grant_read(T0);
+        e.busy_until = 5_000_000;
+        e.invalidate_all();
+        assert_eq!(e.busy_until, 5_000_000);
+        assert_eq!(e.num_holders(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_bumps_version_only_when_cached() {
+        let mut e = DirEntry::default();
+        assert!(!e.invalidate_all());
+        assert_eq!(e.version, 0, "nothing cached: no epoch to retire");
+        e.grant_read(T0);
+        let v = e.version;
+        e.invalidate_all();
+        assert_ne!(e.version, v, "cached copies must die via the epoch bump");
+    }
+
+    #[test]
     fn invalidate_all_destroys_dirty() {
         let mut e = DirEntry::default();
         e.grant_write(T1);

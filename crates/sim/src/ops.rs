@@ -61,6 +61,10 @@ pub enum Op {
     Write(u64),
     /// Non-temporal store of one line.
     NtStore(u64),
+    /// Explicitly flush one line from the executing tile's caches
+    /// (clflush-style): the tile drops the line from L1/L2, surrenders its
+    /// directory slot, and writes back if dirty.
+    Evict(u64),
     /// Dependent pointer-chase: `count` serialized reads over the lines of
     /// `[base, base + count*64)` in a hash-scrambled order (models BenchIT's
     /// pointer chasing — no overlap).

@@ -208,6 +208,9 @@ impl<'m> Runner<'m> {
                     .access(core, addr, AccessKind::NtStore, now)
                     .complete;
             }
+            Op::Evict(addr) => {
+                self.threads[tid].now = self.machine.evict_line(core, addr, now);
+            }
             Op::Chase { base, lines } => {
                 let done = self.threads[tid].bulk_done;
                 let n = CHASE_CHUNK_LINES.min(lines - done);

@@ -206,3 +206,59 @@ fn stream_time_lower_bounded() {
         assert!(gbps < 14.0, "single-thread {gbps} GB/s is impossibly high");
     }
 }
+
+/// Mesh hop cost is a metric over tile positions in every cluster mode:
+/// zero on the diagonal, symmetric, and triangle-inequality-consistent
+/// (Manhattan Y-then-X routing on the analytic contention-free fabric).
+#[test]
+fn mesh_hop_cost_is_a_metric() {
+    use knl_sim::mesh::{Mesh, MeshConfig};
+    let mut rng = SplitMixRng::seed_from_u64(0xB006);
+    for cm in ClusterMode::ALL {
+        let cfg = MachineConfig::knl7210(cm, MemoryMode::Flat);
+        let topo = cfg.topology();
+        let mut mesh = Mesh::new(MeshConfig {
+            hop_ps: 1_000,
+            ring_service_ps: None,
+        });
+        let mut d =
+            |a: TileId, b: TileId| mesh.traverse(topo.tile_position(a), topo.tile_position(b), 0);
+        for _ in 0..CASES {
+            let a = TileId(rng.range_u32(0, cfg.active_tiles as u32) as u16);
+            let b = TileId(rng.range_u32(0, cfg.active_tiles as u32) as u16);
+            let c = TileId(rng.range_u32(0, cfg.active_tiles as u32) as u16);
+            assert_eq!(d(a, a), 0, "{cm:?}: d({a:?},{a:?}) != 0");
+            assert_eq!(d(a, b), d(b, a), "{cm:?}: asymmetric hop cost");
+            assert!(
+                d(a, c) <= d(a, b) + d(b, c),
+                "{cm:?}: triangle inequality fails via {b:?}"
+            );
+        }
+    }
+}
+
+/// Hop cost scales linearly with the per-hop latency and never exceeds
+/// the grid diameter.
+#[test]
+fn mesh_hop_cost_bounded_by_diameter() {
+    use knl_sim::mesh::{Mesh, MeshConfig};
+    let mut rng = SplitMixRng::seed_from_u64(0xB007);
+    let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+    let topo = cfg.topology();
+    for _ in 0..CASES {
+        let hop = rng.range_u64(100, 5_000);
+        let mut mesh = Mesh::new(MeshConfig {
+            hop_ps: hop,
+            ring_service_ps: None,
+        });
+        let a = TileId(rng.range_u32(0, cfg.active_tiles as u32) as u16);
+        let b = TileId(rng.range_u32(0, cfg.active_tiles as u32) as u16);
+        let (ax, ay) = topo.tile_position(a);
+        let (bx, by) = topo.tile_position(b);
+        let hops = ((ax - bx).unsigned_abs() + (ay - by).unsigned_abs()) as u64;
+        let t = mesh.traverse((ax, ay), (bx, by), 0);
+        assert_eq!(t, hops * hop, "analytic fabric is exactly Manhattan");
+        // KNL's die is a 6x7 grid (+ EDC/IMC rows): diameter bound.
+        assert!(hops <= 13, "{a:?}->{b:?}: {hops} hops exceeds the die");
+    }
+}

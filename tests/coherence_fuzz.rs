@@ -1,0 +1,60 @@
+//! Deterministic coherence fuzzing across the paper's fifteen
+//! configurations: random multi-threaded read/write/evict programs run
+//! under the full differential oracle (`--check full` semantics).
+//!
+//! Seed budget: `KNL_FUZZ_CASES` seeds per configuration (default 2 so
+//! tier-1 stays fast; CI's fuzz-smoke step raises it). A failure report
+//! names the offending line and dumps its recent protocol events; rerun
+//! with `fuzz_case(&cfg, seed, CheckLevel::FullOracle)` at the printed
+//! seed to reproduce (see DESIGN.md "Correctness checking").
+
+use knl::arch::MachineConfig;
+use knl::sim::fuzz::fuzz_case;
+use knl::sim::{AccessKind, CheckLevel, Machine};
+
+fn fuzz_cases() -> u64 {
+    std::env::var("KNL_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+#[test]
+fn fuzz_clean_across_all_fifteen_configurations() {
+    let cases = fuzz_cases();
+    for cfg in MachineConfig::all_fifteen() {
+        for seed in 0..cases {
+            fuzz_case(&cfg, seed, CheckLevel::FullOracle);
+        }
+    }
+}
+
+#[test]
+fn fuzz_counters_identical_at_every_check_level() {
+    // The checker observes; it must never steer. Counters from the same
+    // seed agree across off / invariants / full.
+    let cfg = MachineConfig::all_fifteen().remove(0);
+    for seed in 40..40 + fuzz_cases() {
+        let off = fuzz_case(&cfg, seed, CheckLevel::Off);
+        let inv = fuzz_case(&cfg, seed, CheckLevel::Invariants);
+        let full = fuzz_case(&cfg, seed, CheckLevel::FullOracle);
+        assert_eq!(off, inv, "seed {seed}");
+        assert_eq!(off, full, "seed {seed}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "coherence violation")]
+fn injected_skipped_invalidation_is_caught() {
+    // The acceptance-criterion bug: a directory write that "forgets" to
+    // invalidate one stale holder. The invariant checker must flag the
+    // surviving sharer the moment the write transition is observed.
+    let cfg = MachineConfig::all_fifteen().remove(0);
+    let mut m = Machine::with_check(cfg, CheckLevel::Invariants);
+    m.set_jitter(0);
+    use knl::arch::CoreId;
+    let t = m.access(CoreId(0), 4096, AccessKind::Read, 0).complete;
+    let t = m.access(CoreId(4), 4096, AccessKind::Read, t).complete;
+    m.debug_skip_invalidation(true);
+    m.access(CoreId(8), 4096, AccessKind::Write, t);
+}

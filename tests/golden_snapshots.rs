@@ -1,0 +1,88 @@
+//! Golden snapshots of the calibration output feeding Table I / Table II:
+//! the full suite on two pinned configurations, serialized through
+//! `knl_stats::json` (via `encode_suite`), compared bit-exactly against
+//! `tests/golden/*.json`.
+//!
+//! The simulator is deterministic end to end, so any byte of drift means
+//! the model's numbers moved. When a change is *intentional* (a timing
+//! recalibration, a new suite field), regenerate the snapshots with
+//!
+//! ```text
+//! KNL_UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! and review the JSON diff like source: every changed number is a
+//! changed claim about the modeled KNL.
+
+use knl::arch::{ClusterMode, MachineConfig, MemoryMode};
+use knl::benchsuite::{decode_suite, encode_suite, run_full_suite, SuiteParams};
+use std::path::PathBuf;
+
+/// Tiny but full-coverage sweep parameters: every suite section runs, in
+/// seconds, and the output shape matches the real calibration runs.
+fn golden_params() -> SuiteParams {
+    let mut p = SuiteParams::quick();
+    p.iters = 3;
+    p.c2c_sizes = vec![64, 512];
+    p.contention_n = vec![1, 4];
+    p.congestion_pairs = vec![1, 2];
+    p.mem_threads = vec![1, 4];
+    p.mem_lines_per_thread = 128;
+    p.memlat_lines = 2 << 10;
+    p
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(cfg: MachineConfig, name: &str) {
+    let results = run_full_suite(&cfg, &golden_params());
+    let encoded = encode_suite(&results);
+
+    // The encoding itself must round-trip losslessly before it can serve
+    // as a snapshot format.
+    let decoded = decode_suite(&encoded).expect("snapshot JSON parses back");
+    assert_eq!(
+        encode_suite(&decoded),
+        encoded,
+        "{name}: encode/decode round-trip drifts"
+    );
+
+    let path = golden_path(name);
+    if std::env::var_os("KNL_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &encoded).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `KNL_UPDATE_GOLDEN=1 cargo test --test golden_snapshots` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        encoded, golden,
+        "{name}: calibration output drifted from tests/golden/{name}.json \
+         (KNL_UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn golden_quadrant_flat_suite() {
+    check_golden(
+        MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
+        "suite_quadrant_flat",
+    );
+}
+
+#[test]
+fn golden_quadrant_cache_suite() {
+    check_golden(
+        MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache),
+        "suite_quadrant_cache",
+    );
+}

@@ -4,7 +4,8 @@
 //! worker finishes first.
 
 use knl::arch::{ClusterMode, MachineConfig, MemoryMode, SplitMixRng};
-use knl::benchsuite::{encode_suite, run_configs, SuiteParams, SweepExecutor};
+use knl::benchsuite::{encode_suite, run_configs, run_configs_checked, SuiteParams, SweepExecutor};
+use knl::sim::CheckLevel;
 
 fn tiny_params() -> SuiteParams {
     let mut p = SuiteParams::quick();
@@ -43,6 +44,32 @@ fn jobs4_matches_jobs1_bitwise() {
         // future non-`PartialEq`-visible field can't sneak in divergence.
         assert_eq!(encode_suite(s), encode_suite(p), "{}", cfg.label());
     }
+}
+
+/// One configuration at `--check invariants` under `--jobs 2` vs
+/// `--jobs 1`: the checker is deterministic and merge-order stable, and —
+/// being a pure observer — leaves the results bit-identical to the
+/// unchecked sweep.
+#[test]
+fn checked_sweep_is_deterministic_and_observer_only() {
+    let configs = vec![MachineConfig::knl7210(
+        ClusterMode::Quadrant,
+        MemoryMode::Cache,
+    )];
+    let params = tiny_params();
+    let serial = run_configs_checked(&configs, &params, 1, CheckLevel::Invariants);
+    let parallel = run_configs_checked(&configs, &params, 2, CheckLevel::Invariants);
+    assert_eq!(serial, parallel, "checked sweep diverges across --jobs");
+    let unchecked = run_configs(&configs, &params, 2);
+    assert_eq!(
+        unchecked, parallel,
+        "the checker must observe, never steer results"
+    );
+    assert_eq!(
+        encode_suite(&serial[0].0),
+        encode_suite(&parallel[0].0),
+        "byte-level divergence"
+    );
 }
 
 /// Merge order is the job order even when later jobs finish first: jobs
