@@ -4,7 +4,7 @@
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::microbench::case;
-use knl_sim::{AccessKind, CheckLevel, Machine, Op, Program, Runner, StreamKind};
+use knl_sim::{AccessKind, CheckLevel, Machine, Op, Program, Runner, StreamKind, TraceLevel};
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::knl7210(
@@ -68,6 +68,29 @@ fn main() {
         ("remote_transfer_check_full", CheckLevel::FullOracle),
     ] {
         let mut m = machine_checked(level);
+        let mut now = 0;
+        let mut flip = false;
+        case("sim_access", name, None, || {
+            let core = if flip { CoreId(0) } else { CoreId(30) };
+            flip = !flip;
+            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
+            now
+        });
+    }
+
+    // Same acceptance bar for the tracer: `--trace-level off` must be
+    // free, and the summary/full costs stay measured so they never bleed
+    // into the off path.
+    for (name, trace) in [
+        ("remote_transfer_trace_off", TraceLevel::Off),
+        ("remote_transfer_trace_summary", TraceLevel::Summary),
+        ("remote_transfer_trace_full", TraceLevel::Full),
+    ] {
+        let mut m = Machine::with_observers(
+            MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
+            CheckLevel::Off,
+            trace,
+        );
         let mut now = 0;
         let mut flip = false;
         case("sim_access", name, None, || {

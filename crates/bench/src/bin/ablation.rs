@@ -10,7 +10,7 @@
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::RunConf;
-use knl_bench::sweep::executor;
+use knl_bench::sweep::{executor, machine, TraceSink};
 use knl_benchsuite::congestion::{congestion, congestion_with_pairs};
 use knl_benchsuite::contention::contention;
 use knl_benchsuite::membw::{bandwidth_sample, Target};
@@ -23,30 +23,42 @@ use knl_stats::fit_linear;
 fn main() {
     let conf = RunConf::from_args();
     let exec = executor(&conf);
-    ablate_directory_serialization(&exec);
-    ablate_ddr_write_mixing(&exec);
-    ablate_mlp_caps(&exec);
+    // One merged trace across the ablation sweeps; each sweep claims a
+    // disjoint job-index range so sections stay in a canonical order.
+    let sink = TraceSink::new(&conf, "ablation");
+    let mut base = 0;
+    base += ablate_directory_serialization(&conf, &exec, &sink, base);
+    base += ablate_ddr_write_mixing(&conf, &exec, &sink, base);
+    base += ablate_mlp_caps(&conf, &exec, &sink, base);
     ablate_tree_staggering();
-    ablate_mesh_occupancy(&exec);
+    ablate_mesh_occupancy(&conf, &exec, &sink, base);
+    sink.write().expect("write trace");
 }
 
 /// Ablation 1: the per-line serialization at the home CHA is what produces
 /// the paper's contention law T_C(N) = α + β·N. Turning it off flattens β.
-fn ablate_directory_serialization(exec: &SweepExecutor) {
+fn ablate_directory_serialization(
+    conf: &RunConf,
+    exec: &SweepExecutor,
+    sink: &TraceSink,
+    base: usize,
+) -> usize {
     let mut table = Table::new(
         "Ablation — CHA per-line serialization produces the contention law",
         &["cha_line_serialize", "α [ns]", "β [ns/thread]", "r²"],
     );
     let variants = [34_000u64, 17_000, 0];
-    let rows = exec.run("ablation_directory", &variants, |_i, &serialize_ps| {
+    let rows = exec.run("ablation_directory", &variants, |i, &serialize_ps| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.cha_line_serialize_ps = serialize_ps;
-        let mut m = Machine::new(cfg);
+        let mut m = machine(conf, cfg);
         m.set_jitter(0);
         let pts = contention(&mut m, &[1, 4, 8, 16, 24, 31], Schedule::Scatter, 5);
         let xs: Vec<f64> = pts.iter().map(|(n, _)| *n as f64).collect();
         let ys: Vec<f64> = pts.iter().map(|(_, s)| s.median()).collect();
         let fit = fit_linear(&xs, &ys);
+        m.finish_check();
+        sink.submit(base + i, &mut m);
         vec![
             format!("{} ns", serialize_ps / 1000),
             f1(fit.alpha),
@@ -60,11 +72,17 @@ fn ablate_directory_serialization(exec: &SweepExecutor) {
     table.print();
     table.write_csv("ablation_directory");
     println!();
+    variants.len()
 }
 
 /// Ablation 2: DDR's mixed-write discount is what lets copy/triad approach
 /// the read peak despite the 36 GB/s write-only ceiling.
-fn ablate_ddr_write_mixing(exec: &SweepExecutor) {
+fn ablate_ddr_write_mixing(
+    conf: &RunConf,
+    exec: &SweepExecutor,
+    sink: &TraceSink,
+    base: usize,
+) -> usize {
     let mut table = Table::new(
         "Ablation — DDR mixed-write service vs streaming kernels [GB/s]",
         &["write_mixed", "copy", "triad", "write"],
@@ -73,10 +91,10 @@ fn ablate_ddr_write_mixing(exec: &SweepExecutor) {
     params.iters = 5;
     params.mem_lines_per_thread = 1024;
     let variants = [4_990u64, 10_600];
-    let rows = exec.run("ablation_write_mixing", &variants, |_i, &mixed_ps| {
+    let rows = exec.run("ablation_write_mixing", &variants, |i, &mixed_ps| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.ddr_write_mixed_ps_per_line = mixed_ps;
-        let mut m = Machine::new(cfg);
+        let mut m = machine(conf, cfg);
         m.set_jitter(0);
         let cell = |kind: StreamKind, m: &mut Machine| {
             m.reset_devices();
@@ -86,6 +104,8 @@ fn ablate_ddr_write_mixing(exec: &SweepExecutor) {
         let copy = cell(StreamKind::Copy, &mut m);
         let triad = cell(StreamKind::Triad, &mut m);
         let write = cell(StreamKind::Write, &mut m);
+        m.finish_check();
+        sink.submit(base + i, &mut m);
         vec![
             format!("{:.1} ns/line", mixed_ps as f64 / 1000.0),
             f1(copy),
@@ -99,11 +119,12 @@ fn ablate_ddr_write_mixing(exec: &SweepExecutor) {
     table.print();
     table.write_csv("ablation_write_mixing");
     println!("(write-only stays at its ceiling; copy/triad collapse without the discount)\n");
+    variants.len()
 }
 
 /// Ablation 3: bounded MLP is what shapes single-thread bandwidth; the
 /// aggregate peak is unaffected (device-bound).
-fn ablate_mlp_caps(exec: &SweepExecutor) {
+fn ablate_mlp_caps(conf: &RunConf, exec: &SweepExecutor, sink: &TraceSink, base: usize) -> usize {
     let mut table = Table::new(
         "Ablation — core MLP cap vs DDR read bandwidth [GB/s]",
         &["ov_mem_vec", "1 thread", "32 threads"],
@@ -112,10 +133,10 @@ fn ablate_mlp_caps(exec: &SweepExecutor) {
     params.iters = 5;
     params.mem_lines_per_thread = 1024;
     let variants = [4u32, 17, 34];
-    let rows = exec.run("ablation_mlp", &variants, |_i, &ov| {
+    let rows = exec.run("ablation_mlp", &variants, |i, &ov| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.ov_mem_vec = ov;
-        let mut m = Machine::new(cfg);
+        let mut m = machine(conf, cfg);
         m.set_jitter(0);
         let one = bandwidth_sample(
             &mut m,
@@ -137,6 +158,8 @@ fn ablate_mlp_caps(exec: &SweepExecutor) {
             &params,
         )
         .median();
+        m.finish_check();
+        sink.submit(base + i, &mut m);
         vec![ov.to_string(), f1(one), f1(many)]
     });
     for row in rows {
@@ -145,6 +168,7 @@ fn ablate_mlp_caps(exec: &SweepExecutor) {
     table.print();
     table.write_csv("ablation_mlp");
     println!("(single-thread scales with MLP; saturated aggregate does not)\n");
+    variants.len()
 }
 
 /// Ablation 4: the staggered child starts (contention order) are what make
@@ -192,7 +216,7 @@ fn ablate_tree_staggering() {
 /// 2. The *simulator* knows tile coordinates: placing every pair along one
 ///    grid column shares a single ring, and with slowed rings congestion
 ///    finally appears — what the paper's benchmark could never provoke.
-fn ablate_mesh_occupancy(exec: &SweepExecutor) {
+fn ablate_mesh_occupancy(conf: &RunConf, exec: &SweepExecutor, sink: &TraceSink, base: usize) {
     let mut table = Table::new(
         "Ablation — mesh link occupancy vs P2P congestion (per-pair ns)",
         &["fabric", "placement", "1 pair", "8 pairs", "ratio"],
@@ -202,10 +226,10 @@ fn ablate_mesh_occupancy(exec: &SweepExecutor) {
         ("occupancy, KNL rings (0.5 ns)", 500),
         ("occupancy, 100x slower rings", 50_000),
     ];
-    let rows = exec.run("ablation_mesh", &variants, |_i, &(label, service)| {
+    let rows = exec.run("ablation_mesh", &variants, |i, &(label, service)| {
         let mut cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
         cfg.timing.mesh_ring_service_ps = service;
-        let mut m = Machine::new(cfg);
+        let mut m = machine(conf, cfg);
         m.set_jitter(0);
 
         // Paper placement: blind spread.
@@ -229,6 +253,8 @@ fn ablate_mesh_occupancy(exec: &SweepExecutor) {
             f1(eight),
             format!("{:.2}x", eight / one),
         ];
+        m.finish_check();
+        sink.submit(base + i, &mut m);
         [blind, column]
     });
     for [blind, column] in rows {

@@ -13,11 +13,10 @@ use knl_arch::{ClusterMode, MachineConfig, MemoryMode, NumaKind, Schedule};
 use knl_bench::modelfit::fit_model;
 use knl_bench::output::{secs, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::executor;
+use knl_bench::sweep::{executor, machine, TraceSink};
 use knl_core::efficiency::{efficiency_sweep, EFFICIENCY_THRESHOLD};
 use knl_core::overhead::OverheadModel;
 use knl_core::sortmodel::{CostBasis, SortModel};
-use knl_sim::Machine;
 use knl_sort::simsort::{run_simsort, SimSortSpec};
 
 fn main() {
@@ -37,25 +36,34 @@ fn main() {
         Effort::Quick => vec![("1KB", 1 << 10), ("4MB", 4 << 20), ("64MB", 64 << 20)],
     };
 
+    // One merged trace across the sort sweeps; each sweep claims a disjoint
+    // job-index range so sections stay in canonical order.
+    let sink = TraceSink::new(&conf, "fig10_sort");
     // Measure (simulate) the 1 KB sorts to fit the overhead model, exactly
     // as §V-B.2 prescribes.
-    let measure = |bytes: u64, threads: usize, mem: NumaKind| -> f64 {
-        let mut m = Machine::new(cfg.clone());
+    let measure = |job: usize, bytes: u64, threads: usize, mem: NumaKind| -> f64 {
+        let mut m = machine(&conf, cfg.clone());
         let spec = SimSortSpec {
             bytes,
             threads,
             schedule: Schedule::FillTiles,
             memory: mem,
         };
-        run_simsort(&mut m, &spec)
+        let secs = run_simsort(&mut m, &spec);
+        m.finish_check();
+        sink.submit(job, &mut m);
+        secs
     };
+    let mut next_job = 0usize;
 
     let dram_model = SortModel::new(&model, "DRAM");
     // Fit on one measurement per distinct worker count (beyond 64 the sort
     // uses 64 workers; duplicating those points would flatten the slope).
     let fit_threads: Vec<usize> = threads.iter().copied().filter(|&t| t <= 64).collect();
-    let fit_secs = exec.run("fig10_fit", &fit_threads, |_i, &t| {
-        measure(1 << 10, t, NumaKind::Ddr)
+    let fit_base = next_job;
+    next_job += fit_threads.len();
+    let fit_secs = exec.run("fig10_fit", &fit_threads, |i, &t| {
+        measure(fit_base + i, 1 << 10, t, NumaKind::Ddr)
     });
     let small: Vec<(usize, f64)> = fit_threads.iter().copied().zip(fit_secs).collect();
     let overhead = OverheadModel::fit(&small, |t| {
@@ -85,10 +93,12 @@ fn main() {
         let usable: Vec<usize> = threads.iter().copied().filter(|&t| t <= 64).collect();
         let mem_model = |t: usize| dram_model.sort_seconds(*bytes, t, CostBasis::Bandwidth);
         let (effs, last_eff) = efficiency_sweep(mem_model, &overhead, &usable);
-        let measured = exec.run(&format!("fig10_{label}"), &usable, |_i, &t| {
-            let meas_d = measure(*bytes, t, NumaKind::Ddr);
+        let base = next_job;
+        next_job += usable.len();
+        let measured = exec.run(&format!("fig10_{label}"), &usable, |i, &t| {
+            let meas_d = measure(base + i, *bytes, t, NumaKind::Ddr);
             let meas_m = if (*bytes as u128) < (200u128 << 20) {
-                measure(*bytes, t, NumaKind::Mcdram)
+                measure(base + i, *bytes, t, NumaKind::Mcdram)
             } else {
                 f64::NAN // exceeds scaled MCDRAM capacity
             };
@@ -132,8 +142,9 @@ fn main() {
 
     // Headline check: MCDRAM vs DRAM at the largest size that fits both.
     let bytes = 64u64 << 20;
-    let d = measure(bytes, 32, NumaKind::Ddr);
-    let c = measure(bytes, 32, NumaKind::Mcdram);
+    let d = measure(next_job, bytes, 32, NumaKind::Ddr);
+    let c = measure(next_job + 1, bytes, 32, NumaKind::Mcdram);
+    sink.write().expect("write trace");
     println!(
         "MCDRAM speedup for the sort (64 MiB, 32 threads): {:.2}x — the paper predicts ≈1 \
          (no benefit despite 4-5x bandwidth)",

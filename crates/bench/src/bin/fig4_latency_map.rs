@@ -9,7 +9,7 @@
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::{executor, machine};
+use knl_bench::sweep::{executor, machine, TraceSink};
 use knl_benchsuite::pointer_chase::{invalid_latency_salted, transfer_latency};
 use knl_sim::MesifState;
 
@@ -32,7 +32,8 @@ fn main() {
         states.len(),
         conf.jobs
     );
-    let per_partner = executor(&conf).run("fig4", &partners, |_i, &partner| {
+    let sink = TraceSink::new(&conf, "fig4_latency_map");
+    let per_partner = executor(&conf).run("fig4", &partners, |i, &partner| {
         let mut m = machine(&conf, cfg.clone());
         let owner = CoreId(partner);
         // Helper: any tile different from both owner and origin.
@@ -51,8 +52,10 @@ fn main() {
             })
             .to_vec();
         m.finish_check();
+        sink.submit(i, &mut m);
         row
     });
+    sink.write().expect("write trace");
     let map: Vec<(u16, char, f64)> = partners
         .iter()
         .zip(per_partner)

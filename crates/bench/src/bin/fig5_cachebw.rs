@@ -10,7 +10,7 @@
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
 use knl_bench::output::{f2, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::executor;
+use knl_bench::sweep::{executor, machine, TraceSink};
 use knl_benchsuite::cachebw::{copy_bandwidth, fig5_partners};
 use knl_sim::{Machine, MesifState};
 
@@ -38,20 +38,25 @@ fn main() {
         sizes.len(),
         conf.jobs
     );
-    let measured = executor(&conf).run("fig5", &series, |_i, (_, owner, st)| {
-        let mut m = Machine::new(cfg.clone());
+    let sink = TraceSink::new(&conf, "fig5_cachebw");
+    let measured = executor(&conf).run("fig5", &series, |i, (_, owner, st)| {
+        let mut m = machine(&conf, cfg.clone());
         // Helper on a tile distinct from both reader and owner.
         let helper = (0..m.config().num_cores() as u16)
             .map(CoreId)
             .find(|c| c.tile() != reader.tile() && c.tile() != owner.tile())
             .expect("helper tile");
-        sizes
+        let row = sizes
             .iter()
             .map(|&bytes| {
                 copy_bandwidth(&mut m, *owner, reader, helper, *st, bytes, iters).median()
             })
-            .collect::<Vec<f64>>()
+            .collect::<Vec<f64>>();
+        m.finish_check();
+        sink.submit(i, &mut m);
+        row
     });
+    sink.write().expect("write trace");
 
     let mut table = Table::new(
         "Fig. 5 — copy bandwidth, SNC4-cache [GB/s]",

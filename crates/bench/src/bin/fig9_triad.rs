@@ -5,7 +5,7 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode, Schedule};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::{Effort, RunConf};
-use knl_bench::sweep::{executor, machine, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters, TraceSink};
 use knl_benchsuite::membw::{bandwidth_sample, Target};
 use knl_sim::StreamKind;
 
@@ -39,15 +39,18 @@ fn main() {
         points.len(),
         conf.jobs
     );
-    let results = executor(&conf).run("fig9", &points, |_i, &(sched, t)| {
+    let sink = TraceSink::new(&conf, "fig9_triad");
+    let results = executor(&conf).run("fig9", &points, |i, &(sched, t)| {
         let mut m = machine(&conf, cfg.clone());
         let mc = bandwidth_sample(&mut m, StreamKind::Triad, Target::Mcdram, t, sched, &params);
         m.reset_devices();
         m.reset_caches();
         let dd = bandwidth_sample(&mut m, StreamKind::Triad, Target::Ddr, t, sched, &params);
         m.finish_check();
+        sink.submit(i, &mut m);
         (mc.median(), dd.median(), m.counters())
     });
+    sink.write().expect("write trace");
 
     let mut table = Table::new(
         "Fig. 9 — triad bandwidth, SNC4-flat [GB/s]",

@@ -8,10 +8,10 @@
 use knl_arch::{ClusterMode, CoreId, HybridSplit, MachineConfig, MemoryMode, NumaKind, Schedule};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::RunConf;
-use knl_bench::sweep::{executor, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters, TraceSink};
 use knl_benchsuite::membw::{bandwidth_sample, Target};
 use knl_benchsuite::memlat;
-use knl_sim::{Machine, StreamKind};
+use knl_sim::StreamKind;
 
 fn main() {
     let conf = RunConf::from_args();
@@ -45,11 +45,12 @@ fn main() {
         modes.len(),
         conf.jobs
     );
-    let rows = executor(&conf).run("hybrid", &modes, |_i, (label, mm)| {
+    let sink = TraceSink::new(&conf, "hybrid_explorer");
+    let rows = executor(&conf).run("hybrid", &modes, |i, (label, mm)| {
         let label = label.clone();
         let mm = *mm;
         let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, mm);
-        let mut m = Machine::new(cfg.clone());
+        let mut m = machine(&conf, cfg.clone());
 
         // Latency of the flat MCDRAM portion (if any).
         let mc_lat = if mm.has_flat_mcdram() {
@@ -116,8 +117,11 @@ fn main() {
             format!("{cache_gb:.0}"),
             format!("{flat_gb:.0}"),
         ];
+        m.finish_check();
+        sink.submit(i, &mut m);
         (row, m.counters())
     });
+    sink.write().expect("write trace");
     for ((label, _), (row, counters)) in modes.iter().zip(rows) {
         print_counters(label, &counters);
         table.row(row);

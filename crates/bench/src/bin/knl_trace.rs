@@ -1,0 +1,248 @@
+//! `knl-trace` — aggregate and report a trace file written by the figure/
+//! table binaries under `--trace` / `--trace-level`.
+//!
+//! The default output is the text report: protocol totals, the latency
+//! histogram keyed by (MESIF supplier state, hop distance) — the paper's
+//! Fig. 4 decomposition — hot tiles, device queue statistics, directory
+//! transitions, and hot lines. Metric lines from every `# job` section
+//! merge additively, so the report is independent of how the sweep was
+//! split across jobs.
+//!
+//! `--chrome PATH` additionally converts the raw event log (present at
+//! `--trace-level full`) into Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` / Perfetto: serves become complete ("X") slices,
+//! runner marks become begin/end ("B"/"E") slices, and device queue
+//! depths become counter ("C") tracks.
+
+use knl_sim::metrics::Metrics;
+use knl_sim::trace::{EventKind, TraceEvent, NO_THREAD};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: knl-trace TRACE [options]
+
+Aggregate a knl trace file (written by the figure/table binaries under
+--trace / --trace-level) and print a text report.
+
+options:
+  --top N        rows in the hot-tile / hot-line sections (default 16)
+  --csv PATH     also write the (source, hops) latency histogram as CSV
+  --chrome PATH  also write Chrome trace_event JSON from the raw event
+                 log (requires a --trace-level full trace)
+  -h, --help     this text
+";
+
+struct Args {
+    trace: PathBuf,
+    top: usize,
+    csv: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut trace = None;
+    let mut top = 16usize;
+    let mut csv = None;
+    let mut chrome = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n\n{USAGE}");
+                exit(2);
+            })
+        };
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--top" => {
+                top = value("--top").parse().unwrap_or_else(|_| {
+                    eprintln!("--top needs a number\n\n{USAGE}");
+                    exit(2);
+                })
+            }
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            "--chrome" => chrome = Some(PathBuf::from(value("--chrome"))),
+            _ if a.starts_with('-') => {
+                eprintln!("unknown option {a}\n\n{USAGE}");
+                exit(2);
+            }
+            _ if trace.is_none() => trace = Some(PathBuf::from(a)),
+            _ => {
+                eprintln!("more than one TRACE argument\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let Some(trace) = trace else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    Args {
+        trace,
+        top,
+        csv,
+        chrome,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.trace).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.trace.display());
+        exit(1);
+    });
+
+    let mut metrics = Metrics::default();
+    let mut events: Vec<(u32, TraceEvent)> = Vec::new();
+    let mut job = 0u32;
+    let mut dropped = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# job ") {
+            job = rest.trim().parse().unwrap_or(job);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# events_dropped=") {
+            dropped += rest.trim().parse::<u64>().unwrap_or(0);
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if metrics.parse_line(line) {
+            continue;
+        }
+        if let Some(ev) = TraceEvent::parse(line) {
+            if args.chrome.is_some() {
+                events.push((job, ev));
+            }
+        } else {
+            eprintln!("warning: unparsed line: {line}");
+        }
+    }
+
+    // Ignore stdout pipe errors so `knl-trace … | head` exits cleanly.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout().lock();
+        let _ = stdout.write_all(metrics.report(args.top).as_bytes());
+        if dropped > 0 {
+            let _ = writeln!(
+                stdout,
+                "\n(raw event log truncated: {dropped} events dropped past the cap)"
+            );
+        }
+    }
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, metrics.latency_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        });
+        eprintln!("csv: {}", path.display());
+    }
+
+    if let Some(path) = &args.chrome {
+        if events.is_empty() {
+            eprintln!(
+                "warning: no raw events in {} — Chrome export needs a --trace-level full trace",
+                args.trace.display()
+            );
+        }
+        let json = chrome_json(&events);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        });
+        eprintln!("chrome: {} ({} events)", path.display(), events.len());
+    }
+}
+
+/// Microseconds with ps precision, the unit `chrome://tracing` expects.
+fn us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+/// Thread track id: the runner thread when known, else a per-tile track
+/// in a disjoint id range (machine-internal activity).
+fn tid(ev: &TraceEvent) -> u64 {
+    if ev.thread == NO_THREAD {
+        100_000 + ev.tile as u64
+    } else {
+        ev.thread as u64
+    }
+}
+
+/// Convert the raw event log into Chrome `trace_event` JSON (array form
+/// inside an object, as Perfetto and `chrome://tracing` both accept).
+fn chrome_json(events: &[(u32, TraceEvent)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for (job, ev) in events {
+        let pid = *job as u64;
+        match ev.kind {
+            EventKind::Serve {
+                op,
+                src,
+                hops,
+                latency_ps,
+            } => {
+                let start = ev.time.saturating_sub(latency_ps);
+                push(
+                    format!(
+                        "{{\"name\":\"{op} {}\",\"cat\":\"serve\",\"ph\":\"X\",\
+                         \"ts\":{:.6},\"dur\":{:.6},\"pid\":{pid},\"tid\":{},\
+                         \"args\":{{\"line\":\"{:#x}\",\"hops\":{hops}}}}}",
+                        knl_sim::metrics::src_name(src),
+                        us(start),
+                        us(latency_ps),
+                        tid(ev),
+                        ev.line << 6
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            EventKind::Mark { id, start } => {
+                push(
+                    format!(
+                        "{{\"name\":\"mark{id}\",\"cat\":\"mark\",\"ph\":\"{}\",\
+                         \"ts\":{:.6},\"pid\":{pid},\"tid\":{}}}",
+                        if start { 'B' } else { 'E' },
+                        us(ev.time),
+                        tid(ev)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            EventKind::DevEnter { dev, depth, .. } => {
+                push(
+                    format!(
+                        "{{\"name\":\"{} queue\",\"cat\":\"dev\",\"ph\":\"C\",\
+                         \"ts\":{:.6},\"pid\":{pid},\"tid\":0,\
+                         \"args\":{{\"depth\":{depth}}}}}",
+                        knl_sim::metrics::dev_name(dev),
+                        us(ev.time)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            _ => {}
+        }
+    }
+    let _ = write!(out, "]}}");
+    out
+}

@@ -5,7 +5,7 @@
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
 use knl_bench::output::{f1, Table};
 use knl_bench::runconf::RunConf;
-use knl_bench::sweep::{executor, machine, print_counters};
+use knl_bench::sweep::{executor, machine, print_counters, TraceSink};
 use knl_benchsuite::{run_memory_suite, MemResults};
 use knl_sim::StreamKind;
 
@@ -23,13 +23,16 @@ fn main() {
         points.len(),
         conf.jobs
     );
-    let results = executor(&conf).run("table2", &points, |_i, &(mm, cm)| {
+    let sink = TraceSink::new(&conf, "table2");
+    let results = executor(&conf).run("table2", &points, |i, &(mm, cm)| {
         let cfg = MachineConfig::knl7210(cm, mm);
         let mut m = machine(&conf, cfg);
         let res = run_memory_suite(&mut m, &params);
         m.finish_check();
+        sink.submit(i, &mut m);
         (res, m.counters())
     });
+    sink.write().expect("write trace");
     let mut results = results.into_iter();
 
     for mm in MEM_MODES {

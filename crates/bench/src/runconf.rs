@@ -1,7 +1,7 @@
 //! Command-line handling shared by the figure/table binaries.
 
 use knl_benchsuite::SuiteParams;
-use knl_sim::CheckLevel;
+use knl_sim::{CheckLevel, TraceLevel};
 
 /// Effort level of a regeneration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl Effort {
 }
 
 /// Parsed command line shared by every figure/table binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunConf {
     /// Sweep sizes: `--quick` (default) or `--paper`.
     pub effort: Effort,
@@ -50,6 +50,13 @@ pub struct RunConf {
     /// `KNL_CHECK`). A pure observer: results are bit-identical at every
     /// level; non-`off` levels panic on any protocol violation.
     pub check: CheckLevel,
+    /// Structured event tracing level (`--trace-level off|summary|full`,
+    /// or `KNL_TRACE`). Like `check`, a pure observer.
+    pub trace: TraceLevel,
+    /// Trace output path (`--trace PATH`). `--trace` without an explicit
+    /// `--trace-level` implies `full`; a non-off level without a path
+    /// writes `results/<label>.trace`.
+    pub trace_path: Option<String>,
 }
 
 impl RunConf {
@@ -67,7 +74,10 @@ impl RunConf {
             effort: Effort::Quick,
             jobs: knl_benchsuite::default_jobs(),
             check: default_check(),
+            trace: default_trace(),
+            trace_path: None,
         };
+        let mut explicit_level = false;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -81,20 +91,40 @@ impl RunConf {
                     let v = args.next().ok_or("--check requires a value")?;
                     conf.check = parse_check(&v)?;
                 }
+                "--trace" => {
+                    let v = args.next().ok_or("--trace requires a path")?;
+                    conf.trace_path = Some(v);
+                }
+                "--trace-level" => {
+                    let v = args.next().ok_or("--trace-level requires a value")?;
+                    conf.trace = parse_trace(&v)?;
+                    explicit_level = true;
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         conf.jobs = parse_jobs(v)?;
                     } else if let Some(v) = other.strip_prefix("--check=") {
                         conf.check = parse_check(v)?;
+                    } else if let Some(v) = other.strip_prefix("--trace-level=") {
+                        conf.trace = parse_trace(v)?;
+                        explicit_level = true;
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        conf.trace_path = Some(v.to_string());
                     } else if other == "--help" || other == "-h" {
                         eprintln!(
                             "usage: [--quick|--paper] [--jobs N] [--check LEVEL]\n\
+                             \x20       [--trace PATH] [--trace-level LEVEL]\n\
                              \x20 quick sweeps are the default; --jobs defaults to KNL_JOBS\n\
                              \x20 or the available parallelism (--jobs 1 runs serially;\n\
                              \x20 results are bit-identical for every N)\n\
                              \x20 --check off|invariants|full (default KNL_CHECK or off)\n\
                              \x20 runs the coherence invariant checker / memory oracle;\n\
-                             \x20 it never changes results, only panics on violations"
+                             \x20 it never changes results, only panics on violations\n\
+                             \x20 --trace-level off|summary|full (default KNL_TRACE or off)\n\
+                             \x20 records structured protocol events; a pure observer,\n\
+                             \x20 never changes results. --trace PATH sets the output file\n\
+                             \x20 (default results/<name>.trace) and implies --trace-level\n\
+                             \x20 full; aggregate with the knl-trace tool"
                         );
                         std::process::exit(0);
                     } else {
@@ -102,6 +132,9 @@ impl RunConf {
                     }
                 }
             }
+        }
+        if conf.trace_path.is_some() && !explicit_level && conf.trace == TraceLevel::Off {
+            conf.trace = TraceLevel::Full;
         }
         Ok(conf)
     }
@@ -124,6 +157,18 @@ fn default_check() -> CheckLevel {
         .ok()
         .and_then(|v| CheckLevel::parse(&v))
         .unwrap_or(CheckLevel::Off)
+}
+
+fn parse_trace(v: &str) -> Result<TraceLevel, String> {
+    TraceLevel::parse(v).ok_or_else(|| format!("--trace-level expects off|summary|full, got {v:?}"))
+}
+
+/// The `KNL_TRACE` environment default (`off` when unset or unparsable).
+fn default_trace() -> TraceLevel {
+    std::env::var("KNL_TRACE")
+        .ok()
+        .and_then(|v| TraceLevel::parse(&v))
+        .unwrap_or(TraceLevel::Off)
 }
 
 /// Parse `--paper` / `--quick` from argv (quick is the default).
@@ -159,8 +204,37 @@ mod tests {
                 effort: Effort::Paper,
                 jobs: 3,
                 check: CheckLevel::Off,
+                trace: TraceLevel::Off,
+                trace_path: None,
             }
         );
+    }
+
+    #[test]
+    fn trace_flag_forms() {
+        assert_eq!(parse(&[]).unwrap().trace, TraceLevel::Off);
+        assert_eq!(
+            parse(&["--trace-level", "summary"]).unwrap().trace,
+            TraceLevel::Summary
+        );
+        assert_eq!(
+            parse(&["--trace-level=full"]).unwrap().trace,
+            TraceLevel::Full
+        );
+        let c = parse(&["--trace", "out.trace"]).unwrap();
+        assert_eq!(c.trace_path.as_deref(), Some("out.trace"));
+        assert_eq!(c.trace, TraceLevel::Full, "--trace implies full");
+        let c = parse(&["--trace=x.trace", "--trace-level", "summary"]).unwrap();
+        assert_eq!(c.trace, TraceLevel::Summary, "explicit level wins");
+        assert_eq!(c.trace_path.as_deref(), Some("x.trace"));
+    }
+
+    #[test]
+    fn bad_trace_rejected() {
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--trace-level"]).is_err());
+        assert!(parse(&["--trace-level", "verbose"]).is_err());
+        assert!(parse(&["--trace-level=chatty"]).is_err());
     }
 
     #[test]

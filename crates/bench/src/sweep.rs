@@ -1,70 +1,182 @@
 //! Shared sweep plumbing for the figure/table binaries: an executor
-//! built from the parsed command line plus the per-configuration
-//! hardware-counter summary every binary prints after its sweep.
+//! built from the parsed command line, machines honouring the observer
+//! flags (`--check`, `--trace-level`), the per-configuration
+//! hardware-counter summary every binary prints after its sweep, and the
+//! [`TraceSink`] that merges per-job trace sections deterministically.
 
+use crate::output::results_dir;
 use crate::runconf::RunConf;
 use knl_arch::MachineConfig;
 use knl_benchsuite::SweepExecutor;
-use knl_sim::{Counters, Machine};
+use knl_sim::{Counters, Machine, TraceLevel};
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Executor honouring `--jobs` / `KNL_JOBS`, with per-job progress lines.
 pub fn executor(conf: &RunConf) -> SweepExecutor {
     SweepExecutor::new(conf.jobs).progress(true)
 }
 
-/// A machine honouring `--check` / `KNL_CHECK`. Jobs that build their
-/// machine through this helper run under the requested coherence checking
-/// level; call [`Machine::finish_check`] before dropping the machine so
-/// the final counter/oracle reconciliation runs too.
+/// A machine honouring `--check` / `KNL_CHECK` and `--trace-level` /
+/// `KNL_TRACE`. Jobs that build their machine through this helper run
+/// under the requested observer levels; call [`Machine::finish_check`]
+/// before dropping the machine so the final counter/oracle reconciliation
+/// runs, and hand the machine to [`TraceSink::submit`] so its trace
+/// section is collected.
 pub fn machine(conf: &RunConf, cfg: MachineConfig) -> Machine {
-    Machine::with_check(cfg, conf.check)
+    Machine::with_observers(cfg, conf.check, conf.trace)
+}
+
+/// Collects per-job serialized trace sections and writes one merged trace
+/// file. Jobs may finish in any order on the worker pool; sections are
+/// sorted by job index before writing, so the merged file is byte-identical
+/// for every `--jobs` value (the same contract the sweep results obey).
+pub struct TraceSink {
+    level: TraceLevel,
+    path: Option<PathBuf>,
+    parts: Mutex<Vec<(usize, String)>>,
+}
+
+impl TraceSink {
+    /// Sink for one binary's sweep; `label` names the default output file
+    /// (`results/<label>.trace`) when `--trace PATH` was not given.
+    pub fn new(conf: &RunConf, label: &str) -> TraceSink {
+        let path = match conf.trace {
+            TraceLevel::Off => None,
+            _ => Some(
+                conf.trace_path
+                    .as_ref()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| results_dir().join(format!("{label}.trace"))),
+            ),
+        };
+        TraceSink {
+            level: conf.trace,
+            path,
+            parts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Detach `m`'s tracer and store its serialized section under `job`.
+    /// No-op (and allocation-free) when tracing is off.
+    pub fn submit(&self, job: usize, m: &mut Machine) {
+        let tracer = m.take_tracer();
+        self.submit_tracer(job, tracer);
+    }
+
+    /// Store an already-detached tracer's section under `job` (the shape
+    /// the suite's `run_configs_observed` hands back).
+    pub fn submit_tracer(&self, job: usize, tracer: Option<Box<knl_sim::Tracer>>) {
+        if let Some(tr) = tracer {
+            let mut s = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(s, "# job {job}");
+            tr.serialize_into(&mut s);
+            self.parts
+                .lock()
+                .expect("trace sink poisoned")
+                .push((job, s));
+        }
+    }
+
+    /// Write the merged trace file; returns its path (None when tracing is
+    /// off). Sections appear in canonical job order regardless of the
+    /// completion order under `--jobs N`.
+    pub fn write(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = self.path.as_ref() else {
+            return Ok(None);
+        };
+        let mut parts = self.parts.lock().expect("trace sink poisoned");
+        parts.sort_by_key(|&(job, _)| job);
+        let mut out = format!("# knl-trace v1 level={}\n", self.level.name());
+        for (_, s) in parts.iter() {
+            out.push_str(s);
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, out)?;
+        eprintln!("wrote {}", path.display());
+        Ok(Some(path.clone()))
+    }
 }
 
 /// One-line hardware-counter summary for a finished configuration.
 pub fn print_counters(label: &str, c: &Counters) {
-    eprintln!(
-        "[{label}] counters: l1={} l2={} remote={} ddr={} mcdram={} \
-         mcache={}h/{}m wb={} inv={} nt={}",
-        c.l1_hits,
-        c.l2_hits,
-        c.remote_cache_hits,
-        c.ddr_accesses,
-        c.mcdram_accesses,
-        c.mcache_hits,
-        c.mcache_misses,
-        c.writebacks,
-        c.invalidations,
-        c.nt_stores,
-    );
+    eprintln!("[{label}] counters: {c}");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runconf::Effort;
+    use knl_sim::CheckLevel;
 
-    #[test]
-    fn executor_respects_jobs() {
-        let conf = RunConf {
+    fn conf(jobs: usize, check: CheckLevel, trace: TraceLevel) -> RunConf {
+        RunConf {
             effort: Effort::Quick,
-            jobs: 3,
-            check: knl_sim::CheckLevel::Off,
-        };
-        assert_eq!(executor(&conf).jobs(), 3);
+            jobs,
+            check,
+            trace,
+            trace_path: None,
+        }
     }
 
     #[test]
-    fn machine_helper_carries_check_level() {
+    fn executor_respects_jobs() {
+        let c = conf(3, CheckLevel::Off, TraceLevel::Off);
+        assert_eq!(executor(&c).jobs(), 3);
+    }
+
+    #[test]
+    fn machine_helper_carries_observer_levels() {
         use knl_arch::{ClusterMode, MemoryMode};
-        let mut conf = RunConf {
-            effort: Effort::Quick,
-            jobs: 1,
-            check: knl_sim::CheckLevel::Invariants,
-        };
+        let mut c = conf(1, CheckLevel::Invariants, TraceLevel::Summary);
         let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
-        let m = machine(&conf, cfg.clone());
-        assert_eq!(m.check_level(), knl_sim::CheckLevel::Invariants);
-        conf.check = knl_sim::CheckLevel::Off;
-        assert_eq!(machine(&conf, cfg).check_level(), knl_sim::CheckLevel::Off);
+        let m = machine(&c, cfg.clone());
+        assert_eq!(m.check_level(), CheckLevel::Invariants);
+        assert_eq!(m.trace_level(), TraceLevel::Summary);
+        c.check = CheckLevel::Off;
+        c.trace = TraceLevel::Off;
+        let m = machine(&c, cfg);
+        assert_eq!(m.check_level(), CheckLevel::Off);
+        assert_eq!(m.trace_level(), TraceLevel::Off);
+    }
+
+    #[test]
+    fn sink_merges_sections_in_job_order() {
+        use knl_arch::{ClusterMode, MemoryMode};
+        let dir = std::env::temp_dir().join("knl-trace-sink-test");
+        let path = dir.join("out.trace");
+        let mut c = conf(1, CheckLevel::Off, TraceLevel::Summary);
+        c.trace_path = Some(path.to_string_lossy().into_owned());
+        let sink = TraceSink::new(&c, "unused");
+        let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+        // Submit out of order; the file must come out in job order.
+        for job in [2usize, 0, 1] {
+            let mut m = machine(&c, cfg.clone());
+            m.access(
+                knl_arch::CoreId(0),
+                4096,
+                knl_sim::AccessKind::Read,
+                job as u64,
+            );
+            sink.submit(job, &mut m);
+        }
+        let written = sink.write().unwrap().unwrap();
+        let text = std::fs::read_to_string(&written).unwrap();
+        let jobs: Vec<&str> = text.lines().filter(|l| l.starts_with("# job ")).collect();
+        assert_eq!(jobs, ["# job 0", "# job 1", "# job 2"]);
+        assert!(text.starts_with("# knl-trace v1 level=summary\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_off_writes_nothing() {
+        let c = conf(1, CheckLevel::Off, TraceLevel::Off);
+        let sink = TraceSink::new(&c, "off-test");
+        assert_eq!(sink.write().unwrap(), None);
     }
 }

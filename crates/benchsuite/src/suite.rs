@@ -10,7 +10,7 @@ use crate::memlat;
 use crate::params::SuiteParams;
 use crate::pointer_chase;
 use knl_arch::{CoreId, MachineConfig, MemoryMode, NumaKind, Schedule};
-use knl_sim::{CheckLevel, Machine, MesifState, StreamKind};
+use knl_sim::{CheckLevel, Machine, MesifState, StreamKind, TraceLevel, Tracer};
 
 /// Owner/reader/helper placement used by the single-line benchmarks: reader
 /// on core 0, same-tile owner on core 1, remote owner, and a helper tile.
@@ -233,13 +233,28 @@ pub fn run_full_suite_counted_checked(
     params: &SuiteParams,
     check: CheckLevel,
 ) -> (SuiteResults, knl_sim::Counters) {
-    let mut m = Machine::with_check(cfg.clone(), check);
+    let (r, c, _) = run_full_suite_observed(cfg, params, check, TraceLevel::Off);
+    (r, c)
+}
+
+/// Like [`run_full_suite_counted_checked`], with both observers attached:
+/// the machine additionally runs under a [`TraceLevel`], and the detached
+/// [`Tracer`] is returned (`None` at `TraceLevel::Off`) so the caller can
+/// serialize it into a per-job trace section.
+pub fn run_full_suite_observed(
+    cfg: &MachineConfig,
+    params: &SuiteParams,
+    check: CheckLevel,
+    trace: TraceLevel,
+) -> (SuiteResults, knl_sim::Counters, Option<Box<Tracer>>) {
+    let mut m = Machine::with_observers(cfg.clone(), check, trace);
     let cache = run_cache_suite(&mut m, params);
     m.reset_caches();
     m.reset_devices();
     let mem = run_memory_suite(&mut m, params);
     m.finish_check();
     let counters = m.counters();
+    let tracer = m.take_tracer();
     (
         SuiteResults {
             cluster: cfg.cluster,
@@ -248,6 +263,7 @@ pub fn run_full_suite_counted_checked(
             mem,
         },
         counters,
+        tracer,
     )
 }
 
@@ -276,6 +292,25 @@ pub fn run_configs_checked(
         .progress(true)
         .run("suite", configs, |_i, cfg| {
             run_full_suite_counted_checked(cfg, params, check)
+        })
+}
+
+/// Like [`run_configs_checked`] with tracing too: each job's detached
+/// [`Tracer`] rides along with its results, still in canonical config
+/// order, so the caller can merge per-job trace sections deterministically
+/// for any `jobs`.
+#[allow(clippy::type_complexity)]
+pub fn run_configs_observed(
+    configs: &[MachineConfig],
+    params: &SuiteParams,
+    jobs: usize,
+    check: CheckLevel,
+    trace: TraceLevel,
+) -> Vec<(SuiteResults, knl_sim::Counters, Option<Box<Tracer>>)> {
+    crate::parallel::SweepExecutor::new(jobs)
+        .progress(true)
+        .run("suite", configs, |_i, cfg| {
+            run_full_suite_observed(cfg, params, check, trace)
         })
 }
 

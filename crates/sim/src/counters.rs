@@ -31,6 +31,28 @@ impl Counters {
         self.ddr_accesses + self.mcdram_accesses
     }
 
+    /// L1 hits as a fraction of all cache-hierarchy lookups that resolved
+    /// somewhere (0.0 when nothing ran — rates never divide by zero).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.remote_cache_hits + self.memory_accesses();
+        ratio(self.l1_hits, total)
+    }
+
+    /// Memory-side cache hit rate over its lookups (cache/hybrid modes;
+    /// 0.0 when the cache never saw a request).
+    pub fn mcache_hit_rate(&self) -> f64 {
+        ratio(self.mcache_hits, self.mcache_hits + self.mcache_misses)
+    }
+
+    /// Fraction of off-tile misses served by a *remote cache* rather than a
+    /// memory device — the knob the paper's cache-transfer benchmarks turn.
+    pub fn remote_service_fraction(&self) -> f64 {
+        ratio(
+            self.remote_cache_hits,
+            self.remote_cache_hits + self.memory_accesses(),
+        )
+    }
+
     /// Difference since an earlier snapshot. Saturates at zero per field:
     /// a snapshot taken before a counter reset (e.g. a fresh `Machine` for
     /// the next sweep job) must not panic the whole run in debug builds or
@@ -50,6 +72,39 @@ impl Counters {
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
             nt_stores: self.nt_stores.saturating_sub(earlier.nt_stores),
         }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One-line summary for sweep progress output.
+impl std::fmt::Display for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "l1 {} l2 {} remote {} ddr {} mcdram {} \
+             mc-hit {} mc-miss {} wb {} inv {} nt {} \
+             (l1 {:.1}% mcache {:.1}% remote-svc {:.1}%)",
+            self.l1_hits,
+            self.l2_hits,
+            self.remote_cache_hits,
+            self.ddr_accesses,
+            self.mcdram_accesses,
+            self.mcache_hits,
+            self.mcache_misses,
+            self.writebacks,
+            self.invalidations,
+            self.nt_stores,
+            100.0 * self.l1_hit_rate(),
+            100.0 * self.mcache_hit_rate(),
+            100.0 * self.remote_service_fraction(),
+        )
     }
 }
 
@@ -89,5 +144,36 @@ mod tests {
         let d = after_reset.since(&before);
         assert_eq!(d.l1_hits, 0);
         assert_eq!(d.writebacks, 0);
+    }
+
+    #[test]
+    fn rates_survive_zero_denominators() {
+        let z = Counters::default();
+        assert_eq!(z.l1_hit_rate(), 0.0);
+        assert_eq!(z.mcache_hit_rate(), 0.0);
+        assert_eq!(z.remote_service_fraction(), 0.0);
+        // And the Display impl must not divide by zero either.
+        let s = format!("{z}");
+        assert!(s.contains("l1 0"), "{s}");
+    }
+
+    #[test]
+    fn rates_compute_expected_fractions() {
+        let c = Counters {
+            l1_hits: 60,
+            l2_hits: 20,
+            remote_cache_hits: 10,
+            ddr_accesses: 6,
+            mcdram_accesses: 4,
+            mcache_hits: 3,
+            mcache_misses: 1,
+            ..Default::default()
+        };
+        assert!((c.l1_hit_rate() - 0.6).abs() < 1e-12);
+        assert!((c.mcache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((c.remote_service_fraction() - 0.5).abs() < 1e-12);
+        let s = format!("{c}");
+        assert!(s.contains("remote 10"), "{s}");
+        assert!(s.contains("mcache 75.0%"), "{s}");
     }
 }

@@ -32,18 +32,22 @@ pub mod mcache;
 pub mod memdev;
 pub mod mesh;
 pub mod mesif;
+pub mod metrics;
 pub mod ops;
 pub mod program;
 pub mod runner;
+pub mod trace;
 
 pub use alloc::Arena;
 pub use counters::Counters;
 pub use invariants::{CheckLevel, CoherenceChecker};
 pub use machine::{AccessKind, Machine};
 pub use mesif::MesifState;
+pub use metrics::Metrics;
 pub use ops::{Op, StreamKind};
 pub use program::Program;
 pub use runner::{RunResult, Runner};
+pub use trace::{TraceEvent, TraceLevel, Tracer};
 
 /// Simulated time in integer picoseconds.
 pub type SimTime = u64;

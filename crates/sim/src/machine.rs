@@ -15,6 +15,7 @@ use crate::mcache::{McacheOutcome, MemorySideCache};
 use crate::memdev::{DeviceParams, MemDevice};
 use crate::mesh::{Mesh, MeshConfig};
 use crate::mesif::{DirEntry, GlobalState, MesifState};
+use crate::trace::{hop_dist, EventKind, TraceLevel, Tracer, NO_TILE};
 use crate::SimTime;
 use knl_arch::address::NUM_MEM_DEVICES;
 use knl_arch::topology::splitmix64;
@@ -134,6 +135,9 @@ pub struct Machine {
     /// Dynamic coherence checking; `None` at [`CheckLevel::Off`], so the
     /// hot paths pay one never-taken branch when checking is disabled.
     checker: Option<Box<CoherenceChecker>>,
+    /// Structured event tracing; same gating pattern as `checker`: `None`
+    /// at [`TraceLevel::Off`], one never-taken branch on the hot paths.
+    tracer: Option<Box<Tracer>>,
     /// Fault injection for checker tests: a write skips invalidating one
     /// stale holder (see [`Machine::debug_skip_invalidation`]).
     skip_invalidation: bool,
@@ -199,6 +203,7 @@ impl Machine {
             jitter_pct,
             jitter_seq: 0,
             checker: None,
+            tracer: None,
             skip_invalidation: false,
         }
     }
@@ -246,6 +251,62 @@ impl Machine {
     #[doc(hidden)]
     pub fn debug_skip_invalidation(&mut self, on: bool) {
         self.skip_invalidation = on;
+    }
+
+    /// [`Machine::new`] with both observers (coherence checking and event
+    /// tracing) configured.
+    pub fn with_observers(cfg: MachineConfig, check: CheckLevel, trace: TraceLevel) -> Self {
+        let mut m = Self::new(cfg);
+        m.set_check_level(check);
+        m.set_trace_level(trace);
+        m
+    }
+
+    /// Enable/disable structured event tracing. Like the coherence
+    /// checker, the tracer is a pure observer: access timings and
+    /// counters are bit-identical at every level.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.tracer = match level {
+            TraceLevel::Off => None,
+            _ => Some(Box::new(Tracer::new(level))),
+        };
+    }
+
+    /// The active tracing level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.tracer.as_ref().map_or(TraceLevel::Off, |t| t.level())
+    }
+
+    /// The attached tracer, if any (tests and diagnostics).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detach and return the tracer; sweep drivers serialize it per job
+    /// and merge the sections in canonical job order.
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Stamp subsequent trace events with the executing `thread` (set by
+    /// the runner; machine-internal activity keeps the last context).
+    pub fn set_trace_thread(&mut self, thread: u32) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_thread(thread);
+        }
+    }
+
+    /// Record a measured-interval boundary in the trace (runner
+    /// `MarkStart`/`MarkEnd`). No-op when tracing is off.
+    pub fn trace_mark(&mut self, id: u32, start: bool, now: SimTime) {
+        self.trace(now, 0, EventKind::Mark { id, start });
+    }
+
+    #[inline]
+    fn trace(&mut self, time: SimTime, line: u64, kind: EventKind) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(time, line, kind);
+        }
     }
 
     /// The configuration the machine was built with.
@@ -330,6 +391,9 @@ impl Machine {
     ) -> AccessOutcome {
         let line = addr >> LINE_SHIFT;
         let tile = core.tile();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_tile(tile.0);
+        }
         match kind {
             AccessKind::Read => self.read(core, tile, line, addr, now),
             AccessKind::Write => self.write(core, tile, line, addr, now),
@@ -355,6 +419,16 @@ impl Machine {
                 ck.observe_read(line, false);
             }
             let dur = self.jitter(t.l1_hit_ps, line);
+            self.trace(
+                now + dur,
+                line,
+                EventKind::Serve {
+                    op: 'R',
+                    src: 'L',
+                    hops: 0,
+                    latency_ps: dur,
+                },
+            );
             return AccessOutcome {
                 complete: now + dur,
                 served_by: ServedBy::L1,
@@ -380,6 +454,16 @@ impl Machine {
             if let Some(ck) = self.checker.as_mut() {
                 ck.observe_read(line, false);
             }
+            self.trace(
+                complete,
+                line,
+                EventKind::Serve {
+                    op: 'R',
+                    src: 'T',
+                    hops: 0,
+                    latency_ps: complete - now,
+                },
+            );
             return AccessOutcome {
                 complete,
                 served_by: ServedBy::TileL2(tile_state),
@@ -393,6 +477,17 @@ impl Machine {
         let t_req = self
             .mesh
             .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        if self.tracer.is_some() {
+            self.trace(now, line, EventKind::Issue { op: 'R' });
+            self.trace(
+                t_req,
+                line,
+                EventKind::Hop {
+                    leg: 'q',
+                    hops: hop_dist(req_pos, home_pos),
+                },
+            );
+        }
 
         let entry = self.dir.entry(line).or_default();
         let wait = entry.busy_until.saturating_sub(t_req);
@@ -413,6 +508,7 @@ impl Machine {
             let complete = self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
             self.counters.remote_cache_hits += 1;
             let entry = self.dir.get_mut(&line).expect("entry exists");
+            let from = gstate_tag(&entry.state);
             if st == MesifState::Modified {
                 // Forced write-back downgrades M to S.
                 self.counters.writebacks += 1;
@@ -422,8 +518,41 @@ impl Machine {
                 ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
                 ck.observe_read(line, false);
             }
+            trace_dir(&mut self.tracer, t_svc, line, from, entry);
+            let jc = now + self.jitter(complete - now, line);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    t_data,
+                    line,
+                    EventKind::Hop {
+                        leg: 'd',
+                        hops: hop_dist(home_pos, sup_pos),
+                    },
+                );
+                tr.record(
+                    complete,
+                    line,
+                    EventKind::Hop {
+                        leg: 'r',
+                        hops: hop_dist(sup_pos, req_pos),
+                    },
+                );
+                if st == MesifState::Modified {
+                    tr.record(complete, line, EventKind::Writeback);
+                }
+                tr.record(
+                    jc,
+                    line,
+                    EventKind::Serve {
+                        op: 'R',
+                        src: st.letter(),
+                        hops: hop_dist(req_pos, sup_pos),
+                        latency_ps: jc - now,
+                    },
+                );
+            }
             AccessOutcome {
-                complete: now + self.jitter(complete - now, line),
+                complete: jc,
                 served_by: ServedBy::RemoteCache {
                     holder: sup,
                     state: st,
@@ -434,13 +563,36 @@ impl Machine {
             let served_pos = self.served_pos(served_by);
             let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
             let entry = self.dir.get_mut(&line).expect("entry exists");
+            let from = gstate_tag(&entry.state);
             entry.grant_read(tile);
             if let Some(ck) = self.checker.as_mut() {
                 ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
                 ck.observe_read(line, true);
             }
+            trace_dir(&mut self.tracer, t_svc, line, from, entry);
+            let jc = now + self.jitter(complete - now, line);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    complete,
+                    line,
+                    EventKind::Hop {
+                        leg: 'r',
+                        hops: hop_dist(served_pos, req_pos),
+                    },
+                );
+                tr.record(
+                    jc,
+                    line,
+                    EventKind::Serve {
+                        op: 'R',
+                        src: src_tag(served_by),
+                        hops: hop_dist(req_pos, served_pos),
+                        latency_ps: jc - now,
+                    },
+                );
+            }
             AccessOutcome {
-                complete: now + self.jitter(complete - now, line),
+                complete: jc,
                 served_by,
             }
         };
@@ -482,6 +634,7 @@ impl Machine {
                 )
             };
             let entry = self.dir.get_mut(&line).expect("owned line has entry");
+            let from = gstate_tag(&entry.state);
             let invalidated = entry.grant_write(tile);
             if let Some(ck) = self.checker.as_mut() {
                 ck.on_event(
@@ -491,12 +644,23 @@ impl Machine {
                     true,
                 );
             }
+            trace_dir(&mut self.tracer, now, line, from, entry);
             // The version advanced (sibling-core L1 copies die); re-stamp
             // the writer's own caches.
             let ver = entry.version;
             self.l2_fill(tile, line, ver);
             self.l1_fill(core, line, ver);
             let dur = self.jitter(lat, line);
+            self.trace(
+                now + dur,
+                line,
+                EventKind::Serve {
+                    op: 'W',
+                    src: if in_l1 { 'L' } else { 'T' },
+                    hops: 0,
+                    latency_ps: dur,
+                },
+            );
             return AccessOutcome {
                 complete: now + dur,
                 served_by: if in_l1 {
@@ -514,6 +678,17 @@ impl Machine {
         let t_req = self
             .mesh
             .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        if self.tracer.is_some() {
+            self.trace(now, line, EventKind::Issue { op: 'W' });
+            self.trace(
+                t_req,
+                line,
+                EventKind::Hop {
+                    leg: 'q',
+                    hops: hop_dist(req_pos, home_pos),
+                },
+            );
+        }
 
         let entry = self.dir.entry(line).or_default();
         let wait = entry.busy_until.saturating_sub(t_req);
@@ -540,6 +715,24 @@ impl Machine {
                 self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
             let ready = self.mesh.traverse(sup_pos, req_pos, at_sup + t.inject_ps);
             self.counters.remote_cache_hits += 1;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    at_sup,
+                    line,
+                    EventKind::Hop {
+                        leg: 'd',
+                        hops: hop_dist(home_pos, sup_pos),
+                    },
+                );
+                tr.record(
+                    ready,
+                    line,
+                    EventKind::Hop {
+                        leg: 'r',
+                        hops: hop_dist(sup_pos, req_pos),
+                    },
+                );
+            }
             (
                 ready,
                 ServedBy::RemoteCache {
@@ -555,10 +748,21 @@ impl Machine {
             let (ready, served) = self.memory_read(addr, line, home_pos, t_svc);
             let served_pos = self.served_pos(served);
             let ready = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    ready,
+                    line,
+                    EventKind::Hop {
+                        leg: 'r',
+                        hops: hop_dist(served_pos, req_pos),
+                    },
+                );
+            }
             (ready, served)
         };
 
         let entry = self.dir.get_mut(&line).expect("entry exists");
+        let from = gstate_tag(&entry.state);
         // Fault injection (checker tests): remember one holder whose
         // invalidation we are about to "forget".
         let stale = if self.skip_invalidation {
@@ -586,6 +790,7 @@ impl Machine {
                 true,
             );
         }
+        trace_dir(&mut self.tracer, t_svc, line, from, entry);
         self.counters.invalidations += invalidated as u64;
         let inv_cost = invalidated as u64 * t.invalidate_per_sharer_ps;
         let _ = other_sharers;
@@ -594,8 +799,34 @@ impl Machine {
         let ver = self.dir.get(&line).map_or(0, |e| e.version);
         self.l2_fill(tile, line, ver);
         self.l1_fill(core, line, ver);
+        let jc = now + self.jitter(complete - now, line);
+        if self.tracer.is_some() {
+            if invalidated > 0 {
+                self.trace(
+                    t_svc,
+                    line,
+                    EventKind::Inv {
+                        n: invalidated as u32,
+                    },
+                );
+            }
+            let (src, hops) = match served_by {
+                ServedBy::TileL2(_) => ('T', hop_dist(req_pos, home_pos)),
+                other => (src_tag(other), hop_dist(req_pos, self.served_pos(other))),
+            };
+            self.trace(
+                jc,
+                line,
+                EventKind::Serve {
+                    op: 'W',
+                    src,
+                    hops,
+                    latency_ps: jc - now,
+                },
+            );
+        }
         AccessOutcome {
-            complete: now + self.jitter(complete - now, line),
+            complete: jc,
             served_by,
         }
     }
@@ -603,6 +834,7 @@ impl Machine {
     fn nt_store(&mut self, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
         let t = self.cfg.timing.clone();
         self.counters.nt_stores += 1;
+        self.trace(now, line, EventKind::Issue { op: 'N' });
         // Invalidate any cached copies (rare for streaming workloads). One
         // invalidation message goes to *each* holder — the same accounting
         // as the RFO path, which the coherence checker reconciles exactly.
@@ -611,6 +843,7 @@ impl Machine {
         if let Some(entry) = self.dir.get_mut(&line) {
             let holders = entry.num_holders();
             if holders > 0 {
+                let from = gstate_tag(&entry.state);
                 let dirty = entry.invalidate_all();
                 if let Some(ck) = self.checker.as_mut() {
                     ck.on_event(
@@ -620,14 +853,19 @@ impl Machine {
                         true,
                     );
                 }
+                trace_dir(&mut self.tracer, now, line, from, entry);
                 destroyed = Some((holders, dirty));
             }
         }
         if let Some((holders, dirty)) = destroyed {
             self.counters.invalidations += holders as u64;
             extra = holders as u64 * t.invalidate_per_sharer_ps;
+            if self.tracer.is_some() {
+                self.trace(now, line, EventKind::Inv { n: holders as u32 });
+            }
             if dirty {
                 self.counters.writebacks += 1;
+                self.trace(now, line, EventKind::Writeback);
             }
         }
         if let Some(ck) = self.checker.as_mut() {
@@ -669,7 +907,21 @@ impl Machine {
                 McacheOutcome::Hit => {
                     self.counters.mcache_hits += 1;
                     self.counters.mcdram_accesses += 1;
+                    if self.tracer.is_some() {
+                        let depth = self.devices[edc_dev].backlog_lines(arrive);
+                        self.trace(arrive, line, EventKind::Mcache { edc, hit: true });
+                        self.trace(
+                            arrive,
+                            line,
+                            EventKind::DevEnter {
+                                dev: edc_dev as u8,
+                                write: false,
+                                depth,
+                            },
+                        );
+                    }
                     let ready = self.devices[edc_dev].read(arrive);
+                    self.trace(ready, line, EventKind::DevLeave { dev: edc_dev as u8 });
                     (ready, ServedBy::McacheHit { edc })
                 }
                 outcome => {
@@ -678,16 +930,64 @@ impl Machine {
                     let target = self.map.mem_target(addr);
                     let ddr_pos = self.ddr_pos(target);
                     let at_ddr = self.mesh.traverse(edc_pos, ddr_pos, arrive + t.inject_ps);
-                    let ready = self.devices[target.device_index()].read(at_ddr);
+                    let ddr_dev = target.device_index();
+                    if self.tracer.is_some() {
+                        self.trace(arrive, line, EventKind::Mcache { edc, hit: false });
+                        self.trace(
+                            at_ddr,
+                            line,
+                            EventKind::Hop {
+                                leg: 'd',
+                                hops: hop_dist(edc_pos, ddr_pos),
+                            },
+                        );
+                        let depth = self.devices[ddr_dev].backlog_lines(at_ddr);
+                        self.trace(
+                            at_ddr,
+                            line,
+                            EventKind::DevEnter {
+                                dev: ddr_dev as u8,
+                                write: false,
+                                depth,
+                            },
+                        );
+                    }
+                    let ready = self.devices[ddr_dev].read(at_ddr);
+                    self.trace(ready, line, EventKind::DevLeave { dev: ddr_dev as u8 });
                     // Fill the cache line in the background ("data read from
                     // DDR is sent to MCDRAM and the requesting tile
                     // simultaneously").
+                    if self.tracer.is_some() {
+                        let depth = self.devices[edc_dev].backlog_lines(ready);
+                        self.trace(
+                            ready,
+                            line,
+                            EventKind::DevEnter {
+                                dev: edc_dev as u8,
+                                write: true,
+                                depth,
+                            },
+                        );
+                    }
                     self.devices[edc_dev].write(ready);
                     if let McacheOutcome::MissDirtyEvict { victim_line } = outcome {
                         // Victim write-back to DDR (plus the L2 snoop the
                         // paper describes; both happen off the critical path).
                         let victim_addr = victim_line << LINE_SHIFT;
                         let vt = self.map.mem_target(victim_addr);
+                        if self.tracer.is_some() {
+                            let depth = self.devices[vt.device_index()].backlog_lines(ready);
+                            self.trace(
+                                ready,
+                                victim_line,
+                                EventKind::DevEnter {
+                                    dev: vt.device_index() as u8,
+                                    write: true,
+                                    depth,
+                                },
+                            );
+                            self.trace(ready, victim_line, EventKind::Writeback);
+                        }
                         self.devices[vt.device_index()].write(ready);
                         self.counters.writebacks += 1;
                         if let Some(ck) = self.checker.as_mut() {
@@ -701,7 +1001,21 @@ impl Machine {
             let target = self.map.mem_target(addr);
             let pos = self.target_pos(target);
             let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
-            let ready = self.devices[target.device_index()].read(arrive);
+            let dev = target.device_index();
+            if self.tracer.is_some() {
+                let depth = self.devices[dev].backlog_lines(arrive);
+                self.trace(
+                    arrive,
+                    line,
+                    EventKind::DevEnter {
+                        dev: dev as u8,
+                        write: false,
+                        depth,
+                    },
+                );
+            }
+            let ready = self.devices[dev].read(arrive);
+            self.trace(ready, line, EventKind::DevLeave { dev: dev as u8 });
             match target {
                 MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
                 MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
@@ -720,23 +1034,60 @@ impl Machine {
             let edc_pos = self.topo.edc_position(edc);
             let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
             let edc_dev = 6 + edc as usize;
+            if self.tracer.is_some() {
+                let depth = self.devices[edc_dev].backlog_lines(arrive);
+                self.trace(
+                    arrive,
+                    line,
+                    EventKind::DevEnter {
+                        dev: edc_dev as u8,
+                        write: true,
+                        depth,
+                    },
+                );
+            }
             match self.mcache.access(line, true) {
                 McacheOutcome::Hit
                 | McacheOutcome::MissCold
                 | McacheOutcome::MissCleanEvict { .. } => {
                     self.counters.mcdram_accesses += 1;
-                    self.devices[edc_dev].write(arrive)
+                    let accept = self.devices[edc_dev].write(arrive);
+                    self.trace(accept, line, EventKind::DevLeave { dev: edc_dev as u8 });
+                    accept
                 }
                 McacheOutcome::MissDirtyEvict { victim_line } => {
                     self.counters.mcdram_accesses += 1;
                     let accept = self.devices[edc_dev].write(arrive);
+                    self.trace(accept, line, EventKind::DevLeave { dev: edc_dev as u8 });
                     let victim_addr = victim_line << LINE_SHIFT;
                     let vt = self.map.mem_target(victim_addr);
                     // The dirty victim must drain to DDR before the cache
                     // can accept the new line: evictions backpressure the
                     // write stream (this is why cache-mode write bandwidth
                     // collapses toward the DDR write rate in Table II).
+                    if self.tracer.is_some() {
+                        let depth = self.devices[vt.device_index()].backlog_lines(accept);
+                        self.trace(
+                            accept,
+                            victim_line,
+                            EventKind::DevEnter {
+                                dev: vt.device_index() as u8,
+                                write: true,
+                                depth,
+                            },
+                        );
+                        self.trace(accept, victim_line, EventKind::Writeback);
+                    }
                     let drained = self.devices[vt.device_index()].write(accept);
+                    if self.tracer.is_some() {
+                        self.trace(
+                            drained,
+                            victim_line,
+                            EventKind::DevLeave {
+                                dev: vt.device_index() as u8,
+                            },
+                        );
+                    }
                     self.counters.writebacks += 1;
                     if let Some(ck) = self.checker.as_mut() {
                         ck.note_external_writeback();
@@ -748,11 +1099,26 @@ impl Machine {
             let target = self.map.mem_target(addr);
             let pos = self.target_pos(target);
             let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
+            let dev = target.device_index();
+            if self.tracer.is_some() {
+                let depth = self.devices[dev].backlog_lines(arrive);
+                self.trace(
+                    arrive,
+                    line,
+                    EventKind::DevEnter {
+                        dev: dev as u8,
+                        write: true,
+                        depth,
+                    },
+                );
+            }
             match target {
                 MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
                 MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
             }
-            self.devices[target.device_index()].write(arrive)
+            let accept = self.devices[dev].write(arrive);
+            self.trace(accept, line, EventKind::DevLeave { dev: dev as u8 });
+            accept
         }
     }
 
@@ -917,6 +1283,9 @@ impl Machine {
         let issue_gap = t.issue_gap_ps * share as u64;
         let tile = core.tile();
         let req_pos = self.topo.tile_position(tile);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_tile(tile.0);
+        }
         state.last_issue = state.last_issue.max(now);
         let mut lines_done = 0u64;
         for i in start_line..start_line + max_lines {
@@ -976,6 +1345,18 @@ impl Machine {
         let served_pos = self.served_pos(served);
         let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
         let complete = gated + self.jitter(complete - gated, line);
+        if self.tracer.is_some() {
+            self.trace(
+                complete,
+                line,
+                EventKind::Serve {
+                    op: 'R',
+                    src: src_tag(served),
+                    hops: hop_dist(req_pos, served_pos),
+                    latency_ps: complete - gated,
+                },
+            );
+        }
         state.record_load(complete);
         complete
     }
@@ -1011,19 +1392,22 @@ impl Machine {
     fn l2_fill(&mut self, tile: TileId, line: u64, version: u32) {
         if let Insert::Evicted(victim) = self.l2[tile.0 as usize].insert(line, version) {
             let mut dirty = None;
+            let when = self.l2_port_busy[tile.0 as usize];
             if let Some(entry) = self.dir.get_mut(&victim) {
+                let from = gstate_tag(&entry.state);
                 let d = entry.evict(tile);
                 if let Some(ck) = self.checker.as_mut() {
                     ck.on_event(victim, ProtoEvent::Evict { tile, dirty: d }, entry, true);
                 }
+                trace_dir(&mut self.tracer, when, victim, from, entry);
                 dirty = Some(d);
             }
             if dirty == Some(true) {
                 // Dirty victim: write back in the background.
                 self.counters.writebacks += 1;
+                self.trace(when, victim, EventKind::Writeback);
                 let victim_addr = victim << LINE_SHIFT;
                 let pos = self.topo.tile_position(tile);
-                let when = self.l2_port_busy[tile.0 as usize];
                 self.memory_write(victim_addr, victim, pos, when);
             }
         }
@@ -1038,6 +1422,9 @@ impl Machine {
         let t = self.cfg.timing.clone();
         let line = addr >> LINE_SHIFT;
         let tile = core.tile();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.set_tile(tile.0);
+        }
         for c in tile.cores() {
             if (c.0 as usize) < self.l1.len() {
                 self.l1[c.0 as usize].remove(line);
@@ -1046,14 +1433,17 @@ impl Machine {
         self.l2[tile.0 as usize].remove(line);
         let mut dirty = None;
         if let Some(entry) = self.dir.get_mut(&line) {
+            let from = gstate_tag(&entry.state);
             let d = entry.evict(tile);
             if let Some(ck) = self.checker.as_mut() {
                 ck.on_event(line, ProtoEvent::Evict { tile, dirty: d }, entry, true);
             }
+            trace_dir(&mut self.tracer, now, line, from, entry);
             dirty = Some(d);
         }
         if dirty == Some(true) {
             self.counters.writebacks += 1;
+            self.trace(now, line, EventKind::Writeback);
             let pos = self.topo.tile_position(tile);
             self.memory_write(addr, line, pos, now + t.issue_gap_ps);
         }
@@ -1161,6 +1551,59 @@ impl Machine {
         let span = 2 * self.jitter_pct as u64 + 1;
         let pct = (h % span) as i64 - self.jitter_pct as i64;
         ((dur as i64) + (dur as i64 * pct) / 100).max(0) as SimTime
+    }
+}
+
+/// Directory global-state tag for trace events (`U`/`E`/`M`/`S`).
+fn gstate_tag(s: &GlobalState) -> char {
+    match s {
+        GlobalState::Uncached => 'U',
+        GlobalState::Exclusive { .. } => 'E',
+        GlobalState::Modified { .. } => 'M',
+        GlobalState::Shared { .. } => 'S',
+    }
+}
+
+/// Trace source tag for a [`ServedBy`] provenance.
+fn src_tag(served: ServedBy) -> char {
+    match served {
+        ServedBy::L1 => 'L',
+        ServedBy::TileL2(_) => 'T',
+        ServedBy::RemoteCache { state, .. } => state.letter(),
+        ServedBy::Memory(MemTarget::Ddr { .. }) => 'D',
+        ServedBy::Memory(MemTarget::Mcdram { .. }) => 'C',
+        ServedBy::McacheHit { .. } => 'H',
+        ServedBy::Posted => 'N',
+    }
+}
+
+/// Record a directory-transition event. A free function so call sites can
+/// hold a `&mut DirEntry` (borrowed from `self.dir`) while the tracer
+/// (a disjoint field) records — the same split-borrow shape as the
+/// checker's `on_event` calls.
+fn trace_dir(
+    tracer: &mut Option<Box<Tracer>>,
+    time: SimTime,
+    line: u64,
+    from: char,
+    entry: &DirEntry,
+) {
+    if let Some(tr) = tracer.as_mut() {
+        let forwarder = match &entry.state {
+            GlobalState::Uncached => NO_TILE,
+            GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => owner.0,
+            GlobalState::Shared { forward } => forward.map_or(NO_TILE, |t| t.0),
+        };
+        tr.record(
+            time,
+            line,
+            EventKind::Dir {
+                from,
+                to: gstate_tag(&entry.state),
+                forwarder,
+                sharers: entry.num_holders() as u16,
+            },
+        );
     }
 }
 
@@ -1426,6 +1869,120 @@ mod tests {
         }
         assert_eq!(plain.counters(), checked.counters());
         checked.finish_check();
+    }
+
+    #[test]
+    fn traced_machine_matches_untraced_timing() {
+        // TraceLevel must be a pure observer: identical access timings and
+        // counters with tracing on or off.
+        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+        let mut plain = Machine::new(cfg.clone());
+        let mut traced = Machine::with_observers(cfg, CheckLevel::Off, TraceLevel::Full);
+        plain.set_jitter(0);
+        traced.set_jitter(0);
+        let mut tp = 0;
+        let mut tc = 0;
+        for (i, kind) in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::Read,
+            AccessKind::NtStore,
+            AccessKind::Read,
+            AccessKind::Write,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let c = CoreId((i as u16 % 4) * 2);
+            tp = plain.access(c, 4096, *kind, tp).complete;
+            tc = traced.access(c, 4096, *kind, tc).complete;
+            assert_eq!(tp, tc, "op {i}");
+        }
+        tp = plain.evict_line(CoreId(0), 4096, tp);
+        tc = traced.evict_line(CoreId(0), 4096, tc);
+        assert_eq!(tp, tc);
+        assert_eq!(plain.counters(), traced.counters());
+        assert!(!traced
+            .tracer()
+            .expect("tracer attached")
+            .events()
+            .is_empty());
+    }
+
+    #[test]
+    fn remote_serve_traced_with_state_and_hops() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        m.set_trace_level(TraceLevel::Full);
+        let addr = ddr_addr(&m);
+        let owner = CoreId(0);
+        let reader = CoreId(10);
+        let t = m.access(owner, addr, AccessKind::Write, 0).complete;
+        let out = m.access(reader, addr, AccessKind::Read, t);
+        let holder = match out.served_by {
+            ServedBy::RemoteCache { holder, state } => {
+                assert_eq!(state, MesifState::Modified);
+                holder
+            }
+            other => panic!("expected remote-cache serve, got {other:?}"),
+        };
+        let want_hops = hop_dist(
+            m.topology().tile_position(reader.tile()),
+            m.topology().tile_position(holder),
+        );
+        let tr = m.tracer().expect("tracer attached");
+        let srv = tr
+            .events()
+            .iter()
+            .rev()
+            .find_map(|e| match e.kind {
+                EventKind::Serve {
+                    op: 'R', src, hops, ..
+                } => Some((src, hops, e.tile)),
+                _ => None,
+            })
+            .expect("remote read recorded a Serve event");
+        assert_eq!(srv.0, 'M', "supplier held the line Modified");
+        assert_eq!(srv.1, want_hops);
+        assert_eq!(srv.2, reader.tile().0, "stamped with requesting tile");
+    }
+
+    #[test]
+    fn trace_metrics_reconcile_with_counters() {
+        // Every Inv/Writeback/Mcache event the tracer aggregates must match
+        // the machine's own hardware counters, at Summary as well as Full.
+        for level in [TraceLevel::Summary, TraceLevel::Full] {
+            let mut m = machine(ClusterMode::Snc4, MemoryMode::Cache);
+            m.set_trace_level(level);
+            let addr = {
+                let mut a = m.arena();
+                a.alloc(NumaKind::Ddr, 1 << 20)
+            };
+            let mut t = 0;
+            for i in 0..512u64 {
+                let c = CoreId((i % 8 * 2) as u16);
+                let a = addr + (i % 64) * 64;
+                let kind = match i % 3 {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::NtStore,
+                };
+                t = m.access(c, a, kind, t).complete;
+            }
+            let ctr = m.counters();
+            let tr = m.take_tracer().expect("tracer attached");
+            let mm = tr.metrics();
+            assert_eq!(mm.invalidations, ctr.invalidations, "{level:?}");
+            assert_eq!(mm.writebacks, ctr.writebacks, "{level:?}");
+            assert_eq!(mm.mcache_hits, ctr.mcache_hits, "{level:?}");
+            assert_eq!(mm.mcache_misses, ctr.mcache_misses, "{level:?}");
+            // Every Serve lands in exactly one histogram and one tile row,
+            // and remote serves reconcile with the remote-hit counter.
+            let serves: u64 = mm.tiles.values().map(|s| s.serves).sum();
+            let hist_total: u64 = mm.hist.values().map(|h| h.count).sum();
+            assert_eq!(serves, hist_total, "{level:?}");
+            let remote: u64 = mm.tiles.values().map(|s| s.remote).sum();
+            assert_eq!(remote, ctr.remote_cache_hits, "{level:?}");
+        }
     }
 
     #[test]

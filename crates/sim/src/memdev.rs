@@ -162,6 +162,14 @@ impl MemDevice {
         self.vclock
     }
 
+    /// Estimated lines queued ahead of a request arriving at `arrival`
+    /// (service slots committed beyond the arrival time, on the shared/read
+    /// channel). A pure observer for the trace layer's queue-depth events.
+    pub fn backlog_lines(&self, arrival: SimTime) -> u32 {
+        let pending = self.vclock.saturating_sub(arrival);
+        (pending / self.p.read_service_ps.max(1)).min(u32::MAX as u64) as u32
+    }
+
     /// Forget all queueing state (between benchmark repetitions).
     pub fn reset(&mut self) {
         self.vclock = 0;
@@ -284,6 +292,18 @@ mod tests {
             "burst must queue: {}",
             last - t0
         );
+    }
+
+    #[test]
+    fn backlog_estimates_queue_depth() {
+        let mut d = dev(); // read service 5_000 ps/line
+        assert_eq!(d.backlog_lines(0), 0);
+        for _ in 0..10 {
+            d.read(0);
+        }
+        assert_eq!(d.backlog_lines(0), 10);
+        assert_eq!(d.backlog_lines(25_000), 5);
+        assert_eq!(d.backlog_lines(1_000_000), 0);
     }
 
     #[test]

@@ -1,0 +1,714 @@
+//! Aggregated metrics over the trace event stream.
+//!
+//! Every event recorded by [`crate::trace::Tracer`] flows through
+//! [`Metrics::record`], which maintains
+//!
+//! * latency histograms keyed by **(source tag, hop distance)** — the
+//!   decomposition of the paper's Fig. 4 latency map by supplier MESIF
+//!   state and mesh distance,
+//! * per-tile serve counts broken down by source class, with time-binned
+//!   activity ([`BIN_PS`] bins),
+//! * per-device queue statistics (lines in/out, peak and mean estimated
+//!   queue depth) with time-binned line counts (→ bandwidth),
+//! * a hot-line profile, and
+//! * protocol totals (directory transitions by `from→to` pair,
+//!   invalidations, write-backs, mcache hits/misses).
+//!
+//! Metrics serialize to deterministic text lines (all maps are `BTreeMap`s
+//! or sorted at serialization time) and merge additively, so per-job
+//! sections of a parallel sweep can be re-aggregated by `knl-trace` in any
+//! grouping with identical results.
+
+use crate::trace::{EventKind, TraceEvent};
+use crate::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Width of one activity time bin (100 µs of sim time).
+pub const BIN_PS: SimTime = 100_000_000;
+
+/// Log₂ latency-histogram bins (bin `k` covers `[2^(k-1), 2^k)` ns).
+pub const HIST_BINS: usize = 28;
+
+/// Hot lines retained when serializing (the in-memory profile is exact;
+/// the serialized top-N is marked approximate after a merge).
+pub const HOT_LINES_TOP: usize = 32;
+
+/// One latency histogram: moments plus log₂ ns bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of latencies (ps).
+    pub sum_ps: u64,
+    /// Minimum latency (ps).
+    pub min_ps: u64,
+    /// Maximum latency (ps).
+    pub max_ps: u64,
+    /// Log₂ bins over nanoseconds.
+    pub bins: [u64; HIST_BINS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum_ps: 0,
+            min_ps: u64::MAX,
+            max_ps: 0,
+            bins: [0; HIST_BINS],
+        }
+    }
+}
+
+fn bin_of(ps: u64) -> usize {
+    let ns = ps / 1000;
+    ((u64::BITS - ns.leading_zeros()) as usize).min(HIST_BINS - 1)
+}
+
+impl Hist {
+    /// Record one latency sample.
+    pub fn add(&mut self, ps: SimTime) {
+        self.count += 1;
+        self.sum_ps += ps;
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+        self.bins[bin_of(ps)] += 1;
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ps as f64 / self.count as f64 / 1000.0
+        }
+    }
+
+    /// Approximate median in ns: upper edge of the bin holding the
+    /// median sample.
+    pub fn p50_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = self.count.div_ceil(2);
+        let mut seen = 0;
+        for (k, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << k) as f64;
+            }
+        }
+        self.max_ps as f64 / 1000.0
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, o: &Hist) {
+        self.count += o.count;
+        self.sum_ps += o.sum_ps;
+        self.min_ps = self.min_ps.min(o.min_ps);
+        self.max_ps = self.max_ps.max(o.max_ps);
+        for (a, b) in self.bins.iter_mut().zip(o.bins.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-tile serve counts by source class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileStat {
+    /// Requests served for cores of this tile.
+    pub serves: u64,
+    /// …from the core's own L1.
+    pub l1: u64,
+    /// …from the tile's L2.
+    pub l2: u64,
+    /// …forwarded from a remote tile's cache.
+    pub remote: u64,
+    /// …from a memory device (DDR or flat MCDRAM).
+    pub mem: u64,
+    /// …from the memory-side cache.
+    pub mcache: u64,
+}
+
+/// Per-device queue statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DevStat {
+    /// Lines entering the read path.
+    pub reads: u64,
+    /// Lines entering the write path.
+    pub writes: u64,
+    /// Peak estimated queue depth observed at any arrival.
+    pub depth_peak: u32,
+    /// Sum of observed depths (mean = `depth_sum / (reads + writes)`).
+    pub depth_sum: u64,
+}
+
+/// Aggregated, mergeable trace metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Latency histograms keyed by (source tag, hop distance).
+    pub hist: BTreeMap<(char, u32), Hist>,
+    /// Per-tile serve breakdown.
+    pub tiles: BTreeMap<u16, TileStat>,
+    /// Per-device queue statistics.
+    pub devices: BTreeMap<u8, DevStat>,
+    /// Lines entering each device per time bin.
+    pub dev_bins: BTreeMap<(u8, u64), u64>,
+    /// Serves per tile per time bin.
+    pub tile_bins: BTreeMap<(u16, u64), u64>,
+    /// Directory transitions by (from, to) state tag.
+    pub dir_transitions: BTreeMap<(char, char), u64>,
+    /// Exact per-line access counts (pruned to a top-N on serialize).
+    pub hot_lines: BTreeMap<u64, u64>,
+    /// Requests that left a tile for the home CHA.
+    pub issues: u64,
+    /// Invalidation messages.
+    pub invalidations: u64,
+    /// Write-backs.
+    pub writebacks: u64,
+    /// Memory-side cache hits.
+    pub mcache_hits: u64,
+    /// Memory-side cache misses.
+    pub mcache_misses: u64,
+    /// Mesh hops crossed (all legs).
+    pub mesh_hops: u64,
+    /// Events aggregated.
+    pub events: u64,
+    /// Latest event timestamp.
+    pub end_time: SimTime,
+}
+
+impl Metrics {
+    /// Fold one event into the aggregates.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        self.end_time = self.end_time.max(ev.time);
+        match ev.kind {
+            EventKind::Issue { .. } => self.issues += 1,
+            EventKind::Serve {
+                src,
+                hops,
+                latency_ps,
+                ..
+            } => {
+                self.hist.entry((src, hops)).or_default().add(latency_ps);
+                let t = self.tiles.entry(ev.tile).or_default();
+                t.serves += 1;
+                match src {
+                    'L' => t.l1 += 1,
+                    'T' => t.l2 += 1,
+                    'M' | 'E' | 'S' | 'F' => t.remote += 1,
+                    'H' => t.mcache += 1,
+                    _ => t.mem += 1,
+                }
+                *self
+                    .tile_bins
+                    .entry((ev.tile, ev.time / BIN_PS))
+                    .or_default() += 1;
+                *self.hot_lines.entry(ev.line).or_default() += 1;
+            }
+            EventKind::Dir { from, to, .. } => {
+                *self.dir_transitions.entry((from, to)).or_default() += 1;
+            }
+            EventKind::Hop { hops, .. } => self.mesh_hops += hops as u64,
+            EventKind::DevEnter { dev, write, depth } => {
+                let d = self.devices.entry(dev).or_default();
+                if write {
+                    d.writes += 1;
+                } else {
+                    d.reads += 1;
+                }
+                d.depth_peak = d.depth_peak.max(depth);
+                d.depth_sum += depth as u64;
+                *self.dev_bins.entry((dev, ev.time / BIN_PS)).or_default() += 1;
+            }
+            EventKind::DevLeave { .. } => {}
+            EventKind::Mcache { hit, .. } => {
+                if hit {
+                    self.mcache_hits += 1;
+                } else {
+                    self.mcache_misses += 1;
+                }
+            }
+            EventKind::Inv { n } => self.invalidations += n as u64,
+            EventKind::Writeback => self.writebacks += 1,
+            EventKind::Mark { .. } => {}
+        }
+    }
+
+    /// Merge another aggregation into this one (additive; order-free).
+    pub fn merge(&mut self, o: &Metrics) {
+        for (k, h) in &o.hist {
+            self.hist.entry(*k).or_default().merge(h);
+        }
+        for (k, t) in &o.tiles {
+            let d = self.tiles.entry(*k).or_default();
+            d.serves += t.serves;
+            d.l1 += t.l1;
+            d.l2 += t.l2;
+            d.remote += t.remote;
+            d.mem += t.mem;
+            d.mcache += t.mcache;
+        }
+        for (k, s) in &o.devices {
+            let d = self.devices.entry(*k).or_default();
+            d.reads += s.reads;
+            d.writes += s.writes;
+            d.depth_peak = d.depth_peak.max(s.depth_peak);
+            d.depth_sum += s.depth_sum;
+        }
+        for (k, n) in &o.dev_bins {
+            *self.dev_bins.entry(*k).or_default() += n;
+        }
+        for (k, n) in &o.tile_bins {
+            *self.tile_bins.entry(*k).or_default() += n;
+        }
+        for (k, n) in &o.dir_transitions {
+            *self.dir_transitions.entry(*k).or_default() += n;
+        }
+        for (k, n) in &o.hot_lines {
+            *self.hot_lines.entry(*k).or_default() += n;
+        }
+        self.issues += o.issues;
+        self.invalidations += o.invalidations;
+        self.writebacks += o.writebacks;
+        self.mcache_hits += o.mcache_hits;
+        self.mcache_misses += o.mcache_misses;
+        self.mesh_hops += o.mesh_hops;
+        self.events += o.events;
+        self.end_time = self.end_time.max(o.end_time);
+    }
+
+    /// Hot lines sorted by (count desc, line asc), truncated to `top`.
+    pub fn top_lines(&self, top: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.hot_lines.iter().map(|(&l, &n)| (l, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+
+    /// Serialize as deterministic metric lines (see the format note in
+    /// [`crate::trace`]): `H` histograms, `T` tiles, `D` devices, `B`
+    /// device bins, `U` tile bins, `X` directory transitions, `L` hot
+    /// lines (top [`HOT_LINES_TOP`]), `C` scalar counters, `Z` trailer.
+    pub fn serialize_into(&self, out: &mut String) {
+        for ((src, hops), h) in &self.hist {
+            let _ = write!(
+                out,
+                "H {src} {hops} {} {} {} {}",
+                h.count, h.sum_ps, h.min_ps, h.max_ps
+            );
+            let mut bins = String::new();
+            for (i, b) in h.bins.iter().enumerate() {
+                if i > 0 {
+                    bins.push(',');
+                }
+                let _ = write!(bins, "{b}");
+            }
+            let _ = writeln!(out, " {bins}");
+        }
+        for (tile, t) in &self.tiles {
+            let _ = writeln!(
+                out,
+                "T {tile} {} {} {} {} {} {}",
+                t.serves, t.l1, t.l2, t.remote, t.mem, t.mcache
+            );
+        }
+        for (dev, d) in &self.devices {
+            let _ = writeln!(
+                out,
+                "D {dev} {} {} {} {}",
+                d.reads, d.writes, d.depth_peak, d.depth_sum
+            );
+        }
+        for ((dev, bin), n) in &self.dev_bins {
+            let _ = writeln!(out, "B {dev} {bin} {n}");
+        }
+        for ((tile, bin), n) in &self.tile_bins {
+            let _ = writeln!(out, "U {tile} {bin} {n}");
+        }
+        for ((from, to), n) in &self.dir_transitions {
+            let _ = writeln!(out, "X {from} {to} {n}");
+        }
+        for (line, n) in self.top_lines(HOT_LINES_TOP) {
+            let _ = writeln!(out, "L {line:x} {n}");
+        }
+        let _ = writeln!(out, "C issues {}", self.issues);
+        let _ = writeln!(out, "C inv {}", self.invalidations);
+        let _ = writeln!(out, "C wb {}", self.writebacks);
+        let _ = writeln!(out, "C mc_hit {}", self.mcache_hits);
+        let _ = writeln!(out, "C mc_miss {}", self.mcache_misses);
+        let _ = writeln!(out, "C hops {}", self.mesh_hops);
+        let _ = writeln!(out, "Z {} {}", self.events, self.end_time);
+    }
+
+    /// Parse one metric line, merging it into `self`. Returns `false` for
+    /// lines that are not metric lines (events, comments, garbage).
+    pub fn parse_line(&mut self, line: &str) -> bool {
+        let mut it = line.split_ascii_whitespace();
+        let Some(tag) = it.next() else { return false };
+        let mut parse = || -> Option<()> {
+            let mut it = line.split_ascii_whitespace().skip(1);
+            match tag {
+                "H" => {
+                    let src = it.next()?.chars().next()?;
+                    let hops: u32 = it.next()?.parse().ok()?;
+                    let mut h = Hist {
+                        count: it.next()?.parse().ok()?,
+                        sum_ps: it.next()?.parse().ok()?,
+                        min_ps: it.next()?.parse().ok()?,
+                        max_ps: it.next()?.parse().ok()?,
+                        bins: [0; HIST_BINS],
+                    };
+                    for (i, b) in it.next()?.split(',').enumerate() {
+                        if i >= HIST_BINS {
+                            return None;
+                        }
+                        h.bins[i] = b.parse().ok()?;
+                    }
+                    self.hist.entry((src, hops)).or_default().merge(&h);
+                }
+                "T" => {
+                    let tile: u16 = it.next()?.parse().ok()?;
+                    let vals: Vec<u64> = it.map(|v| v.parse().unwrap_or(0)).collect();
+                    if vals.len() != 6 {
+                        return None;
+                    }
+                    let d = self.tiles.entry(tile).or_default();
+                    d.serves += vals[0];
+                    d.l1 += vals[1];
+                    d.l2 += vals[2];
+                    d.remote += vals[3];
+                    d.mem += vals[4];
+                    d.mcache += vals[5];
+                }
+                "D" => {
+                    let dev: u8 = it.next()?.parse().ok()?;
+                    let d = self.devices.entry(dev).or_default();
+                    d.reads += it.next()?.parse::<u64>().ok()?;
+                    d.writes += it.next()?.parse::<u64>().ok()?;
+                    d.depth_peak = d.depth_peak.max(it.next()?.parse().ok()?);
+                    d.depth_sum += it.next()?.parse::<u64>().ok()?;
+                }
+                "B" => {
+                    let dev: u8 = it.next()?.parse().ok()?;
+                    let bin: u64 = it.next()?.parse().ok()?;
+                    *self.dev_bins.entry((dev, bin)).or_default() +=
+                        it.next()?.parse::<u64>().ok()?;
+                }
+                "U" => {
+                    let tile: u16 = it.next()?.parse().ok()?;
+                    let bin: u64 = it.next()?.parse().ok()?;
+                    *self.tile_bins.entry((tile, bin)).or_default() +=
+                        it.next()?.parse::<u64>().ok()?;
+                }
+                "X" => {
+                    let from = it.next()?.chars().next()?;
+                    let to = it.next()?.chars().next()?;
+                    *self.dir_transitions.entry((from, to)).or_default() +=
+                        it.next()?.parse::<u64>().ok()?;
+                }
+                "L" => {
+                    let l = u64::from_str_radix(it.next()?, 16).ok()?;
+                    *self.hot_lines.entry(l).or_default() += it.next()?.parse::<u64>().ok()?;
+                }
+                "C" => {
+                    let field = it.next()?;
+                    let n: u64 = it.next()?.parse().ok()?;
+                    match field {
+                        "issues" => self.issues += n,
+                        "inv" => self.invalidations += n,
+                        "wb" => self.writebacks += n,
+                        "mc_hit" => self.mcache_hits += n,
+                        "mc_miss" => self.mcache_misses += n,
+                        "hops" => self.mesh_hops += n,
+                        _ => return None,
+                    }
+                }
+                "Z" => {
+                    self.events += it.next()?.parse::<u64>().ok()?;
+                    self.end_time = self.end_time.max(it.next()?.parse().ok()?);
+                }
+                _ => return None,
+            }
+            Some(())
+        };
+        matches!(tag, "H" | "T" | "D" | "B" | "U" | "X" | "L" | "C" | "Z") && parse().is_some()
+    }
+
+    /// Human-readable report (the `knl-trace` default output).
+    pub fn report(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== knl trace report ==");
+        let _ = writeln!(
+            out,
+            "events={} issues={} mesh_hops={} end_time={:.3} ms",
+            self.events,
+            self.issues,
+            self.mesh_hops,
+            self.end_time as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "inv={} wb={} mcache={}h/{}m",
+            self.invalidations, self.writebacks, self.mcache_hits, self.mcache_misses
+        );
+
+        if !self.hist.is_empty() {
+            let _ = writeln!(out, "\n-- latency by (source, hops) [ns] --");
+            let _ = writeln!(
+                out,
+                "{:<6} {:>4} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                "source", "hops", "count", "mean", "p50", "min", "max"
+            );
+            for ((src, hops), h) in &self.hist {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>4} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    src_name(*src),
+                    hops,
+                    h.count,
+                    h.mean_ns(),
+                    h.p50_ns(),
+                    h.min_ps as f64 / 1000.0,
+                    h.max_ps as f64 / 1000.0
+                );
+            }
+        }
+
+        if !self.tiles.is_empty() {
+            let _ = writeln!(out, "\n-- hot tiles (top {top}) --");
+            let _ = writeln!(
+                out,
+                "{:<5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "tile", "serves", "l1", "l2", "remote", "mem", "mcache"
+            );
+            let mut tiles: Vec<(&u16, &TileStat)> = self.tiles.iter().collect();
+            tiles.sort_by(|a, b| b.1.serves.cmp(&a.1.serves).then(a.0.cmp(b.0)));
+            for (tile, t) in tiles.into_iter().take(top) {
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    tile, t.serves, t.l1, t.l2, t.remote, t.mem, t.mcache
+                );
+            }
+        }
+
+        if !self.devices.is_empty() {
+            let _ = writeln!(out, "\n-- devices --");
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                "device", "reads", "writes", "peak_q", "mean_q", "peak_GB/s"
+            );
+            for (dev, d) in &self.devices {
+                let total = d.reads + d.writes;
+                let mean_q = if total == 0 {
+                    0.0
+                } else {
+                    d.depth_sum as f64 / total as f64
+                };
+                let peak_lines = self
+                    .dev_bins
+                    .iter()
+                    .filter(|((dv, _), _)| dv == dev)
+                    .map(|(_, &n)| n)
+                    .max()
+                    .unwrap_or(0);
+                let peak_gbps = peak_lines as f64 * 64.0 / (BIN_PS as f64 / 1e12) / 1e9;
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>10} {:>10} {:>10} {:>10.1} {:>12.1}",
+                    dev_name(*dev),
+                    d.reads,
+                    d.writes,
+                    d.depth_peak,
+                    mean_q,
+                    peak_gbps
+                );
+            }
+        }
+
+        if !self.dir_transitions.is_empty() {
+            let _ = writeln!(out, "\n-- directory transitions --");
+            for ((from, to), n) in &self.dir_transitions {
+                let _ = writeln!(out, "{from}->{to} {n}");
+            }
+        }
+
+        let lines = self.top_lines(top);
+        if !lines.is_empty() {
+            let _ = writeln!(out, "\n-- hot lines (top {top}) --");
+            for (line, n) in lines {
+                let _ = writeln!(out, "{:#014x} {n}", line << 6);
+            }
+        }
+        out
+    }
+
+    /// The latency histogram as CSV (`src,hops,count,mean_ns,...`).
+    pub fn latency_csv(&self) -> String {
+        let mut out = String::from("source,hops,count,mean_ns,p50_ns,min_ns,max_ns\n");
+        for ((src, hops), h) in &self.hist {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.2},{:.2},{:.2},{:.2}",
+                src_name(*src),
+                hops,
+                h.count,
+                h.mean_ns(),
+                h.p50_ns(),
+                h.min_ps as f64 / 1000.0,
+                h.max_ps as f64 / 1000.0
+            );
+        }
+        out
+    }
+}
+
+/// Human name of a source tag.
+pub fn src_name(src: char) -> &'static str {
+    match src {
+        'L' => "L1",
+        'T' => "L2",
+        'M' => "c2c-M",
+        'E' => "c2c-E",
+        'S' => "c2c-S",
+        'F' => "c2c-F",
+        'D' => "ddr",
+        'C' => "mcdram",
+        'H' => "mcache",
+        _ => "?",
+    }
+}
+
+/// Human name of a device index (0–5 DDR channels, 6+ EDCs).
+pub fn dev_name(dev: u8) -> String {
+    if dev < 6 {
+        format!("ddr{dev}")
+    } else {
+        format!("edc{}", dev - 6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn serve(time: u64, tile: u16, line: u64, src: char, hops: u32, lat: u64) -> TraceEvent {
+        TraceEvent {
+            time,
+            thread: 0,
+            tile,
+            line,
+            kind: EventKind::Serve {
+                op: 'R',
+                src,
+                hops,
+                latency_ps: lat,
+            },
+        }
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut m = Metrics::default();
+        m.record(&serve(0, 0, 1, 'M', 4, 100_000));
+        m.record(&serve(10, 0, 1, 'M', 4, 120_000));
+        m.record(&serve(20, 0, 2, 'E', 4, 80_000));
+        let h = &m.hist[&('M', 4)];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min_ps, 100_000);
+        assert_eq!(h.max_ps, 120_000);
+        assert!((h.mean_ns() - 110.0).abs() < 1e-9);
+        assert_eq!(m.hist.len(), 2);
+        assert_eq!(m.tiles[&0].remote, 3);
+        assert_eq!(m.hot_lines[&1], 2);
+    }
+
+    #[test]
+    fn serialize_parse_merge_round_trip() {
+        let mut a = Metrics::default();
+        a.record(&serve(1_000, 3, 0x40, 'M', 6, 107_000));
+        a.record(&TraceEvent {
+            time: 2_000,
+            thread: 1,
+            tile: 3,
+            line: 0x40,
+            kind: EventKind::DevEnter {
+                dev: 7,
+                write: false,
+                depth: 5,
+            },
+        });
+        a.record(&TraceEvent {
+            time: 2_500,
+            thread: 1,
+            tile: 3,
+            line: 0x40,
+            kind: EventKind::Dir {
+                from: 'U',
+                to: 'E',
+                forwarder: 3,
+                sharers: 1,
+            },
+        });
+        a.record(&TraceEvent {
+            time: 3_000,
+            thread: 1,
+            tile: 3,
+            line: 0x41,
+            kind: EventKind::Inv { n: 2 },
+        });
+        let mut s = String::new();
+        a.serialize_into(&mut s);
+        let mut b = Metrics::default();
+        for line in s.lines() {
+            assert!(b.parse_line(line), "unparsed: {line}");
+        }
+        assert_eq!(a, b);
+
+        // Parsing the same text twice equals merging two copies.
+        let mut twice = Metrics::default();
+        for line in s.lines().chain(s.lines()) {
+            assert!(twice.parse_line(line));
+        }
+        let mut merged = a.clone();
+        merged.merge(&a);
+        assert_eq!(twice, merged);
+    }
+
+    #[test]
+    fn non_metric_lines_rejected() {
+        let mut m = Metrics::default();
+        assert!(!m.parse_line("# comment"));
+        assert!(!m.parse_line("E 1 0 0 40 iss R"));
+        assert!(!m.parse_line(""));
+        assert!(!m.parse_line("H M"));
+        assert_eq!(m, Metrics::default());
+    }
+
+    #[test]
+    fn report_and_csv_nonempty() {
+        let mut m = Metrics::default();
+        m.record(&serve(5_000, 1, 0x99, 'S', 3, 55_000));
+        let rep = m.report(8);
+        assert!(rep.contains("latency by (source, hops)"));
+        assert!(rep.contains("c2c-S"));
+        let csv = m.latency_csv();
+        assert!(csv.starts_with("source,hops,count"));
+        assert!(csv.contains("c2c-S,3,1"));
+    }
+
+    #[test]
+    fn top_lines_order_is_deterministic() {
+        let mut m = Metrics::default();
+        m.record(&serve(0, 0, 7, 'L', 0, 1_000));
+        m.record(&serve(1, 0, 5, 'L', 0, 1_000));
+        m.record(&serve(2, 0, 5, 'L', 0, 1_000));
+        m.record(&serve(3, 0, 9, 'L', 0, 1_000));
+        assert_eq!(m.top_lines(3), vec![(5, 2), (7, 1), (9, 1)]);
+    }
+}

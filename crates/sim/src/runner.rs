@@ -34,12 +34,24 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Duration of interval `k` for `thread` (first occurrence), in ps.
+    /// Duration of interval `k` for `thread`, in ps.
+    ///
+    /// **First-occurrence contract:** when a program brackets the same mark
+    /// id several times, this returns the duration of the *first* bracket
+    /// only (the steady-state figure tables want is usually the max or the
+    /// full list — see [`RunResult::iteration_max_ns`] and
+    /// [`RunResult::occurrence_durations_ps`]). Use
+    /// [`RunResult::occurrences`] to detect multi-bracket programs.
     pub fn duration_ps(&self, thread: usize, k: usize) -> Option<SimTime> {
         self.intervals
             .get(&(thread, k))
             .and_then(|v| v.first())
             .map(|&(s, e)| e - s)
+    }
+
+    /// How many times `thread` bracketed mark id `k` (0 if never).
+    pub fn occurrences(&self, thread: usize, k: usize) -> usize {
+        self.intervals.get(&(thread, k)).map_or(0, |v| v.len())
     }
 
     /// Durations of *every* occurrence of interval `k` measured by
@@ -188,6 +200,7 @@ impl<'m> Runner<'m> {
         let op = self.programs[tid].ops[pc].clone();
         let core = self.core_of(tid);
         let now = self.threads[tid].now;
+        self.machine.set_trace_thread(tid as u32);
         let mut advance = true;
         match op {
             Op::Read(addr) => {
@@ -326,6 +339,7 @@ impl<'m> Runner<'m> {
             }
             Op::MarkStart(k) => {
                 self.threads[tid].mark_open.insert(k, now);
+                self.machine.trace_mark(k as u32, true, now);
             }
             Op::MarkEnd(k) => {
                 let start = self.threads[tid]
@@ -337,6 +351,7 @@ impl<'m> Runner<'m> {
                     .entry((tid, k))
                     .or_default()
                     .push((start, now));
+                self.machine.trace_mark(k as u32, false, now);
             }
         }
         if advance {
@@ -471,6 +486,43 @@ mod tests {
         // First-occurrence accessor keeps its documented meaning.
         assert_eq!(r.duration_ps(0, 0), Some(2_000));
         assert!(r.occurrence_durations_ps(0, 9).is_empty());
+        assert_eq!(r.occurrences(0, 0), 3);
+        assert_eq!(r.occurrences(0, 9), 0);
+        assert_eq!(r.occurrences(5, 0), 0, "no such thread");
+    }
+
+    #[test]
+    fn runner_stamps_trace_events_with_thread_and_marks() {
+        use crate::trace::{EventKind, TraceLevel};
+        let mut m = machine();
+        m.set_trace_level(TraceLevel::Full);
+        let mk = |core: u16| {
+            let mut p = Program::on_core(CoreId(core));
+            p.push(Op::MarkStart(7))
+                .push(Op::Read(1 << 20))
+                .push(Op::MarkEnd(7));
+            p
+        };
+        run_programs(&mut m, vec![mk(0), mk(2)]);
+        let tr = m.tracer().expect("tracer attached");
+        let marks: Vec<(u32, u32, bool)> = tr
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Mark { id, start } => Some((e.thread, id, start)),
+                _ => None,
+            })
+            .collect();
+        // Each thread contributes one start and one end of mark 7.
+        for t in 0..2u32 {
+            assert!(marks.contains(&(t, 7, true)), "thread {t} start");
+            assert!(marks.contains(&(t, 7, false)), "thread {t} end");
+        }
+        // The reads themselves carry the issuing thread's stamp.
+        assert!(tr
+            .events()
+            .iter()
+            .any(|e| { matches!(e.kind, EventKind::Serve { op: 'R', .. }) && e.thread == 1 }));
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Structured protocol-event tracing.
+//!
+//! The paper's methodology is *attribution*: explaining a latency or a
+//! bandwidth number by the component that produced it (supplier MESIF
+//! state, hop distance, device queue). This module records the protocol
+//! events [`crate::Machine`] already computes — request issue/serve, L1/L2
+//! hits, directory transitions, mesh hops, device queue enter/leave with
+//! queue depth, memory-side-cache hits, invalidations and write-backs —
+//! each stamped with sim time, thread, tile, and line address.
+//!
+//! Tracing follows the same zero-cost-when-off gating pattern as
+//! [`crate::invariants`]: the machine holds an `Option<Box<Tracer>>` that
+//! is `None` at [`TraceLevel::Off`], so hot paths pay one never-taken
+//! branch. Like the coherence checker, the tracer is a pure observer —
+//! results are bit-identical at every level.
+//!
+//! At [`TraceLevel::Summary`] only the [`crate::metrics::Metrics`]
+//! aggregation is kept; [`TraceLevel::Full`] additionally retains the
+//! per-event log (capped at [`EVENT_CAP`] events; overflow is counted,
+//! never silently dropped from the accounting).
+//!
+//! # Serialized format
+//!
+//! A trace file is line-oriented ASCII. `#` starts a comment or a section
+//! marker (`# job <i>` separates per-job sections merged in canonical job
+//! order by the sweep drivers). Event lines start with `E`:
+//!
+//! ```text
+//! E <time_ps> <thread> <tile> <line_hex> <kind> [kind fields...]
+//! ```
+//!
+//! and metric lines (see [`crate::metrics`]) start with `H`/`T`/`D`/`B`/
+//! `U`/`X`/`C`/`Z`. `knl-trace` (crates/bench) parses both: metric lines
+//! feed the report, event lines feed the Chrome `trace_event` export.
+
+use crate::metrics::Metrics;
+use crate::SimTime;
+
+/// Thread stamp used before any thread context is set (machine-internal
+/// activity such as background write-backs).
+pub const NO_THREAD: u32 = u32::MAX;
+
+/// Forwarder stamp meaning "no forwarder survives".
+pub const NO_TILE: u16 = u16::MAX;
+
+/// Cap on the retained per-event log at [`TraceLevel::Full`]. Aggregated
+/// metrics keep counting past the cap; only the raw event log stops
+/// growing (the overflow count is serialized with the trace).
+pub const EVENT_CAP: usize = 1 << 20;
+
+/// How much tracing the machine performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// No tracing; no observable cost.
+    #[default]
+    Off,
+    /// Aggregate metrics only (histograms, per-tile/per-device stats).
+    Summary,
+    /// `Summary` plus the per-event log (Chrome trace export).
+    Full,
+}
+
+impl TraceLevel {
+    /// All levels, weakest first.
+    pub const ALL: [TraceLevel; 3] = [TraceLevel::Off, TraceLevel::Summary, TraceLevel::Full];
+
+    /// Name as accepted by `--trace-level` / `KNL_TRACE`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Summary => "summary",
+            TraceLevel::Full => "full",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" | "none" => Some(TraceLevel::Off),
+            "summary" | "metrics" => Some(TraceLevel::Summary),
+            "full" | "events" => Some(TraceLevel::Full),
+            _ => None,
+        }
+    }
+}
+
+/// What happened (the payload of one [`TraceEvent`]).
+///
+/// Source tags (`src`) classify where a request was served from:
+/// `L` = own L1, `T` = own tile L2, `M`/`E`/`S`/`F` = remote cache in that
+/// MESIF state, `D` = DDR, `C` = MCDRAM (flat/background), `H` =
+/// memory-side cache hit. Directory tags: `U`ncached, `E`xclusive,
+/// `M`odified, `S`hared. Hop legs: `q` request→home, `d` home→data
+/// source, `r` reply→requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request left the tile for the home CHA (`R`ead, `W`rite/RFO,
+    /// `N`T-store).
+    Issue {
+        /// Operation tag: `R`, `W`, or `N`.
+        op: char,
+    },
+    /// A request completed: where it was served from, the Manhattan hop
+    /// distance to the data source, and the end-to-end latency.
+    Serve {
+        /// Operation tag: `R` or `W`.
+        op: char,
+        /// Source tag (see enum docs).
+        src: char,
+        /// Manhattan hops between requester and data source.
+        hops: u32,
+        /// End-to-end latency of the access.
+        latency_ps: SimTime,
+    },
+    /// A directory entry transitioned global state.
+    Dir {
+        /// State tag before the transition.
+        from: char,
+        /// State tag after.
+        to: char,
+        /// Forwarder/owner tile after the transition ([`NO_TILE`] = none).
+        forwarder: u16,
+        /// Holder count after the transition.
+        sharers: u16,
+    },
+    /// One mesh traversal leg.
+    Hop {
+        /// Leg tag: `q`, `d`, or `r` (see enum docs).
+        leg: char,
+        /// Manhattan hops crossed.
+        hops: u32,
+    },
+    /// A line entered a memory device queue.
+    DevEnter {
+        /// Device index (0–5 DDR channels, 6+ EDCs).
+        dev: u8,
+        /// Write (vs read) direction.
+        write: bool,
+        /// Estimated lines queued ahead at arrival.
+        depth: u32,
+    },
+    /// The device finished (read) or accepted (write) the line.
+    DevLeave {
+        /// Device index.
+        dev: u8,
+    },
+    /// Memory-side cache lookup (cache/hybrid modes).
+    Mcache {
+        /// EDC holding the cache slice.
+        edc: u8,
+        /// Hit or miss.
+        hit: bool,
+    },
+    /// Invalidation messages sent to `n` holders.
+    Inv {
+        /// Holders invalidated.
+        n: u32,
+    },
+    /// A dirty line was written back.
+    Writeback,
+    /// A measured interval boundary (runner `MarkStart`/`MarkEnd`).
+    Mark {
+        /// Interval id.
+        id: u32,
+        /// Start (vs end) of the interval.
+        start: bool,
+    },
+}
+
+/// One traced protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim time the event took effect.
+    pub time: SimTime,
+    /// Executing thread ([`NO_THREAD`] outside runner context).
+    pub thread: u32,
+    /// Tile the triggering access executed on.
+    pub tile: u16,
+    /// Line address (`addr >> LINE_SHIFT`).
+    pub line: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Append the one-line serialization of this event to `out`.
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "E {} {} {} {:x} ",
+            self.time, self.thread, self.tile, self.line
+        );
+        let _ = match self.kind {
+            EventKind::Issue { op } => write!(out, "iss {op}"),
+            EventKind::Serve {
+                op,
+                src,
+                hops,
+                latency_ps,
+            } => write!(out, "srv {op} {src} {hops} {latency_ps}"),
+            EventKind::Dir {
+                from,
+                to,
+                forwarder,
+                sharers,
+            } => write!(out, "dir {from} {to} {forwarder} {sharers}"),
+            EventKind::Hop { leg, hops } => write!(out, "hop {leg} {hops}"),
+            EventKind::DevEnter { dev, write, depth } => {
+                write!(out, "dev+ {dev} {} {depth}", if write { 'w' } else { 'r' })
+            }
+            EventKind::DevLeave { dev } => write!(out, "dev- {dev}"),
+            EventKind::Mcache { edc, hit } => {
+                write!(out, "mc {edc} {}", if hit { 'h' } else { 'm' })
+            }
+            EventKind::Inv { n } => write!(out, "inv {n}"),
+            EventKind::Writeback => write!(out, "wb"),
+            EventKind::Mark { id, start } => {
+                write!(out, "mk {id} {}", if start { 's' } else { 'e' })
+            }
+        };
+        out.push('\n');
+    }
+
+    /// Parse one serialized event line (inverse of [`write_line`]
+    /// (Self::write_line)). Returns `None` for non-event or malformed
+    /// lines.
+    pub fn parse(line: &str) -> Option<TraceEvent> {
+        let mut it = line.split_ascii_whitespace();
+        if it.next()? != "E" {
+            return None;
+        }
+        let time = it.next()?.parse().ok()?;
+        let thread = it.next()?.parse().ok()?;
+        let tile = it.next()?.parse().ok()?;
+        let line_addr = u64::from_str_radix(it.next()?, 16).ok()?;
+        let tag = it.next()?;
+        let ch = |it: &mut std::str::SplitAsciiWhitespace| -> Option<char> {
+            let s = it.next()?;
+            (s.len() == 1).then(|| s.chars().next().unwrap())
+        };
+        let kind = match tag {
+            "iss" => EventKind::Issue { op: ch(&mut it)? },
+            "srv" => EventKind::Serve {
+                op: ch(&mut it)?,
+                src: ch(&mut it)?,
+                hops: it.next()?.parse().ok()?,
+                latency_ps: it.next()?.parse().ok()?,
+            },
+            "dir" => EventKind::Dir {
+                from: ch(&mut it)?,
+                to: ch(&mut it)?,
+                forwarder: it.next()?.parse().ok()?,
+                sharers: it.next()?.parse().ok()?,
+            },
+            "hop" => EventKind::Hop {
+                leg: ch(&mut it)?,
+                hops: it.next()?.parse().ok()?,
+            },
+            "dev+" => EventKind::DevEnter {
+                dev: it.next()?.parse().ok()?,
+                write: ch(&mut it)? == 'w',
+                depth: it.next()?.parse().ok()?,
+            },
+            "dev-" => EventKind::DevLeave {
+                dev: it.next()?.parse().ok()?,
+            },
+            "mc" => EventKind::Mcache {
+                edc: it.next()?.parse().ok()?,
+                hit: ch(&mut it)? == 'h',
+            },
+            "inv" => EventKind::Inv {
+                n: it.next()?.parse().ok()?,
+            },
+            "wb" => EventKind::Writeback,
+            "mk" => EventKind::Mark {
+                id: it.next()?.parse().ok()?,
+                start: ch(&mut it)? == 's',
+            },
+            _ => return None,
+        };
+        Some(TraceEvent {
+            time,
+            thread,
+            tile,
+            line: line_addr,
+            kind,
+        })
+    }
+}
+
+/// Manhattan hop distance between two mesh positions.
+pub fn hop_dist(a: (i32, i32), b: (i32, i32)) -> u32 {
+    ((a.0 - b.0).abs() + (a.1 - b.1).abs()) as u32
+}
+
+/// The event recorder attached to a [`crate::Machine`].
+///
+/// Context (current thread/tile) is set by the runner and the machine's
+/// access entry points; every recorded event is stamped with it. All
+/// events flow through the [`Metrics`] aggregation; at
+/// [`TraceLevel::Full`] they are additionally retained verbatim.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    level: TraceLevel,
+    thread: u32,
+    tile: u16,
+    metrics: Metrics,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer recording at `level` (must not be [`TraceLevel::Off`] —
+    /// "off" is represented by not having a tracer at all).
+    pub fn new(level: TraceLevel) -> Tracer {
+        assert_ne!(level, TraceLevel::Off, "TraceLevel::Off means no tracer");
+        Tracer {
+            level,
+            thread: NO_THREAD,
+            tile: 0,
+            metrics: Metrics::default(),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Set the executing-thread context for subsequent events.
+    pub fn set_thread(&mut self, thread: u32) {
+        self.thread = thread;
+    }
+
+    /// Set the executing-tile context for subsequent events.
+    pub fn set_tile(&mut self, tile: u16) {
+        self.tile = tile;
+    }
+
+    /// Record one event at `time` for `line`.
+    pub fn record(&mut self, time: SimTime, line: u64, kind: EventKind) {
+        let ev = TraceEvent {
+            time,
+            thread: self.thread,
+            tile: self.tile,
+            line,
+            kind,
+        };
+        self.metrics.record(&ev);
+        if self.level == TraceLevel::Full {
+            if self.events.len() < EVENT_CAP {
+                self.events.push(ev);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// The retained event log ([`TraceLevel::Full`] only).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that overflowed [`EVENT_CAP`].
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The aggregated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Append the full serialization (header comment, event log, metric
+    /// lines) to `out`. Deterministic: identical runs serialize to
+    /// identical bytes.
+    pub fn serialize_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# level={}", self.level.name());
+        if self.dropped > 0 {
+            let _ = writeln!(out, "# events_dropped={}", self.dropped);
+        }
+        for ev in &self.events {
+            ev.write_line(out);
+        }
+        self.metrics.serialize_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_round_trip() {
+        for l in TraceLevel::ALL {
+            assert_eq!(TraceLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(TraceLevel::parse("metrics"), Some(TraceLevel::Summary));
+        assert_eq!(TraceLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_text() {
+        let kinds = [
+            EventKind::Issue { op: 'R' },
+            EventKind::Serve {
+                op: 'W',
+                src: 'M',
+                hops: 7,
+                latency_ps: 123_456,
+            },
+            EventKind::Dir {
+                from: 'U',
+                to: 'E',
+                forwarder: 3,
+                sharers: 1,
+            },
+            EventKind::Hop { leg: 'q', hops: 4 },
+            EventKind::DevEnter {
+                dev: 6,
+                write: true,
+                depth: 17,
+            },
+            EventKind::DevLeave { dev: 6 },
+            EventKind::Mcache { edc: 2, hit: false },
+            EventKind::Inv { n: 3 },
+            EventKind::Writeback,
+            EventKind::Mark { id: 1, start: true },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let ev = TraceEvent {
+                time: 1_000 + i as u64,
+                thread: i as u32,
+                tile: 2 * i as u16,
+                line: 0xdead_0000 + i as u64,
+                kind,
+            };
+            let mut s = String::new();
+            ev.write_line(&mut s);
+            assert_eq!(TraceEvent::parse(s.trim_end()), Some(ev), "{s}");
+        }
+        assert_eq!(TraceEvent::parse("# comment"), None);
+        assert_eq!(TraceEvent::parse("E 1 2"), None);
+    }
+
+    #[test]
+    fn full_level_retains_events_summary_does_not() {
+        let ev = EventKind::Issue { op: 'R' };
+        let mut full = Tracer::new(TraceLevel::Full);
+        full.record(10, 1, ev);
+        assert_eq!(full.events().len(), 1);
+        let mut sum = Tracer::new(TraceLevel::Summary);
+        sum.record(10, 1, ev);
+        assert!(sum.events().is_empty());
+        assert_eq!(sum.metrics().issues, 1);
+        assert_eq!(full.metrics().issues, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tracer")]
+    fn off_level_tracer_rejected() {
+        let _ = Tracer::new(TraceLevel::Off);
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        assert_eq!(hop_dist((0, 0), (3, 4)), 7);
+        assert_eq!(hop_dist((2, 5), (2, 5)), 0);
+        assert_eq!(hop_dist((5, 1), (1, 2)), 5);
+    }
+}
