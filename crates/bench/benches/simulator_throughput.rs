@@ -4,7 +4,9 @@
 
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::microbench::case;
-use knl_sim::{AccessKind, CheckLevel, Machine, Op, Program, Runner, StreamKind, TraceLevel};
+use knl_sim::{
+    AccessKind, AnalyzeLevel, CheckLevel, Machine, Op, Program, Runner, StreamKind, TraceLevel,
+};
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::knl7210(
@@ -98,6 +100,39 @@ fn main() {
             flip = !flip;
             now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
             now
+        });
+    }
+
+    // And for the static analyzer: `--analyze off` skips the pre-pass
+    // entirely, so the off case must track the raw runner; the on case
+    // measures the happens-before construction for a small flag-handoff
+    // workload (the pre-pass runs once per `Runner::run`).
+    for (name, level) in [
+        ("remote_transfer_analyze_off", AnalyzeLevel::Off),
+        ("remote_transfer_analyze_on", AnalyzeLevel::Error),
+    ] {
+        let mut m = machine();
+        m.set_analyze_level(level);
+        case("sim_access", name, None, || {
+            let flag = 3u64 << 28;
+            let mut po = Program::on_core(CoreId(30));
+            let mut pr = Program::on_core(CoreId(0));
+            for it in 0..16usize {
+                let gen = it as u64 + 1;
+                let addr = (1u64 << 21) + (it as u64) * 64;
+                po.push(Op::Write(addr)).push(Op::SetFlag {
+                    addr: flag,
+                    val: gen,
+                });
+                pr.push(Op::WaitFlag {
+                    addr: flag,
+                    val: gen,
+                })
+                .push(Op::Read(addr));
+            }
+            let end = Runner::new(&mut m, vec![po, pr]).run().end_time;
+            m.reset_caches();
+            end
         });
     }
 

@@ -12,7 +12,7 @@ use knl_bench::output::{f2, Table};
 use knl_bench::runconf::{Effort, RunConf};
 use knl_bench::sweep::{executor, machine, TraceSink};
 use knl_benchsuite::cachebw::{copy_bandwidth, fig5_partners};
-use knl_sim::{Machine, MesifState};
+use knl_sim::MesifState;
 
 fn main() {
     let conf = RunConf::from_args();
@@ -22,7 +22,7 @@ fn main() {
     };
     let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
     let reader = CoreId(0);
-    let partners = fig5_partners(&Machine::new(cfg.clone()), reader);
+    let partners = fig5_partners(&machine(&conf, cfg.clone()), reader);
 
     let series: Vec<(String, CoreId, MesifState)> = partners
         .iter()

@@ -1,0 +1,288 @@
+//! `knl-lint`: a dependency-free, line-oriented linter enforcing this
+//! repository's determinism and observability invariants over its own
+//! `.rs` sources — the rules that otherwise live only in review comments:
+//!
+//! * `machine-new` — figure/table binaries (`src/bin`) must build machines
+//!   through the observer-honouring `sweep::machine` helper, never raw
+//!   `Machine::new` (a raw machine silently ignores `--check`, `--trace`
+//!   and `--analyze`).
+//! * `hash-collection` — result/serialization/metrics paths must not use
+//!   `HashMap`/`HashSet`: their iteration order is nondeterministic, which
+//!   breaks the bit-identical-output contract (`BTreeMap` rule).
+//! * `wallclock` — `crates/sim` must not read host time
+//!   (`std::time::Instant`/`SystemTime`): simulated time is integer
+//!   picoseconds, and wall-clock reads make runs irreproducible.
+//! * `float-ps` — picosecond quantities (`*_ps` bindings and fields) must
+//!   not be typed `f64`: float accumulation drifts across op orderings;
+//!   convert to float only at the reporting edge.
+//!
+//! A violation line can be suppressed with a trailing
+//! `// knl-lint: allow(<rule>)` comment. Exits non-zero when any
+//! unsuppressed violation is found.
+//!
+//! Usage: `knl-lint [WORKSPACE_ROOT]` (default: the workspace containing
+//! this binary's crate).
+
+use std::path::{Path, PathBuf};
+
+/// One lint rule: a name, a path filter, and a line predicate.
+struct LintRule {
+    name: &'static str,
+    message: &'static str,
+    /// Does the rule apply to this (workspace-relative, `/`-separated)
+    /// path at all?
+    applies: fn(&str) -> bool,
+    /// Does this source line violate the rule?
+    matches: fn(&str) -> bool,
+}
+
+/// A reported violation.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    message: &'static str,
+}
+
+// The patterns are assembled with `concat!` so this file never matches
+// its own rules.
+const MACHINE_NEW: &str = concat!("Machine::", "new(");
+const HASH_MAP: &str = concat!("Hash", "Map");
+const HASH_SET: &str = concat!("Hash", "Set");
+const INSTANT: &str = concat!("time::", "Instant");
+const SYSTEM_TIME: &str = concat!("time::", "SystemTime");
+const FLOAT_PS: &str = concat!("_ps: ", "f64");
+
+fn rules() -> Vec<LintRule> {
+    vec![
+        LintRule {
+            name: "machine-new",
+            message: "binaries must build machines via sweep::machine so \
+                      --check/--trace/--analyze are honoured",
+            applies: |p| p.contains("/src/bin/") && !p.contains("/bin/knl_lint"),
+            matches: |l| l.contains(MACHINE_NEW),
+        },
+        LintRule {
+            name: "hash-collection",
+            message: "result/serialization/metrics paths must use ordered \
+                      collections (BTreeMap/BTreeSet) for deterministic output",
+            applies: |p| {
+                p.ends_with("/metrics.rs")
+                    || p.ends_with("/trace.rs")
+                    || p.ends_with("/serial.rs")
+                    || p.ends_with("/output.rs")
+            },
+            matches: |l| l.contains(HASH_MAP) || l.contains(HASH_SET),
+        },
+        LintRule {
+            name: "wallclock",
+            message: "crates/sim must not read host time; simulated time is \
+                      integer picoseconds",
+            applies: |p| p.contains("crates/sim/"),
+            matches: |l| l.contains(INSTANT) || l.contains(SYSTEM_TIME),
+        },
+        LintRule {
+            name: "float-ps",
+            message: "picosecond quantities must be integer (SimTime/u64); \
+                      convert to float only when reporting",
+            applies: |_| true,
+            matches: |l| l.contains(FLOAT_PS),
+        },
+    ]
+}
+
+/// Is `line` explicitly exempted from `rule`?
+fn suppressed(line: &str, rule: &str) -> bool {
+    line.split("// knl-lint: allow(")
+        .skip(1)
+        .any(|rest| rest.split(')').next() == Some(rule))
+}
+
+/// Lint one file's text; `rel` is its workspace-relative path.
+fn lint_text(rel: &str, text: &str, rules: &[LintRule]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for rule in rules.iter().filter(|r| (r.applies)(rel)) {
+        for (i, line) in text.lines().enumerate() {
+            if (rule.matches)(line) && !suppressed(line, rule.name) {
+                out.push(Violation {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: rule.name,
+                    message: rule.message,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Collect every `.rs` file under `root`, skipping build and VCS output.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != ".git" && name != "results" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .expect("workspace root")
+        });
+    let rules = rules();
+    let mut violations = Vec::new();
+    let files = rust_sources(&root);
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Anchor path filters at the workspace root.
+        let rel = format!("/{rel}");
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        violations.extend(lint_text(&rel, &text, &rules));
+    }
+    for v in &violations {
+        println!(
+            "{}:{}: [{}] {}",
+            v.path.trim_start_matches('/'),
+            v.line,
+            v.rule,
+            v.message
+        );
+    }
+    if violations.is_empty() {
+        eprintln!("knl-lint: {} files clean", files.len());
+    } else {
+        eprintln!("knl-lint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(rel: &str, text: &str) -> Vec<&'static str> {
+        lint_text(rel, text, &rules())
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn raw_machine_new_flagged_in_bins_only() {
+        let bad = format!("    let m = {}cfg);\n", MACHINE_NEW);
+        assert_eq!(find("/crates/bench/src/bin/fig9.rs", &bad), ["machine-new"]);
+        // Library and test code may construct machines directly.
+        assert!(find("/crates/sim/src/machine.rs", &bad).is_empty());
+        assert!(find("/tests/golden_snapshots.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_serialization_paths() {
+        let bad = format!("use std::collections::{};\n", HASH_MAP);
+        assert_eq!(
+            find("/crates/sim/src/metrics.rs", &bad),
+            ["hash-collection"]
+        );
+        assert_eq!(
+            find("/crates/bench/src/output.rs", &bad),
+            ["hash-collection"]
+        );
+        // Fine elsewhere (e.g. the runner's internal state).
+        assert!(find("/crates/sim/src/runner.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged_in_sim_only() {
+        let bad = format!("    let t0 = std::{}::now();\n", INSTANT);
+        assert_eq!(find("/crates/sim/src/machine.rs", &bad), ["wallclock"]);
+        assert!(find("/crates/bench/src/microbench.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn float_ps_flagged_everywhere() {
+        let bad = format!("    let total{} = 0.0;\n", FLOAT_PS);
+        assert_eq!(find("/crates/arch/src/timing.rs", &bad), ["float-ps"]);
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let ok = format!(
+            "    let m = {}cfg); // knl-lint: allow(machine-new)\n",
+            MACHINE_NEW
+        );
+        assert!(find("/crates/bench/src/bin/fig9.rs", &ok).is_empty());
+        // Suppressing a different rule does not help.
+        let wrong = format!(
+            "    let m = {}cfg); // knl-lint: allow(wallclock)\n",
+            MACHINE_NEW
+        );
+        assert_eq!(
+            find("/crates/bench/src/bin/fig9.rs", &wrong),
+            ["machine-new"]
+        );
+    }
+
+    #[test]
+    fn violation_carries_line_number() {
+        let bad = format!("fn x() {{}}\n\nlet m = {}cfg);\n", MACHINE_NEW);
+        let vs = lint_text("/crates/bench/src/bin/fig9.rs", &bad, &rules());
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn workspace_tree_is_clean() {
+        // The repo itself must lint clean — this is the same walk `main`
+        // does, run as a test so `cargo test` guards the invariant.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let rules = rules();
+        let mut violations = Vec::new();
+        for file in rust_sources(&root) {
+            let rel = format!(
+                "/{}",
+                file.strip_prefix(&root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            );
+            let text = std::fs::read_to_string(&file).unwrap_or_default();
+            violations.extend(lint_text(&rel, &text, &rules));
+        }
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations: {violations:?}"
+        );
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
             &threads,
             &[Schedule::FillTiles, Schedule::Scatter],
             iters,
-            conf.jobs,
+            &conf,
         );
         let best_omp = pts
             .iter()
@@ -59,21 +59,21 @@ fn main() {
 
     // §IV-B.3's "not fundamental" aside: an XPMEM-style single-copy MPI
     // closes part of the gap; the model-tuned tree still wins.
-    whatif_single_copy_mpi(&model, iters);
+    whatif_single_copy_mpi(&conf, &model, iters);
 }
 
-fn whatif_single_copy_mpi(model: &knl_core::CapabilityModel, iters: usize) {
+fn whatif_single_copy_mpi(conf: &RunConf, model: &knl_core::CapabilityModel, iters: usize) {
     use knl_arch::NumaKind;
+    use knl_bench::sweep::machine;
     use knl_collectives::plan::RankPlan;
     use knl_collectives::simspec;
     use knl_core::tree_opt::binomial_tree;
     use knl_core::{optimize_tree, TreeKind};
-    use knl_sim::Machine;
     use knl_stats::median;
 
     let cfg = snc4_flat();
     let n = 64;
-    let mut m = Machine::new(cfg);
+    let mut m = machine(conf, cfg);
     let mut arena = m.arena();
     let lay = simspec::SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
     let bplan = RankPlan::direct(&binomial_tree(n));
@@ -95,6 +95,7 @@ fn whatif_single_copy_mpi(model: &knl_core::CapabilityModel, iters: usize) {
         simspec::tree_broadcast_programs(&tuned_plan, &lay, Schedule::Scatter, 64, iters),
         iters,
     ));
+    m.finish_check();
     println!();
     println!("what-if (§IV-B.3): broadcast at 64 threads —");
     println!("  MPI-like, double copy      : {double:.0} ns");

@@ -1,8 +1,9 @@
 //! Shared driver for Figs. 6–8: model-tuned collectives vs OpenMP-like and
 //! MPI-like baselines on the simulated KNL, with the min–max model band.
 
+use crate::runconf::RunConf;
+use crate::sweep::{executor, machine, TraceSink};
 use knl_arch::{MachineConfig, NumaKind, Schedule};
-use knl_benchsuite::SweepExecutor;
 use knl_collectives::plan::{tile_groups, RankPlan};
 use knl_collectives::simspec::{self, SimLayout};
 use knl_core::predict::{intra_tile_stage, predict_barrier, predict_broadcast, predict_reduce};
@@ -57,10 +58,11 @@ impl SeriesPoint {
 
 /// Run one collective figure on `cfg` (the paper: SNC4-flat, MCDRAM).
 ///
-/// Every (schedule, thread-count) point builds its own `Machine`, so the
-/// points are independent jobs; `jobs` workers run them in parallel with
-/// results merged back into the canonical (schedule-major) order — the
-/// output is bit-identical to a serial run (`jobs == 1`).
+/// Every (schedule, thread-count) point builds its own `Machine` via the
+/// observer-honouring `sweep::machine` helper, so the points are
+/// independent jobs; `conf.jobs` workers run them in parallel with results
+/// merged back into the canonical (schedule-major) order — the output is
+/// bit-identical to a serial run (`--jobs 1`).
 pub fn run_figure(
     cfg: &MachineConfig,
     model: &CapabilityModel,
@@ -68,7 +70,7 @@ pub fn run_figure(
     threads_list: &[usize],
     schedules: &[Schedule],
     iters: usize,
-    jobs: usize,
+    conf: &RunConf,
 ) -> Vec<SeriesPoint> {
     let num_cores = cfg.num_cores();
     let points: Vec<(Schedule, usize)> = schedules
@@ -80,31 +82,35 @@ pub fn run_figure(
                 .map(move |&n| (sched, n))
         })
         .collect();
-    SweepExecutor::new(jobs)
-        .progress(true)
-        .run(kind.name(), &points, |_i, &(sched, n)| {
-            let mut m = Machine::new(cfg.clone());
-            let mut arena = m.arena();
-            let layout = SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
+    let sink = TraceSink::new(conf, &format!("{}_figure", kind.name()));
+    let pts = executor(conf).run(kind.name(), &points, |i, &(sched, n)| {
+        let mut m = machine(conf, cfg.clone());
+        let mut arena = m.arena();
+        let layout = SimLayout::alloc(&mut arena, NumaKind::Mcdram, n);
 
-            let tuned_vals = run_tuned(&mut m, model, kind, n, sched, num_cores, &layout, iters);
-            m.reset_caches();
-            let openmp = run_openmp(&mut m, kind, n, sched, num_cores, &layout, iters);
-            m.reset_caches();
-            let mpi = run_mpi(&mut m, kind, n, sched, num_cores, &layout, iters);
+        let tuned_vals = run_tuned(&mut m, model, kind, n, sched, num_cores, &layout, iters);
+        m.reset_caches();
+        let openmp = run_openmp(&mut m, kind, n, sched, num_cores, &layout, iters);
+        m.reset_caches();
+        let mpi = run_mpi(&mut m, kind, n, sched, num_cores, &layout, iters);
 
-            let envelope = model_envelope(model, kind, n, sched, num_cores);
-            let sample = Sample::from_values(tuned_vals.clone());
-            SeriesPoint {
-                threads: n,
-                schedule: sched,
-                tuned: boxplot(&tuned_vals),
-                tuned_sample: sample,
-                openmp_ns: median(&openmp),
-                mpi_ns: median(&mpi),
-                model: envelope,
-            }
-        })
+        let envelope = model_envelope(model, kind, n, sched, num_cores);
+        let sample = Sample::from_values(tuned_vals.clone());
+        let point = SeriesPoint {
+            threads: n,
+            schedule: sched,
+            tuned: boxplot(&tuned_vals),
+            tuned_sample: sample,
+            openmp_ns: median(&openmp),
+            mpi_ns: median(&mpi),
+            model: envelope,
+        };
+        m.finish_check();
+        sink.submit(i, &mut m);
+        point
+    });
+    sink.write().expect("write trace");
+    pts
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -243,7 +249,7 @@ pub fn run_binary(name: &str, kind: CollectiveKind) {
         &threads,
         &[Schedule::FillTiles, Schedule::Scatter],
         iters,
-        conf.jobs,
+        &conf,
     );
 
     let mut table = Table::new(
@@ -345,6 +351,18 @@ pub fn run_binary(name: &str, kind: CollectiveKind) {
 mod tests {
     use super::*;
     use crate::modelfit::snc4_flat;
+    use crate::runconf::Effort;
+
+    fn conf(jobs: usize) -> RunConf {
+        RunConf {
+            effort: Effort::Quick,
+            jobs,
+            check: knl_sim::CheckLevel::Off,
+            trace: knl_sim::TraceLevel::Off,
+            trace_path: None,
+            analyze: knl_sim::AnalyzeLevel::Off,
+        }
+    }
 
     #[test]
     fn figure_points_ordering_holds() {
@@ -357,7 +375,7 @@ mod tests {
             &[8, 32],
             &[Schedule::Scatter],
             5,
-            1,
+            &conf(1),
         );
         assert_eq!(pts.len(), 2);
         for p in &pts {
@@ -385,7 +403,7 @@ mod tests {
             &[16],
             &[Schedule::Scatter, Schedule::FillTiles],
             5,
-            2,
+            &conf(2),
         );
         assert_eq!(pts.len(), 2);
         for p in &pts {
@@ -398,7 +416,7 @@ mod tests {
         let model = CapabilityModel::paper_reference();
         // 64 ranks fill-tiles → 32 tile groups of 2.
         let plan = tuned_tree_plan(&model, TreeKind::Broadcast, 64, Schedule::FillTiles, 64);
-        plan.validate();
+        plan.assert_valid();
         assert_eq!(plan.num_ranks(), 64);
         // Every odd rank (tile mate) hangs under its even leader.
         assert_eq!(plan.parent[1], Some(0));

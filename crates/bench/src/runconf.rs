@@ -1,7 +1,7 @@
 //! Command-line handling shared by the figure/table binaries.
 
 use knl_benchsuite::SuiteParams;
-use knl_sim::{CheckLevel, TraceLevel};
+use knl_sim::{AnalyzeLevel, CheckLevel, TraceLevel};
 
 /// Effort level of a regeneration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,11 @@ pub struct RunConf {
     /// `--trace-level` implies `full`; a non-off level without a path
     /// writes `results/<label>.trace`.
     pub trace_path: Option<String>,
+    /// Static workload analysis level (`--analyze off|error|warn|info`,
+    /// or `KNL_ANALYZE`). A pure pre-pass over the programs each run
+    /// executes: panics on `Error` findings (races, deadlocks, pairing
+    /// errors), prints lower severities; never changes results.
+    pub analyze: AnalyzeLevel,
 }
 
 impl RunConf {
@@ -76,6 +81,7 @@ impl RunConf {
             check: default_check(),
             trace: default_trace(),
             trace_path: None,
+            analyze: default_analyze(),
         };
         let mut explicit_level = false;
         let mut args = args.into_iter();
@@ -100,6 +106,10 @@ impl RunConf {
                     conf.trace = parse_trace(&v)?;
                     explicit_level = true;
                 }
+                "--analyze" => {
+                    let v = args.next().ok_or("--analyze requires a value")?;
+                    conf.analyze = parse_analyze(&v)?;
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         conf.jobs = parse_jobs(v)?;
@@ -110,10 +120,13 @@ impl RunConf {
                         explicit_level = true;
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         conf.trace_path = Some(v.to_string());
+                    } else if let Some(v) = other.strip_prefix("--analyze=") {
+                        conf.analyze = parse_analyze(v)?;
                     } else if other == "--help" || other == "-h" {
                         eprintln!(
                             "usage: [--quick|--paper] [--jobs N] [--check LEVEL]\n\
                              \x20       [--trace PATH] [--trace-level LEVEL]\n\
+                             \x20       [--analyze LEVEL]\n\
                              \x20 quick sweeps are the default; --jobs defaults to KNL_JOBS\n\
                              \x20 or the available parallelism (--jobs 1 runs serially;\n\
                              \x20 results are bit-identical for every N)\n\
@@ -124,7 +137,10 @@ impl RunConf {
                              \x20 records structured protocol events; a pure observer,\n\
                              \x20 never changes results. --trace PATH sets the output file\n\
                              \x20 (default results/<name>.trace) and implies --trace-level\n\
-                             \x20 full; aggregate with the knl-trace tool"
+                             \x20 full; aggregate with the knl-trace tool\n\
+                             \x20 --analyze off|error|warn|info (default KNL_ANALYZE or off)\n\
+                             \x20 statically checks workloads for races/deadlocks before\n\
+                             \x20 running; a pure pre-pass, never changes results"
                         );
                         std::process::exit(0);
                     } else {
@@ -171,6 +187,19 @@ fn default_trace() -> TraceLevel {
         .unwrap_or(TraceLevel::Off)
 }
 
+fn parse_analyze(v: &str) -> Result<AnalyzeLevel, String> {
+    AnalyzeLevel::parse(v)
+        .ok_or_else(|| format!("--analyze expects off|error|warn|info, got {v:?}"))
+}
+
+/// The `KNL_ANALYZE` environment default (`off` when unset or unparsable).
+fn default_analyze() -> AnalyzeLevel {
+    std::env::var("KNL_ANALYZE")
+        .ok()
+        .and_then(|v| AnalyzeLevel::parse(&v))
+        .unwrap_or(AnalyzeLevel::Off)
+}
+
 /// Parse `--paper` / `--quick` from argv (quick is the default).
 pub fn effort_from_args() -> Effort {
     RunConf::from_args().effort
@@ -206,6 +235,7 @@ mod tests {
                 check: CheckLevel::Off,
                 trace: TraceLevel::Off,
                 trace_path: None,
+                analyze: AnalyzeLevel::Off,
             }
         );
     }
@@ -256,6 +286,34 @@ mod tests {
         assert!(parse(&["--check"]).is_err());
         assert!(parse(&["--check", "sometimes"]).is_err());
         assert!(parse(&["--check=maybe"]).is_err());
+    }
+
+    #[test]
+    fn analyze_flag_forms() {
+        assert_eq!(parse(&[]).unwrap().analyze, AnalyzeLevel::Off);
+        assert_eq!(
+            parse(&["--analyze", "error"]).unwrap().analyze,
+            AnalyzeLevel::Error
+        );
+        assert_eq!(
+            parse(&["--analyze=warn"]).unwrap().analyze,
+            AnalyzeLevel::Warn
+        );
+        assert_eq!(
+            parse(&["--analyze=on"]).unwrap().analyze,
+            AnalyzeLevel::Warn
+        );
+        assert_eq!(
+            parse(&["--analyze=info"]).unwrap().analyze,
+            AnalyzeLevel::Info
+        );
+    }
+
+    #[test]
+    fn bad_analyze_rejected() {
+        assert!(parse(&["--analyze"]).is_err());
+        assert!(parse(&["--analyze", "loudly"]).is_err());
+        assert!(parse(&["--analyze=deep"]).is_err());
     }
 
     #[test]

@@ -17,14 +17,16 @@ pub fn executor(conf: &RunConf) -> SweepExecutor {
     SweepExecutor::new(conf.jobs).progress(true)
 }
 
-/// A machine honouring `--check` / `KNL_CHECK` and `--trace-level` /
-/// `KNL_TRACE`. Jobs that build their machine through this helper run
-/// under the requested observer levels; call [`Machine::finish_check`]
-/// before dropping the machine so the final counter/oracle reconciliation
-/// runs, and hand the machine to [`TraceSink::submit`] so its trace
-/// section is collected.
+/// A machine honouring `--check` / `KNL_CHECK`, `--trace-level` /
+/// `KNL_TRACE` and `--analyze` / `KNL_ANALYZE`. Jobs that build their
+/// machine through this helper run under the requested observer levels;
+/// call [`Machine::finish_check`] before dropping the machine so the
+/// final counter/oracle reconciliation runs, and hand the machine to
+/// [`TraceSink::submit`] so its trace section is collected.
 pub fn machine(conf: &RunConf, cfg: MachineConfig) -> Machine {
-    Machine::with_observers(cfg, conf.check, conf.trace)
+    let mut m = Machine::with_observers(cfg, conf.check, conf.trace);
+    m.set_analyze_level(conf.analyze);
+    m
 }
 
 /// Collects per-job serialized trace sections and writes one merged trace
@@ -121,6 +123,7 @@ mod tests {
             check,
             trace,
             trace_path: None,
+            analyze: knl_sim::AnalyzeLevel::Off,
         }
     }
 
@@ -140,9 +143,13 @@ mod tests {
         assert_eq!(m.trace_level(), TraceLevel::Summary);
         c.check = CheckLevel::Off;
         c.trace = TraceLevel::Off;
-        let m = machine(&c, cfg);
+        let m = machine(&c, cfg.clone());
         assert_eq!(m.check_level(), CheckLevel::Off);
         assert_eq!(m.trace_level(), TraceLevel::Off);
+        assert_eq!(m.analyze_level(), knl_sim::AnalyzeLevel::Off);
+        c.analyze = knl_sim::AnalyzeLevel::Error;
+        let m = machine(&c, cfg);
+        assert_eq!(m.analyze_level(), knl_sim::AnalyzeLevel::Error);
     }
 
     #[test]

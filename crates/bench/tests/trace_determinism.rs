@@ -18,6 +18,7 @@ fn conf(jobs: usize, trace: TraceLevel, path: &Path) -> RunConf {
         check: CheckLevel::Off,
         trace,
         trace_path: Some(path.to_string_lossy().into_owned()),
+        analyze: knl_sim::AnalyzeLevel::Off,
     }
 }
 

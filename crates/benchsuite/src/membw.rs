@@ -39,20 +39,19 @@ impl Target {
     }
 }
 
-/// Aggregate bandwidth sample (GB/s per iteration) for one configuration.
-///
-/// Each of `threads` threads streams `params.mem_lines_per_thread` lines of
-/// `kind` per iteration over a buffer picked pseudo-randomly from its pool
-/// of `params.mem_pool_buffers` buffers, starting at a synchronized window.
-/// Bandwidth counts reads+writes as the paper does.
-pub fn bandwidth_sample(
-    m: &mut Machine,
+/// The programs [`bandwidth_sample`] executes (exposed so the static
+/// analyzer can pre-validate the generated workload). The machine is only
+/// consulted for its configuration and address map; allocation uses a
+/// fresh [`knl_sim::Arena`], so building programs twice yields the same
+/// addresses and running them is identical to calling `bandwidth_sample`.
+pub fn bandwidth_programs(
+    m: &Machine,
     kind: StreamKind,
     target: Target,
     threads: usize,
     schedule: Schedule,
     params: &SuiteParams,
-) -> Sample {
+) -> Vec<Program> {
     let lines = params.mem_lines_per_thread;
     let buf_bytes = lines * 64 * 3; // room for a, b, c sub-buffers
     let num_cores = m.config().num_cores();
@@ -125,7 +124,25 @@ pub fn bandwidth_sample(
             p
         })
         .collect();
+    programs
+}
 
+/// Aggregate bandwidth sample (GB/s per iteration) for one configuration.
+///
+/// Each of `threads` threads streams `params.mem_lines_per_thread` lines of
+/// `kind` per iteration over a buffer picked pseudo-randomly from its pool
+/// of `params.mem_pool_buffers` buffers, starting at a synchronized window.
+/// Bandwidth counts reads+writes as the paper does.
+pub fn bandwidth_sample(
+    m: &mut Machine,
+    kind: StreamKind,
+    target: Target,
+    threads: usize,
+    schedule: Schedule,
+    params: &SuiteParams,
+) -> Sample {
+    let lines = params.mem_lines_per_thread;
+    let programs = bandwidth_programs(m, kind, target, threads, schedule, params);
     let result = Runner::new(m, programs).run();
     let mut s = Sample::new();
     let counted = threads as u64 * lines * kind.bytes_per_line();

@@ -49,7 +49,7 @@ pub struct TreeBroadcast {
 impl TreeBroadcast {
     /// Broadcast structure over a validated plan.
     pub fn new(plan: RankPlan) -> Self {
-        plan.validate();
+        plan.assert_valid();
         let n = plan.num_ranks();
         let mut slots = Vec::new();
         slots.resize_with(n, || CachePadded::new(Slot::new()));
@@ -156,7 +156,7 @@ impl MpiBroadcast {
     /// `plan` is typically the binomial tree
     /// (`knl_core::tree_opt::binomial_tree`).
     pub fn new(plan: RankPlan) -> Self {
-        plan.validate();
+        plan.assert_valid();
         let n = plan.num_ranks();
         let mut staging = Vec::new();
         staging.resize_with(n, || CachePadded::new(Slot::new()));

@@ -26,6 +26,6 @@ pub mod team;
 pub use allreduce::TreeAllreduce;
 pub use barrier::{CentralizedBarrier, DisseminationBarrier};
 pub use broadcast::{FlatBroadcast, MpiBroadcast, TreeBroadcast};
-pub use plan::RankPlan;
+pub use plan::{PlanError, RankPlan};
 pub use reduce::{CentralReduce, MpiReduce, TreeReduce};
 pub use team::Team;

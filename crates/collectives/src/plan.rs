@@ -8,6 +8,62 @@
 
 use knl_arch::Schedule;
 use knl_core::Tree;
+use std::fmt;
+
+/// Why a [`RankPlan`] is malformed, with the ranks involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan spans zero ranks.
+    Empty,
+    /// The root rank index is outside the plan.
+    RootOutOfRange { root: usize, num_ranks: usize },
+    /// The root has a parent.
+    RootHasParent { root: usize, parent: usize },
+    /// A parent or child index is outside the plan.
+    RankOutOfRange { rank: usize, num_ranks: usize },
+    /// `children[parent]` lists `child` but `parent[child]` disagrees.
+    ParentMismatch {
+        child: usize,
+        listed_under: usize,
+        actual_parent: Option<usize>,
+    },
+    /// A rank appears as a child more than once (a cycle or diamond).
+    DuplicateRank { rank: usize },
+    /// Ranks not reachable from the root.
+    Unreachable { ranks: Vec<usize> },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "plan spans zero ranks"),
+            PlanError::RootOutOfRange { root, num_ranks } => {
+                write!(f, "root rank {root} out of range (plan spans {num_ranks})")
+            }
+            PlanError::RootHasParent { root, parent } => {
+                write!(f, "root rank {root} must have no parent, has {parent}")
+            }
+            PlanError::RankOutOfRange { rank, num_ranks } => {
+                write!(f, "rank {rank} out of range (plan spans {num_ranks})")
+            }
+            PlanError::ParentMismatch {
+                child,
+                listed_under,
+                actual_parent,
+            } => write!(
+                f,
+                "rank {child} is listed as a child of {listed_under} but its parent \
+                 is {actual_parent:?}"
+            ),
+            PlanError::DuplicateRank { rank } => {
+                write!(f, "rank {rank} reachable twice (cycle or diamond)")
+            }
+            PlanError::Unreachable { ranks } => {
+                write!(f, "ranks {ranks:?} unreachable from the root")
+            }
+        }
+    }
+}
 
 /// Per-rank parent/children derived from a tree + tile grouping.
 #[derive(Debug, Clone)]
@@ -69,20 +125,70 @@ impl RankPlan {
         self.parent.len()
     }
 
-    /// Sanity: every non-root rank has a parent, and parent/children agree.
-    pub fn validate(&self) {
+    /// Sanity: every non-root rank has a parent, parent/children agree,
+    /// and every rank is reachable from the root exactly once. Returns the
+    /// first defect found (root checks, then rank order).
+    pub fn validate(&self) -> Result<(), PlanError> {
         let n = self.num_ranks();
+        if n == 0 {
+            return Err(PlanError::Empty);
+        }
+        if self.root >= n {
+            return Err(PlanError::RootOutOfRange {
+                root: self.root,
+                num_ranks: n,
+            });
+        }
+        if let Some(p) = self.parent[self.root] {
+            return Err(PlanError::RootHasParent {
+                root: self.root,
+                parent: p,
+            });
+        }
         let mut seen = vec![false; n];
         seen[self.root] = true;
-        assert!(self.parent[self.root].is_none(), "root must have no parent");
         for r in 0..n {
+            if let Some(p) = self.parent[r] {
+                if p >= n {
+                    return Err(PlanError::RankOutOfRange {
+                        rank: p,
+                        num_ranks: n,
+                    });
+                }
+            }
             for &c in &self.children[r] {
-                assert_eq!(self.parent[c], Some(r), "child {c} of {r} disagrees");
-                assert!(!seen[c], "rank {c} reachable twice");
+                if c >= n {
+                    return Err(PlanError::RankOutOfRange {
+                        rank: c,
+                        num_ranks: n,
+                    });
+                }
+                if self.parent[c] != Some(r) {
+                    return Err(PlanError::ParentMismatch {
+                        child: c,
+                        listed_under: r,
+                        actual_parent: self.parent[c],
+                    });
+                }
+                if seen[c] {
+                    return Err(PlanError::DuplicateRank { rank: c });
+                }
                 seen[c] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "unreachable ranks: {seen:?}");
+        let unreachable: Vec<usize> = (0..n).filter(|&r| !seen[r]).collect();
+        if !unreachable.is_empty() {
+            return Err(PlanError::Unreachable { ranks: unreachable });
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate), panicking with the defect on failure
+    /// (the shape existing call sites expect).
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid rank plan: {e}");
+        }
     }
 }
 
@@ -110,7 +216,7 @@ mod tests {
         for n in [1usize, 2, 7, 16] {
             let p = RankPlan::direct(&binomial_tree(n));
             assert_eq!(p.num_ranks(), n);
-            p.validate();
+            p.validate().unwrap();
         }
     }
 
@@ -139,7 +245,7 @@ mod tests {
         let groups = tile_groups(n, Schedule::FillTiles, 64);
         let tree = binomial_tree(groups.len());
         let p = RankPlan::hierarchical(&tree, n, Schedule::FillTiles, 64);
-        p.validate();
+        p.validate().unwrap();
         // Leader of group 0 is rank 0 = root.
         assert_eq!(p.root, 0);
         // Rank 1 (tile mate of 0) hangs under 0.
@@ -151,5 +257,95 @@ mod tests {
     fn mismatched_tree_rejected() {
         let tree = flat_tree(3);
         RankPlan::hierarchical(&tree, 16, Schedule::FillTiles, 64);
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        let p = RankPlan {
+            parent: vec![],
+            children: vec![],
+            root: 0,
+        };
+        assert_eq!(p.validate(), Err(PlanError::Empty));
+    }
+
+    #[test]
+    fn duplicate_rank_rejected() {
+        // Rank 1 listed as a child of both 0 and 2.
+        let p = RankPlan {
+            parent: vec![None, Some(0), Some(0)],
+            children: vec![vec![1, 2], vec![], vec![1]],
+            root: 0,
+        };
+        let err = p.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::ParentMismatch { child: 1, .. } | PlanError::DuplicateRank { rank: 1 }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn true_duplicate_rejected() {
+        // Rank 1 is a child of rank 0 twice.
+        let p = RankPlan {
+            parent: vec![None, Some(0)],
+            children: vec![vec![1, 1], vec![]],
+            root: 0,
+        };
+        assert_eq!(p.validate(), Err(PlanError::DuplicateRank { rank: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_parent_rejected() {
+        let p = RankPlan {
+            parent: vec![None, Some(9)],
+            children: vec![vec![], vec![]],
+            root: 0,
+        };
+        let err = p.validate().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::RankOutOfRange {
+                rank: 9,
+                num_ranks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn root_with_parent_rejected() {
+        let p = RankPlan {
+            parent: vec![Some(1), None],
+            children: vec![vec![], vec![0]],
+            root: 0,
+        };
+        assert_eq!(
+            p.validate(),
+            Err(PlanError::RootHasParent { root: 0, parent: 1 })
+        );
+    }
+
+    #[test]
+    fn unreachable_rank_rejected() {
+        let p = RankPlan {
+            parent: vec![None, None],
+            children: vec![vec![], vec![]],
+            root: 0,
+        };
+        assert_eq!(p.validate(), Err(PlanError::Unreachable { ranks: vec![1] }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank plan")]
+    fn assert_valid_panics_with_detail() {
+        let p = RankPlan {
+            parent: vec![None, None],
+            children: vec![vec![], vec![]],
+            root: 0,
+        };
+        p.assert_valid();
     }
 }

@@ -46,7 +46,7 @@ pub struct TreeReduce {
 impl TreeReduce {
     /// Reduce structure over a validated plan.
     pub fn new(plan: RankPlan) -> Self {
-        plan.validate();
+        plan.assert_valid();
         let n = plan.num_ranks();
         let mut slots = Vec::new();
         slots.resize_with(n, || CachePadded::new(Slot::new()));
@@ -140,7 +140,7 @@ pub struct MpiReduce {
 impl MpiReduce {
     /// MPI-like reduce over a validated plan (typically binomial).
     pub fn new(plan: RankPlan) -> Self {
-        plan.validate();
+        plan.assert_valid();
         let n = plan.num_ranks();
         let mut staging = Vec::new();
         staging.resize_with(n, || CachePadded::new(Slot::new()));

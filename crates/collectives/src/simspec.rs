@@ -13,7 +13,30 @@
 
 use crate::plan::RankPlan;
 use knl_arch::{NumaKind, Schedule};
+use knl_sim::analyze::{AnalysisReport, Finding, Rule, Severity};
 use knl_sim::{Arena, Machine, Op, Program, RunResult, Runner, SimTime};
+
+/// Static analysis entry point for collective schedules: structurally
+/// validate the rank plan, then run the happens-before analyzer over the
+/// generated programs. A plan defect becomes an `Error` finding under the
+/// `plan` rule, ahead of whatever the program-level passes report.
+pub fn analyze_schedule(plan: &RankPlan, programs: &[Program]) -> AnalysisReport {
+    let mut report = knl_sim::analyze(programs, &[]);
+    if let Err(e) = plan.validate() {
+        report.findings.insert(
+            0,
+            Finding {
+                severity: Severity::Error,
+                rule: Rule::Plan,
+                threads: Vec::new(),
+                ops: Vec::new(),
+                line: None,
+                message: format!("malformed rank plan: {e}"),
+            },
+        );
+    }
+    report
+}
 
 /// Per-message software overhead of the MPI-like baselines, ns (envelope
 /// matching + request bookkeeping of a shared-memory MPI).
@@ -69,7 +92,7 @@ pub fn tree_broadcast_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {
@@ -125,7 +148,7 @@ pub fn tree_reduce_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {
@@ -349,7 +372,7 @@ pub fn mpi_broadcast_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {
@@ -410,7 +433,7 @@ pub fn mpi_broadcast_single_copy_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {
@@ -465,7 +488,7 @@ pub fn mpi_reduce_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {
@@ -517,7 +540,7 @@ pub fn mpi_barrier_programs(
     num_cores: usize,
     iters: usize,
 ) -> Vec<Program> {
-    plan.validate();
+    plan.assert_valid();
     let n = plan.num_ranks();
     (0..n)
         .map(|rank| {

@@ -66,6 +66,24 @@ pub fn fuzz_case(cfg: &MachineConfig, seed: u64, check: CheckLevel) -> Counters 
         })
         .collect();
 
+    // Pre-validate liveness and structural rules before executing. The
+    // generated op mixes are intentionally racy (threads hammer a shared
+    // hot pool with no synchronization — that's where coherence bugs
+    // live), so race findings are expected; but a deadlock, mark-pairing
+    // or duplicate-pin finding would mean the generator is broken and the
+    // run below would panic anyway.
+    let report = crate::analyze::analyze(&programs, &[]);
+    if let Some(f) = report.findings.iter().find(|f| {
+        matches!(
+            f.rule,
+            crate::analyze::Rule::Deadlock
+                | crate::analyze::Rule::MarkPairing
+                | crate::analyze::Rule::DuplicatePin
+        ) && f.severity == crate::analyze::Severity::Error
+    }) {
+        panic!("fuzz generator produced a malformed case (seed {seed}): {f}");
+    }
+
     crate::runner::run_programs(&mut m, programs);
     m.finish_check();
     m.counters()

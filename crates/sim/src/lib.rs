@@ -23,6 +23,7 @@
 //! (`SetFlag`/`WaitFlag`), which is exactly how the paper's collectives work.
 
 pub mod alloc;
+pub mod analyze;
 pub mod cache;
 pub mod counters;
 pub mod fuzz;
@@ -39,6 +40,7 @@ pub mod runner;
 pub mod trace;
 
 pub use alloc::Arena;
+pub use analyze::{analyze, AnalysisReport, AnalyzeLevel, Finding, Rule, Severity};
 pub use counters::Counters;
 pub use invariants::{CheckLevel, CoherenceChecker};
 pub use machine::{AccessKind, Machine};

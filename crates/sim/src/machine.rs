@@ -8,6 +8,7 @@
 //! in cache mode — the memory-side cache behaviour.
 
 use crate::alloc::Arena;
+use crate::analyze::AnalyzeLevel;
 use crate::cache::{Insert, TagCache};
 use crate::counters::Counters;
 use crate::invariants::{CheckLevel, CoherenceChecker, ProtoEvent};
@@ -141,6 +142,10 @@ pub struct Machine {
     /// Fault injection for checker tests: a write skips invalidating one
     /// stale holder (see [`Machine::debug_skip_invalidation`]).
     skip_invalidation: bool,
+    /// Static workload analysis level. A plain `Copy` flag: the analyzer
+    /// is a pure pre-pass in [`crate::Runner::run`], never consulted on
+    /// the access hot paths, so `Off` costs nothing.
+    analyze: AnalyzeLevel,
 }
 
 // Sweep workers (knl-benchsuite's executor) each own a fresh Machine on a
@@ -205,6 +210,7 @@ impl Machine {
             checker: None,
             tracer: None,
             skip_invalidation: false,
+            analyze: AnalyzeLevel::Off,
         }
     }
 
@@ -286,6 +292,19 @@ impl Machine {
     /// and merge the sections in canonical job order.
     pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
         self.tracer.take()
+    }
+
+    /// Enable/disable static workload analysis. The runner analyzes its
+    /// programs before executing (see [`crate::analyze`]); findings at
+    /// `Error` severity panic, lower severities print per the level. A
+    /// pure pre-pass: simulation results are bit-identical at every level.
+    pub fn set_analyze_level(&mut self, level: AnalyzeLevel) {
+        self.analyze = level;
+    }
+
+    /// The active static-analysis level.
+    pub fn analyze_level(&self) -> AnalyzeLevel {
+        self.analyze
     }
 
     /// Stamp subsequent trace events with the executing `thread` (set by

@@ -152,6 +152,16 @@ impl<'m> Runner<'m> {
 
     /// Run to completion.
     pub fn run(mut self) -> RunResult {
+        let analyze_level = self.machine.analyze_level();
+        if analyze_level != crate::analyze::AnalyzeLevel::Off {
+            // Static pre-pass over the programs about to execute, with the
+            // pre-set flags as the initial flag state. Pure observer: it
+            // panics on Error findings and prints lower severities, but
+            // never changes what the simulation computes.
+            let mut initial: Vec<(u64, u64)> = self.flags.iter().map(|(&a, &v)| (a, v)).collect();
+            initial.sort_unstable();
+            crate::analyze::analyze(&self.programs, &initial).enforce(analyze_level);
+        }
         for tid in 0..self.programs.len() {
             self.enqueue(0, tid);
         }

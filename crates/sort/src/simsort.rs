@@ -39,8 +39,12 @@ pub struct SimSortSpec {
     pub memory: NumaKind,
 }
 
-/// Simulate one full sort; returns seconds of simulated time.
-pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
+/// The programs [`run_simsort`] executes (exposed so the static analyzer
+/// can pre-validate the workload). The machine is only consulted for its
+/// configuration; allocation uses a fresh [`knl_sim::Arena`], so building
+/// twice yields the same addresses and running them is identical to
+/// calling `run_simsort`.
+pub fn simsort_programs(m: &Machine, spec: &SimSortSpec) -> Vec<Program> {
     assert!(
         spec.threads.is_power_of_two(),
         "threads must be a power of two"
@@ -118,7 +122,12 @@ pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
             prog
         })
         .collect();
+    programs
+}
 
+/// Simulate one full sort; returns seconds of simulated time.
+pub fn run_simsort(m: &mut Machine, spec: &SimSortSpec) -> f64 {
+    let programs = simsort_programs(m, spec);
     let result = Runner::new(m, programs).run();
     result.duration_ps(0, 0).expect("root interval") as f64 * 1e-12
 }
