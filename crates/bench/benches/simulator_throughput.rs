@@ -5,7 +5,8 @@
 use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
 use knl_bench::microbench::case;
 use knl_sim::{
-    AccessKind, AnalyzeLevel, CheckLevel, Machine, Op, Program, Runner, StreamKind, TraceLevel,
+    AccessKind, AnalyzeLevel, CheckLevel, Machine, ObserverConfig, Op, Program, Runner, StreamKind,
+    TraceLevel,
 };
 
 fn machine() -> Machine {
@@ -15,10 +16,10 @@ fn machine() -> Machine {
     ))
 }
 
-fn machine_checked(level: CheckLevel) -> Machine {
-    Machine::with_check(
+fn machine_with(oc: ObserverConfig) -> Machine {
+    Machine::with_observer_config(
         MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
-        level,
+        oc,
     )
 }
 
@@ -69,7 +70,7 @@ fn main() {
         ("remote_transfer_check_inv", CheckLevel::Invariants),
         ("remote_transfer_check_full", CheckLevel::FullOracle),
     ] {
-        let mut m = machine_checked(level);
+        let mut m = machine_with(ObserverConfig::default().check(level));
         let mut now = 0;
         let mut flip = false;
         case("sim_access", name, None, || {
@@ -88,11 +89,7 @@ fn main() {
         ("remote_transfer_trace_summary", TraceLevel::Summary),
         ("remote_transfer_trace_full", TraceLevel::Full),
     ] {
-        let mut m = Machine::with_observers(
-            MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
-            CheckLevel::Off,
-            trace,
-        );
+        let mut m = machine_with(ObserverConfig::default().trace(trace));
         let mut now = 0;
         let mut flip = false;
         case("sim_access", name, None, || {
@@ -111,8 +108,7 @@ fn main() {
         ("remote_transfer_analyze_off", AnalyzeLevel::Off),
         ("remote_transfer_analyze_on", AnalyzeLevel::Error),
     ] {
-        let mut m = machine();
-        m.set_analyze_level(level);
+        let mut m = machine_with(ObserverConfig::default().analyze(level));
         case("sim_access", name, None, || {
             let flag = 3u64 << 28;
             let mut po = Program::on_core(CoreId(30));
@@ -133,6 +129,34 @@ fn main() {
             let end = Runner::new(&mut m, vec![po, pr]).run().end_time;
             m.reset_caches();
             end
+        });
+    }
+
+    // The refactor's guard pair: an empty hub (`off`) must track the raw
+    // `remote_transfer` case bit-for-bit in cost, while the fully loaded
+    // hub (`on` = full oracle + full trace + analyze gate) measures the
+    // dispatch overhead of every observer at once.
+    for (name, oc) in [
+        (
+            "remote_transfer_all_observers_off",
+            ObserverConfig::default(),
+        ),
+        (
+            "remote_transfer_all_observers_on",
+            ObserverConfig::default()
+                .check(CheckLevel::FullOracle)
+                .trace(TraceLevel::Full)
+                .analyze(AnalyzeLevel::Error),
+        ),
+    ] {
+        let mut m = machine_with(oc);
+        let mut now = 0;
+        let mut flip = false;
+        case("sim_access", name, None, || {
+            let core = if flip { CoreId(0) } else { CoreId(30) };
+            flip = !flip;
+            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
+            now
         });
     }
 

@@ -4,16 +4,16 @@
 //! techniques."
 
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode, Schedule};
-use knl_bench::modelfit::fit_model;
-use knl_bench::runconf::effort_from_args;
+use knl_bench::modelfit::fit_model_observed;
+use knl_bench::runconf::RunConf;
 use knl_collectives::plan::tile_groups;
 use knl_core::{optimize_tree, TreeKind};
 
 fn main() {
-    let effort = effort_from_args();
+    let conf = RunConf::from_args();
     let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache);
     eprintln!("fitting capability model on {} ...", cfg.label());
-    let model = fit_model(&cfg, &effort.suite_params(), true);
+    let model = fit_model_observed(&cfg, &conf.effort.suite_params(), true, &conf, "fig1_tree");
 
     // 64 cores, one thread per core (fill-tiles): 32 tile groups of 2; the
     // inter-tile tree spans the 32 tile leaders.

@@ -15,6 +15,17 @@
 //! * `float-ps` — picosecond quantities (`*_ps` bindings and fields) must
 //!   not be typed `f64`: float accumulation drifts across op orderings;
 //!   convert to float only at the reporting edge.
+//! * `observer-config` — outside `crates/sim`, machines must be given
+//!   their observer set through `Machine::with_observer_config` (one
+//!   `ObserverConfig`), never the retired `with_check`/`with_observers`
+//!   constructors or per-observer `set_*_level` setters; those split the
+//!   observer wiring across call sites, which is how observers silently
+//!   fail to attach.
+//! * `observer-construct` — `Tracer`/`CoherenceChecker` values are built
+//!   by the `ObserverHub` (from an `ObserverConfig`), not constructed
+//!   directly; direct construction bypasses the hub's single event spine
+//!   and its registration-order guarantees. Their home modules
+//!   (`engine/observe.rs`, `trace.rs`, `invariants.rs`) are exempt.
 //!
 //! A violation line can be suppressed with a trailing
 //! `// knl-lint: allow(<rule>)` comment. Exits non-zero when any
@@ -53,6 +64,13 @@ const HASH_SET: &str = concat!("Hash", "Set");
 const INSTANT: &str = concat!("time::", "Instant");
 const SYSTEM_TIME: &str = concat!("time::", "SystemTime");
 const FLOAT_PS: &str = concat!("_ps: ", "f64");
+const WITH_CHECK: &str = concat!("Machine::", "with_check(");
+const WITH_OBSERVERS: &str = concat!("Machine::", "with_observers(");
+const SET_CHECK: &str = concat!(".set_", "check_level(");
+const SET_TRACE: &str = concat!(".set_", "trace_level(");
+const SET_ANALYZE: &str = concat!(".set_", "analyze_level(");
+const TRACER_NEW: &str = concat!("Tracer::", "new(");
+const CHECKER_NEW: &str = concat!("CoherenceChecker::", "new(");
 
 fn rules() -> Vec<LintRule> {
     vec![
@@ -88,6 +106,31 @@ fn rules() -> Vec<LintRule> {
                       convert to float only when reporting",
             applies: |_| true,
             matches: |l| l.contains(FLOAT_PS),
+        },
+        LintRule {
+            name: "observer-config",
+            message: "attach observers with Machine::with_observer_config \
+                      (one ObserverConfig), not retired constructors or \
+                      per-observer setters",
+            applies: |p| !p.contains("crates/sim/"),
+            matches: |l| {
+                l.contains(WITH_CHECK)
+                    || l.contains(WITH_OBSERVERS)
+                    || l.contains(SET_CHECK)
+                    || l.contains(SET_TRACE)
+                    || l.contains(SET_ANALYZE)
+            },
+        },
+        LintRule {
+            name: "observer-construct",
+            message: "Tracer/CoherenceChecker are built by the ObserverHub \
+                      from an ObserverConfig; do not construct them directly",
+            applies: |p| {
+                !p.ends_with("/engine/observe.rs")
+                    && !p.ends_with("/trace.rs")
+                    && !p.ends_with("/invariants.rs")
+            },
+            matches: |l| l.contains(TRACER_NEW) || l.contains(CHECKER_NEW),
         },
     ]
 }
@@ -231,6 +274,48 @@ mod tests {
     fn float_ps_flagged_everywhere() {
         let bad = format!("    let total{} = 0.0;\n", FLOAT_PS);
         assert_eq!(find("/crates/arch/src/timing.rs", &bad), ["float-ps"]);
+    }
+
+    #[test]
+    fn retired_observer_apis_flagged_outside_sim() {
+        for bad in [
+            format!("    let m = {}cfg, level);\n", WITH_CHECK),
+            format!("    let m = {}cfg, check, trace);\n", WITH_OBSERVERS),
+            format!("    m{}level);\n", SET_CHECK),
+            format!("    m{}level);\n", SET_TRACE),
+            format!("    m{}level);\n", SET_ANALYZE),
+        ] {
+            assert_eq!(
+                find("/tests/coherence_fuzz.rs", &bad),
+                ["observer-config"],
+                "{bad}"
+            );
+            assert_eq!(
+                find("/crates/bench/benches/simulator_throughput.rs", &bad),
+                ["observer-config"],
+                "{bad}"
+            );
+            // crates/sim owns the machine; its internals are exempt.
+            assert!(find("/crates/sim/src/machine.rs", &bad).is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn direct_observer_construction_flagged_outside_hub() {
+        let tracer = format!("    let t = {}TraceLevel::Full);\n", TRACER_NEW);
+        let checker = format!("    let c = {}level, counters);\n", CHECKER_NEW);
+        assert_eq!(
+            find("/tests/observer_hub.rs", &tracer),
+            ["observer-construct"]
+        );
+        assert_eq!(
+            find("/crates/sim/src/runner.rs", &checker),
+            ["observer-construct"]
+        );
+        // The observers' home modules and the hub itself construct them.
+        assert!(find("/crates/sim/src/engine/observe.rs", &tracer).is_empty());
+        assert!(find("/crates/sim/src/trace.rs", &tracer).is_empty());
+        assert!(find("/crates/sim/src/invariants.rs", &checker).is_empty());
     }
 
     #[test]

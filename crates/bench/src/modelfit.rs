@@ -1,8 +1,11 @@
 //! Fitting a capability model from a (possibly reduced) suite run.
 
+use crate::runconf::RunConf;
+use crate::sweep::{print_counters, TraceSink};
 use knl_arch::{ClusterMode, MachineConfig, MemoryMode};
-use knl_benchsuite::{run_full_suite, SuiteParams, SuiteResults};
+use knl_benchsuite::{run_configs_with, run_full_suite, SuiteParams, SuiteResults};
 use knl_core::CapabilityModel;
+use knl_sim::ObserverConfig;
 use std::path::PathBuf;
 
 /// Run the capability suite for `cfg` and fit the model. When `cache_path`
@@ -10,6 +13,36 @@ use std::path::PathBuf;
 /// the simulation pass).
 pub fn fit_model(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> CapabilityModel {
     let results = suite_results(cfg, params, cache);
+    CapabilityModel::from_suite(&results)
+}
+
+/// [`fit_model`] honouring a parsed command line: the suite run executes
+/// on the `--jobs` worker pool under the `--check` / `--trace-level` /
+/// `--analyze` observer set, with its trace section written through a
+/// [`TraceSink`] labelled `label`. Because cached suite results skip the
+/// simulation pass entirely, the JSON cache is bypassed (but still
+/// refreshed) whenever any observer is on — asking for a checked or traced
+/// run means asking for the simulation to actually happen.
+pub fn fit_model_observed(
+    cfg: &MachineConfig,
+    params: &SuiteParams,
+    cache: bool,
+    conf: &RunConf,
+    label: &str,
+) -> CapabilityModel {
+    let observers = conf.observer_config();
+    if observers == ObserverConfig::default() {
+        return fit_model(cfg, params, cache);
+    }
+    let sink = TraceSink::new(conf, label);
+    let mut runs = run_configs_with(std::slice::from_ref(cfg), params, conf.jobs, observers);
+    let (results, counters, tracer) = runs.remove(0);
+    print_counters(&cfg.label(), &counters);
+    sink.submit_tracer(0, tracer);
+    sink.write().expect("write trace");
+    if cache {
+        write_cache(cfg, params, &results);
+    }
     CapabilityModel::from_suite(&results)
 }
 
@@ -27,12 +60,17 @@ pub fn suite_results(cfg: &MachineConfig, params: &SuiteParams, cache: bool) -> 
     }
     let r = run_full_suite(cfg, params);
     if cache {
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        let _ = std::fs::write(&path, knl_benchsuite::encode_suite(&r));
+        write_cache(cfg, params, &r);
     }
     r
+}
+
+fn write_cache(cfg: &MachineConfig, params: &SuiteParams, r: &SuiteResults) {
+    let path = cache_path(cfg, params);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(&path, knl_benchsuite::encode_suite(r));
 }
 
 fn cache_path(cfg: &MachineConfig, params: &SuiteParams) -> PathBuf {

@@ -1,7 +1,7 @@
 //! Command-line handling shared by the figure/table binaries.
 
 use knl_benchsuite::SuiteParams;
-use knl_sim::{AnalyzeLevel, CheckLevel, TraceLevel};
+use knl_sim::{AnalyzeLevel, CheckLevel, ObserverConfig, TraceLevel};
 
 /// Effort level of a regeneration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +153,15 @@ impl RunConf {
             conf.trace = TraceLevel::Full;
         }
         Ok(conf)
+    }
+
+    /// The observer set this command line asks for, as one
+    /// [`ObserverConfig`] for [`knl_sim::Machine::with_observer_config`].
+    pub fn observer_config(&self) -> ObserverConfig {
+        ObserverConfig::default()
+            .check(self.check)
+            .trace(self.trace)
+            .analyze(self.analyze)
     }
 }
 

@@ -24,9 +24,7 @@ pub fn executor(conf: &RunConf) -> SweepExecutor {
 /// final counter/oracle reconciliation runs, and hand the machine to
 /// [`TraceSink::submit`] so its trace section is collected.
 pub fn machine(conf: &RunConf, cfg: MachineConfig) -> Machine {
-    let mut m = Machine::with_observers(cfg, conf.check, conf.trace);
-    m.set_analyze_level(conf.analyze);
-    m
+    Machine::with_observer_config(cfg, conf.observer_config())
 }
 
 /// Collects per-job serialized trace sections and writes one merged trace

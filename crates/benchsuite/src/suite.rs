@@ -10,7 +10,7 @@ use crate::memlat;
 use crate::params::SuiteParams;
 use crate::pointer_chase;
 use knl_arch::{CoreId, MachineConfig, MemoryMode, NumaKind, Schedule};
-use knl_sim::{CheckLevel, Machine, MesifState, StreamKind, TraceLevel, Tracer};
+use knl_sim::{CheckLevel, Machine, MesifState, ObserverConfig, StreamKind, TraceLevel, Tracer};
 
 /// Owner/reader/helper placement used by the single-line benchmarks: reader
 /// on core 0, same-tile owner on core 1, remote owner, and a helper tile.
@@ -247,7 +247,22 @@ pub fn run_full_suite_observed(
     check: CheckLevel,
     trace: TraceLevel,
 ) -> (SuiteResults, knl_sim::Counters, Option<Box<Tracer>>) {
-    let mut m = Machine::with_observers(cfg.clone(), check, trace);
+    run_full_suite_with(
+        cfg,
+        params,
+        ObserverConfig::default().check(check).trace(trace),
+    )
+}
+
+/// The root suite entry point: run everything for one configuration with
+/// the full observer set an [`ObserverConfig`] describes (checker, tracer,
+/// analyzer gate). Every other `run_full_suite*` wrapper delegates here.
+pub fn run_full_suite_with(
+    cfg: &MachineConfig,
+    params: &SuiteParams,
+    observers: ObserverConfig,
+) -> (SuiteResults, knl_sim::Counters, Option<Box<Tracer>>) {
+    let mut m = Machine::with_observer_config(cfg.clone(), observers);
     let cache = run_cache_suite(&mut m, params);
     m.reset_caches();
     m.reset_devices();
@@ -307,10 +322,29 @@ pub fn run_configs_observed(
     check: CheckLevel,
     trace: TraceLevel,
 ) -> Vec<(SuiteResults, knl_sim::Counters, Option<Box<Tracer>>)> {
+    run_configs_with(
+        configs,
+        params,
+        jobs,
+        ObserverConfig::default().check(check).trace(trace),
+    )
+}
+
+/// The root parallel-sweep entry point: [`run_full_suite_with`] for many
+/// configurations on a worker pool, every job's machine under the same
+/// [`ObserverConfig`]. Results come back in canonical config order and are
+/// bit-identical for every worker count.
+#[allow(clippy::type_complexity)]
+pub fn run_configs_with(
+    configs: &[MachineConfig],
+    params: &SuiteParams,
+    jobs: usize,
+    observers: ObserverConfig,
+) -> Vec<(SuiteResults, knl_sim::Counters, Option<Box<Tracer>>)> {
     crate::parallel::SweepExecutor::new(jobs)
         .progress(true)
         .run("suite", configs, |_i, cfg| {
-            run_full_suite_observed(cfg, params, check, trace)
+            run_full_suite_with(cfg, params, observers)
         })
 }
 

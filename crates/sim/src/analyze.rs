@@ -752,11 +752,12 @@ fn conflict(
             Rule::FlagSharing,
             " — the line doubles as a synchronization flag (accidental sharing?)",
         )
-    } else if a.streaming && b.streaming {
+    } else if a.streaming || b.streaming {
         (
             Severity::Warn,
             Rule::Race,
-            " — both are non-temporal streams (shared streaming buffers; last store wins)",
+            " — a non-temporal stream is involved (shared streaming buffers are \
+             intended pool collisions; values are not read back)",
         )
     } else if a.win_hi <= b.win_lo || b.win_hi <= a.win_lo {
         (
@@ -1035,6 +1036,37 @@ mod tests {
             )
         };
         let r = analyze(&[mk(0), mk(4)], &[]);
+        assert!(r.clean_at(Severity::Error), "{r}");
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.findings[0].rule, Rule::Race);
+    }
+
+    #[test]
+    fn read_vs_stream_overlap_is_a_warning_not_an_error() {
+        // membw's random-pool methodology: a coherent load sweep racing
+        // another thread's non-temporal store over the same pool buffer is
+        // an intended collision (values are never read back), so it must
+        // stay below Error — the suite runs under `--analyze error`.
+        let reader = prog(
+            0,
+            vec![Op::ReadBuf {
+                src: 1 << 20,
+                bytes: 16 * 64,
+                vectorized: true,
+            }],
+        );
+        let writer = prog(
+            4,
+            vec![Op::Stream {
+                kind: StreamKind::Write,
+                a: 1 << 20,
+                b: 0,
+                c: 0,
+                lines: 16,
+                vectorized: true,
+            }],
+        );
+        let r = analyze(&[reader, writer], &[]);
         assert!(r.clean_at(Severity::Error), "{r}");
         assert_eq!(r.count(Severity::Warn), 1);
         assert_eq!(r.findings[0].rule, Rule::Race);

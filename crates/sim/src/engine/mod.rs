@@ -1,0 +1,17 @@
+//! The simulation engine, split by concern:
+//!
+//! * [`observe`] — the event spine: [`observe::ProtocolEvent`], the
+//!   [`observe::MachineObserver`] trait, and the [`observe::ObserverHub`]
+//!   that fans each event out to the registered observers (coherence
+//!   checker, tracer/metrics, analyzer gate).
+//! * [`serve`] — the coherent protocol paths: single-line reads, writes
+//!   (RFO), NT stores, the memory/mcache flows, fills and evictions.
+//! * [`transfer`] — bulk data movement: cached copy/read buffers and the
+//!   bounded-MLP streaming kernels.
+//!
+//! [`crate::machine::Machine`] is the facade tying these together; every
+//! module here implements methods on it.
+
+pub mod observe;
+pub(crate) mod serve;
+pub(crate) mod transfer;

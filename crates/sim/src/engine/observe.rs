@@ -1,0 +1,875 @@
+//! The event spine: one [`ProtocolEvent`] stream, emitted exactly once per
+//! protocol action by the engine, fanned out by the [`ObserverHub`] to
+//! whatever [`MachineObserver`]s are registered.
+//!
+//! Observers are *pure*: they may panic (the checker's whole job) but must
+//! never change simulated timings, counters, or cache state — the
+//! equivalence tests (`checked ≡ unchecked`, `traced ≡ untraced`,
+//! `analyzer-on ≡ off`) pin this bit-for-bit. The hub caches whether any
+//! registered observer consumes events; when none does, every emission
+//! helper is a single `#[inline]` flag test, so an unobserved machine pays
+//! one never-taken branch per emission point — the same cost as the old
+//! per-observer `Option<Box<_>>` gates it replaces.
+
+use crate::analyze::AnalyzeLevel;
+use crate::counters::Counters;
+use crate::invariants::{CheckLevel, CoherenceChecker, ProtoEvent};
+use crate::machine::ServedBy;
+use crate::mesif::{DirEntry, GlobalState};
+use crate::program::Program;
+use crate::trace::{EventKind, TraceLevel, Tracer, NO_TILE};
+use crate::SimTime;
+use knl_arch::MemTarget;
+use std::any::Any;
+
+/// One observable protocol action, tagged with everything the engine has
+/// already computed at the emission point (supplier state, hop counts,
+/// queue depths, directory entry after the transition). Borrowed fields
+/// keep emission allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub enum ProtocolEvent<'a> {
+    /// A coherent request leaves the core (`R`/`W`/`N`).
+    Issue {
+        /// Operation tag: `R`ead, `W`rite, `N`T store.
+        op: char,
+    },
+    /// A request completed, with provenance and latency.
+    Serve {
+        /// Operation tag (`R`/`W`).
+        op: char,
+        /// Source tag (see [`src_tag`]).
+        src: char,
+        /// Mesh distance between requester and server.
+        hops: u32,
+        /// End-to-end latency of the access.
+        latency_ps: SimTime,
+    },
+    /// A directory transition, after the entry was updated. `counted`
+    /// mirrors the protocol/preparation split: state preparation
+    /// ([`crate::machine::Machine::prepare_line`]) transitions are
+    /// uncounted and do not appear in traces.
+    Dir {
+        /// Global state tag before the transition (see [`gstate_tag`]).
+        from: char,
+        /// The protocol action that caused the transition.
+        proto: ProtoEvent,
+        /// The directory entry, already in its post-transition state.
+        entry: &'a DirEntry,
+        /// False for timing-free state preparation.
+        counted: bool,
+    },
+    /// A message finished one mesh leg (`q`uery/`d`ata/`r`eply).
+    Hop {
+        /// Leg tag.
+        leg: char,
+        /// Manhattan hop count of the leg.
+        hops: u32,
+    },
+    /// A request entered a memory device queue.
+    DevEnter {
+        /// Device index (0–5 DDR, 6+ MCDRAM EDC).
+        dev: u8,
+        /// Write (vs read) request.
+        write: bool,
+        /// Lines already queued ahead of it.
+        depth: u32,
+    },
+    /// A request left a memory device queue.
+    DevLeave {
+        /// Device index.
+        dev: u8,
+    },
+    /// Memory-side cache lookup outcome (cache/hybrid modes).
+    Mcache {
+        /// EDC holding the set.
+        edc: u8,
+        /// Hit or miss.
+        hit: bool,
+    },
+    /// Invalidation messages sent to `n` holders.
+    Inv {
+        /// Number of holders invalidated.
+        n: u32,
+    },
+    /// A dirty line was written back. `external` write-backs originate
+    /// outside the directory's view (memory-side-cache victim evictions);
+    /// the checker reconciles them separately from the directory-implied
+    /// ones it infers from [`ProtocolEvent::Dir`] transitions.
+    Writeback {
+        /// True only for mcache victim evictions.
+        external: bool,
+    },
+    /// A measured-interval boundary (runner `MarkStart`/`MarkEnd`).
+    Mark {
+        /// Interval id.
+        id: u32,
+        /// Start (vs end) of the interval.
+        start: bool,
+    },
+    /// A coherent read was satisfied (`from_memory`: served by a device
+    /// rather than a cache). Consumed by the checker's read oracle only;
+    /// never traced.
+    CoherentRead {
+        /// Data came from memory, not a cache.
+        from_memory: bool,
+    },
+    /// An NT store overwrote the line (checker shadow-memory update only).
+    NtStore,
+}
+
+/// A sink for [`ProtocolEvent`]s plus the machine lifecycle hooks the
+/// existing observers need. All hooks default to no-ops; an observer
+/// implements only what it consumes. The `as_any` boilerplate lets the
+/// [`ObserverHub`] hand back concrete observers (`get`/`take`) to the
+/// sweep drivers that serialize tracers per job.
+pub trait MachineObserver: Any + Send {
+    /// Does this observer consume [`ProtocolEvent`]s at all? The hub skips
+    /// event fan-out (and the engine skips event-only bookkeeping such as
+    /// queue-depth sampling) when no registered observer wants events.
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    /// One protocol event. `line` is the cache-line index it concerns
+    /// (0 for line-less events such as marks).
+    fn on_event(&mut self, time: SimTime, line: u64, event: &ProtocolEvent<'_>);
+
+    /// The runner switched execution context to `thread`.
+    fn set_thread(&mut self, _thread: u32) {}
+
+    /// Subsequent events originate from `tile`.
+    fn set_tile(&mut self, _tile: u16) {}
+
+    /// The on-die caches and directory were cleared (fresh repetition).
+    fn on_reset(&mut self) {}
+
+    /// A runner is about to execute `programs` with `initial_flags`
+    /// (sorted by address). The analyzer gate runs its pre-pass here.
+    fn on_run_start(&mut self, _programs: &[Program], _initial_flags: &[(u64, u64)]) {}
+
+    /// End-of-run verification against the machine's hardware counters.
+    fn finish(&self, _counters: &Counters) {}
+
+    /// Concrete-type access for [`ObserverHub::get`].
+    fn as_any(&self) -> &dyn Any;
+    /// Concrete-type access for [`ObserverHub::get_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Concrete-type extraction for [`ObserverHub::take`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Which observers to attach at construction — the one knob that replaced
+/// `with_check`/`with_observers` and the per-observer setters. Build with
+/// the chainable setters; `Default` is all-off (no observers, zero-cost
+/// hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObserverConfig {
+    /// Dynamic coherence checking level.
+    pub check: CheckLevel,
+    /// Structured event tracing level.
+    pub trace: TraceLevel,
+    /// Static workload analysis level (runner pre-pass).
+    pub analyze: AnalyzeLevel,
+}
+
+impl ObserverConfig {
+    /// Set the coherence-checking level.
+    pub fn check(mut self, level: CheckLevel) -> Self {
+        self.check = level;
+        self
+    }
+
+    /// Set the tracing level.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Set the static-analysis level.
+    pub fn analyze(mut self, level: AnalyzeLevel) -> Self {
+        self.analyze = level;
+        self
+    }
+}
+
+/// The composable observer bus: owns the registered observers and fans
+/// each emitted event out to those that want events. Emission helpers are
+/// the *single* construction site of each [`ProtocolEvent`] variant.
+#[derive(Default)]
+pub struct ObserverHub {
+    observers: Vec<Box<dyn MachineObserver>>,
+    /// Cached `any(wants_events)` — the empty-hub fast path.
+    events: bool,
+}
+
+impl ObserverHub {
+    /// Build the hub an [`ObserverConfig`] describes. `base` is the
+    /// machine's counter snapshot at attach time (the checker reconciles
+    /// against the delta from this point).
+    pub(crate) fn from_config(oc: ObserverConfig, base: Counters) -> Self {
+        let mut hub = ObserverHub::default();
+        if oc.check != CheckLevel::Off {
+            hub.register(Box::new(CoherenceChecker::new(oc.check, base)));
+        }
+        if oc.trace != TraceLevel::Off {
+            hub.register(Box::new(Tracer::new(oc.trace)));
+        }
+        if oc.analyze != AnalyzeLevel::Off {
+            hub.register(Box::new(AnalyzeGate::new(oc.analyze)));
+        }
+        hub
+    }
+
+    /// Attach an observer.
+    pub fn register(&mut self, observer: Box<dyn MachineObserver>) {
+        self.observers.push(observer);
+        self.events = self.observers.iter().any(|o| o.wants_events());
+    }
+
+    /// Is any registered observer consuming events? The engine gates
+    /// event-only bookkeeping (queue-depth sampling, source/hop tagging)
+    /// behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.events
+    }
+
+    /// Is anything registered at all (event consumer or not)?
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// The first registered observer of concrete type `T`, if any.
+    pub fn get<T: MachineObserver>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the first observer of type `T`.
+    pub fn get_mut<T: MachineObserver>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Detach and return the first observer of type `T` (sweep drivers
+    /// take the tracer to serialize it per job).
+    pub fn take<T: MachineObserver>(&mut self) -> Option<Box<T>> {
+        let idx = self.observers.iter().position(|o| o.as_any().is::<T>())?;
+        let taken = self.observers.remove(idx).into_any().downcast::<T>().ok();
+        self.events = self.observers.iter().any(|o| o.wants_events());
+        taken
+    }
+
+    /// Fan one event out (the outlined slow path of every emitter).
+    fn emit(&mut self, time: SimTime, line: u64, event: &ProtocolEvent<'_>) {
+        for o in &mut self.observers {
+            if o.wants_events() {
+                o.on_event(time, line, event);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emission helpers — one per variant, each the variant's only
+    // construction site. All are a single flag test when the hub has no
+    // event consumer.
+    // ------------------------------------------------------------------
+
+    /// Emit [`ProtocolEvent::Issue`].
+    #[inline]
+    pub(crate) fn issue(&mut self, time: SimTime, line: u64, op: char) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::Issue { op });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Serve`].
+    #[inline]
+    pub(crate) fn serve(
+        &mut self,
+        time: SimTime,
+        line: u64,
+        op: char,
+        src: char,
+        hops: u32,
+        latency_ps: SimTime,
+    ) {
+        if self.events {
+            self.emit(
+                time,
+                line,
+                &ProtocolEvent::Serve {
+                    op,
+                    src,
+                    hops,
+                    latency_ps,
+                },
+            );
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Dir`] for an entry already in its
+    /// post-transition state.
+    #[inline]
+    pub(crate) fn dir_transition(
+        &mut self,
+        time: SimTime,
+        line: u64,
+        from: char,
+        proto: ProtoEvent,
+        entry: &DirEntry,
+        counted: bool,
+    ) {
+        if self.events {
+            self.emit(
+                time,
+                line,
+                &ProtocolEvent::Dir {
+                    from,
+                    proto,
+                    entry,
+                    counted,
+                },
+            );
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Hop`].
+    #[inline]
+    pub(crate) fn hop(&mut self, time: SimTime, line: u64, leg: char, hops: u32) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::Hop { leg, hops });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::DevEnter`].
+    #[inline]
+    pub(crate) fn dev_enter(&mut self, time: SimTime, line: u64, dev: u8, write: bool, depth: u32) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::DevEnter { dev, write, depth });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::DevLeave`].
+    #[inline]
+    pub(crate) fn dev_leave(&mut self, time: SimTime, line: u64, dev: u8) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::DevLeave { dev });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Mcache`].
+    #[inline]
+    pub(crate) fn mcache(&mut self, time: SimTime, line: u64, edc: u8, hit: bool) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::Mcache { edc, hit });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Inv`].
+    #[inline]
+    pub(crate) fn inv(&mut self, time: SimTime, line: u64, n: u32) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::Inv { n });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Writeback`].
+    #[inline]
+    pub(crate) fn writeback(&mut self, time: SimTime, line: u64, external: bool) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::Writeback { external });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::Mark`] (line-less).
+    #[inline]
+    pub(crate) fn mark(&mut self, time: SimTime, id: u32, start: bool) {
+        if self.events {
+            self.emit(time, 0, &ProtocolEvent::Mark { id, start });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::CoherentRead`].
+    #[inline]
+    pub(crate) fn coherent_read(&mut self, time: SimTime, line: u64, from_memory: bool) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::CoherentRead { from_memory });
+        }
+    }
+
+    /// Emit [`ProtocolEvent::NtStore`].
+    #[inline]
+    pub(crate) fn nt_store(&mut self, time: SimTime, line: u64) {
+        if self.events {
+            self.emit(time, line, &ProtocolEvent::NtStore);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle fan-out
+    // ------------------------------------------------------------------
+
+    /// Forward a thread-context switch.
+    #[inline]
+    pub(crate) fn set_thread(&mut self, thread: u32) {
+        if self.events {
+            for o in &mut self.observers {
+                o.set_thread(thread);
+            }
+        }
+    }
+
+    /// Forward a tile-context switch.
+    #[inline]
+    pub(crate) fn set_tile(&mut self, tile: u16) {
+        if self.events {
+            for o in &mut self.observers {
+                o.set_tile(tile);
+            }
+        }
+    }
+
+    /// Forward a cache/directory reset.
+    pub(crate) fn on_reset(&mut self) {
+        for o in &mut self.observers {
+            o.on_reset();
+        }
+    }
+
+    /// Forward a run start (analyzer pre-pass).
+    pub(crate) fn on_run_start(&mut self, programs: &[Program], initial_flags: &[(u64, u64)]) {
+        for o in &mut self.observers {
+            o.on_run_start(programs, initial_flags);
+        }
+    }
+
+    /// Forward end-of-run verification.
+    pub(crate) fn finish(&self, counters: &Counters) {
+        for o in &self.observers {
+            o.finish(counters);
+        }
+    }
+}
+
+/// The analyzer's runtime enforcement as an observer: a pure pre-pass on
+/// [`MachineObserver::on_run_start`], never consulted on the event hot
+/// path (`wants_events` is false, so an analyze-only machine keeps the
+/// empty-hub fast path).
+pub struct AnalyzeGate {
+    level: AnalyzeLevel,
+}
+
+impl AnalyzeGate {
+    /// Gate at `level` (findings at `Error` severity panic; lower
+    /// severities print per the level).
+    pub fn new(level: AnalyzeLevel) -> Self {
+        assert_ne!(level, AnalyzeLevel::Off, "use no gate instead of Off");
+        AnalyzeGate { level }
+    }
+
+    /// The enforcement level.
+    pub fn level(&self) -> AnalyzeLevel {
+        self.level
+    }
+}
+
+impl MachineObserver for AnalyzeGate {
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    fn on_event(&mut self, _time: SimTime, _line: u64, _event: &ProtocolEvent<'_>) {}
+
+    fn on_run_start(&mut self, programs: &[Program], initial_flags: &[(u64, u64)]) {
+        crate::analyze::analyze(programs, initial_flags).enforce(self.level);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl MachineObserver for CoherenceChecker {
+    fn on_event(&mut self, _time: SimTime, line: u64, event: &ProtocolEvent<'_>) {
+        match *event {
+            ProtocolEvent::Dir {
+                proto,
+                entry,
+                counted,
+                ..
+            } => self.on_transition(line, proto, entry, counted),
+            ProtocolEvent::CoherentRead { from_memory } => self.observe_read(line, from_memory),
+            ProtocolEvent::NtStore => self.on_nt_store(line),
+            // Directory-implied write-backs are inferred from `Dir`
+            // transitions; only the mcache victim evictions need notice.
+            ProtocolEvent::Writeback { external: true } => self.note_external_writeback(),
+            _ => {}
+        }
+    }
+
+    fn on_reset(&mut self) {
+        CoherenceChecker::on_reset(self);
+    }
+
+    fn finish(&self, counters: &Counters) {
+        CoherenceChecker::finish(self, counters);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl MachineObserver for Tracer {
+    fn on_event(&mut self, time: SimTime, line: u64, event: &ProtocolEvent<'_>) {
+        let kind = match *event {
+            ProtocolEvent::Issue { op } => EventKind::Issue { op },
+            ProtocolEvent::Serve {
+                op,
+                src,
+                hops,
+                latency_ps,
+            } => EventKind::Serve {
+                op,
+                src,
+                hops,
+                latency_ps,
+            },
+            ProtocolEvent::Dir {
+                from,
+                entry,
+                counted,
+                ..
+            } => {
+                // State preparation is timing-free and never traced.
+                if !counted {
+                    return;
+                }
+                let forwarder = match &entry.state {
+                    GlobalState::Uncached => NO_TILE,
+                    GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => owner.0,
+                    GlobalState::Shared { forward } => forward.map_or(NO_TILE, |t| t.0),
+                };
+                EventKind::Dir {
+                    from,
+                    to: gstate_tag(&entry.state),
+                    forwarder,
+                    sharers: entry.num_holders() as u16,
+                }
+            }
+            ProtocolEvent::Hop { leg, hops } => EventKind::Hop { leg, hops },
+            ProtocolEvent::DevEnter { dev, write, depth } => {
+                EventKind::DevEnter { dev, write, depth }
+            }
+            ProtocolEvent::DevLeave { dev } => EventKind::DevLeave { dev },
+            ProtocolEvent::Mcache { edc, hit } => EventKind::Mcache { edc, hit },
+            ProtocolEvent::Inv { n } => EventKind::Inv { n },
+            ProtocolEvent::Writeback { .. } => EventKind::Writeback,
+            ProtocolEvent::Mark { id, start } => EventKind::Mark { id, start },
+            // Checker-oracle events; not part of the trace format.
+            ProtocolEvent::CoherentRead { .. } | ProtocolEvent::NtStore => return,
+        };
+        self.record(time, line, kind);
+    }
+
+    fn set_thread(&mut self, thread: u32) {
+        Tracer::set_thread(self, thread);
+    }
+
+    fn set_tile(&mut self, tile: u16) {
+        Tracer::set_tile(self, tile);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Directory global-state tag for trace events (`U`/`E`/`M`/`S`).
+pub(crate) fn gstate_tag(s: &GlobalState) -> char {
+    match s {
+        GlobalState::Uncached => 'U',
+        GlobalState::Exclusive { .. } => 'E',
+        GlobalState::Modified { .. } => 'M',
+        GlobalState::Shared { .. } => 'S',
+    }
+}
+
+/// Trace source tag for a [`ServedBy`] provenance.
+pub(crate) fn src_tag(served: ServedBy) -> char {
+    match served {
+        ServedBy::L1 => 'L',
+        ServedBy::TileL2(_) => 'T',
+        ServedBy::RemoteCache { state, .. } => state.letter(),
+        ServedBy::Memory(MemTarget::Ddr { .. }) => 'D',
+        ServedBy::Memory(MemTarget::Mcdram { .. }) => 'C',
+        ServedBy::McacheHit { .. } => 'H',
+        ServedBy::Posted => 'N',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{AccessKind, Machine};
+    use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, NumaKind};
+
+    fn ddr_addr(m: &Machine) -> u64 {
+        let mut a = m.arena();
+        a.alloc(NumaKind::Ddr, 4096)
+    }
+
+    #[test]
+    fn empty_hub_reports_disabled() {
+        let hub = ObserverHub::default();
+        assert!(!hub.enabled());
+        assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn analyze_only_hub_keeps_event_fast_path() {
+        // The analyzer gate never consumes events: the hot-path flag stays
+        // cold even though an observer is registered.
+        let hub = ObserverHub::from_config(
+            ObserverConfig::default().analyze(AnalyzeLevel::Info),
+            Counters::default(),
+        );
+        assert!(!hub.enabled());
+        assert!(!hub.is_empty());
+        assert_eq!(
+            hub.get::<AnalyzeGate>().map(|g| g.level()),
+            Some(AnalyzeLevel::Info)
+        );
+    }
+
+    #[test]
+    fn hub_get_and_take_by_concrete_type() {
+        let mut hub = ObserverHub::from_config(
+            ObserverConfig::default()
+                .check(CheckLevel::Invariants)
+                .trace(TraceLevel::Full),
+            Counters::default(),
+        );
+        assert!(hub.enabled());
+        assert!(hub.get::<CoherenceChecker>().is_some());
+        assert_eq!(
+            hub.get::<Tracer>().map(|t| t.level()),
+            Some(TraceLevel::Full)
+        );
+        let taken = hub.take::<Tracer>().expect("tracer registered");
+        assert_eq!(taken.level(), TraceLevel::Full);
+        assert!(hub.get::<Tracer>().is_none());
+        // The checker still wants events; the fast-path flag survives.
+        assert!(hub.enabled());
+        hub.take::<CoherenceChecker>().expect("checker registered");
+        assert!(!hub.enabled());
+    }
+
+    #[test]
+    fn checked_machine_matches_unchecked_timing() {
+        // CheckLevel must be a pure observer: identical access timings and
+        // counters with the oracle on or off.
+        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+        let mut plain = Machine::new(cfg.clone());
+        let mut checked = Machine::with_observer_config(
+            cfg,
+            ObserverConfig::default().check(CheckLevel::FullOracle),
+        );
+        plain.set_jitter(0);
+        checked.set_jitter(0);
+        let mut tp = 0;
+        let mut tc = 0;
+        for (i, kind) in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::Read,
+            AccessKind::NtStore,
+            AccessKind::Read,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let c = CoreId((i as u16 % 4) * 2);
+            tp = plain.access(c, 4096, *kind, tp).complete;
+            tc = checked.access(c, 4096, *kind, tc).complete;
+            assert_eq!(tp, tc, "op {i}");
+        }
+        assert_eq!(plain.counters(), checked.counters());
+        checked.finish_check();
+    }
+
+    #[test]
+    fn traced_machine_matches_untraced_timing() {
+        // TraceLevel must be a pure observer: identical access timings and
+        // counters with tracing on or off.
+        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+        let mut plain = Machine::new(cfg.clone());
+        let mut traced =
+            Machine::with_observer_config(cfg, ObserverConfig::default().trace(TraceLevel::Full));
+        plain.set_jitter(0);
+        traced.set_jitter(0);
+        let mut tp = 0;
+        let mut tc = 0;
+        for (i, kind) in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::Read,
+            AccessKind::NtStore,
+            AccessKind::Read,
+            AccessKind::Write,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let c = CoreId((i as u16 % 4) * 2);
+            tp = plain.access(c, 4096, *kind, tp).complete;
+            tc = traced.access(c, 4096, *kind, tc).complete;
+            assert_eq!(tp, tc, "op {i}");
+        }
+        tp = plain.evict_line(CoreId(0), 4096, tp);
+        tc = traced.evict_line(CoreId(0), 4096, tc);
+        assert_eq!(tp, tc);
+        assert_eq!(plain.counters(), traced.counters());
+        assert!(!traced
+            .tracer()
+            .expect("tracer attached")
+            .events()
+            .is_empty());
+    }
+
+    #[test]
+    fn remote_serve_traced_with_state_and_hops() {
+        use crate::mesif::MesifState;
+        use crate::trace::hop_dist;
+        let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+        let mut m =
+            Machine::with_observer_config(cfg, ObserverConfig::default().trace(TraceLevel::Full));
+        m.set_jitter(0);
+        let addr = ddr_addr(&m);
+        let owner = CoreId(0);
+        let reader = CoreId(10);
+        let t = m.access(owner, addr, AccessKind::Write, 0).complete;
+        let out = m.access(reader, addr, AccessKind::Read, t);
+        let holder = match out.served_by {
+            ServedBy::RemoteCache { holder, state } => {
+                assert_eq!(state, MesifState::Modified);
+                holder
+            }
+            other => panic!("expected remote-cache serve, got {other:?}"),
+        };
+        let want_hops = hop_dist(
+            m.topology().tile_position(reader.tile()),
+            m.topology().tile_position(holder),
+        );
+        let tr = m.tracer().expect("tracer attached");
+        let srv = tr
+            .events()
+            .iter()
+            .rev()
+            .find_map(|e| match e.kind {
+                EventKind::Serve {
+                    op: 'R', src, hops, ..
+                } => Some((src, hops, e.tile)),
+                _ => None,
+            })
+            .expect("remote read recorded a Serve event");
+        assert_eq!(srv.0, 'M', "supplier held the line Modified");
+        assert_eq!(srv.1, want_hops);
+        assert_eq!(srv.2, reader.tile().0, "stamped with requesting tile");
+    }
+
+    #[test]
+    fn trace_metrics_reconcile_with_counters() {
+        // Every Inv/Writeback/Mcache event the tracer aggregates must match
+        // the machine's own hardware counters, at Summary as well as Full.
+        for level in [TraceLevel::Summary, TraceLevel::Full] {
+            let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
+            let mut m = Machine::with_observer_config(cfg, ObserverConfig::default().trace(level));
+            m.set_jitter(0);
+            let addr = {
+                let mut a = m.arena();
+                a.alloc(NumaKind::Ddr, 1 << 20)
+            };
+            let mut t = 0;
+            for i in 0..512u64 {
+                let c = CoreId((i % 8 * 2) as u16);
+                let a = addr + (i % 64) * 64;
+                let kind = match i % 3 {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::NtStore,
+                };
+                t = m.access(c, a, kind, t).complete;
+            }
+            let ctr = m.counters();
+            let tr = m.take_tracer().expect("tracer attached");
+            let mm = tr.metrics();
+            assert_eq!(mm.invalidations, ctr.invalidations, "{level:?}");
+            assert_eq!(mm.writebacks, ctr.writebacks, "{level:?}");
+            assert_eq!(mm.mcache_hits, ctr.mcache_hits, "{level:?}");
+            assert_eq!(mm.mcache_misses, ctr.mcache_misses, "{level:?}");
+            // Every Serve lands in exactly one histogram and one tile row,
+            // and remote serves reconcile with the remote-hit counter.
+            let serves: u64 = mm.tiles.values().map(|s| s.serves).sum();
+            let hist_total: u64 = mm.hist.values().map(|h| h.count).sum();
+            assert_eq!(serves, hist_total, "{level:?}");
+            let remote: u64 = mm.tiles.values().map(|s| s.remote).sum();
+            assert_eq!(remote, ctr.remote_cache_hits, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn all_three_observers_match_bare_machine() {
+        // The full stack at once — checker, tracer, and analyzer gate —
+        // must still be invisible to simulated results.
+        let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Cache);
+        let mut plain = Machine::new(cfg.clone());
+        let mut observed = Machine::with_observer_config(
+            cfg,
+            ObserverConfig::default()
+                .check(CheckLevel::FullOracle)
+                .trace(TraceLevel::Full)
+                .analyze(AnalyzeLevel::Error),
+        );
+        plain.set_jitter(0);
+        observed.set_jitter(0);
+        let mut tp = 0;
+        let mut to = 0;
+        for i in 0..64u64 {
+            let c = CoreId((i % 8 * 2) as u16);
+            let a = 4096 + (i % 16) * 64;
+            let kind = match i % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::NtStore,
+            };
+            tp = plain.access(c, a, kind, tp).complete;
+            to = observed.access(c, a, kind, to).complete;
+            assert_eq!(tp, to, "op {i}");
+        }
+        assert_eq!(plain.counters(), observed.counters());
+        observed.finish_check();
+        assert!(!observed.tracer().unwrap().events().is_empty());
+    }
+}

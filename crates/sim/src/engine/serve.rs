@@ -1,0 +1,1011 @@
+//! Coherent protocol paths: single-line reads, writes (RFO), NT stores,
+//! the memory/mcache flows, and fills/evictions/state preparation.
+//!
+//! Every observable action is emitted exactly once through the
+//! [`crate::engine::observe::ObserverHub`] at the point the engine has
+//! already computed its payload; nothing here consults an observer for
+//! control flow, so timings and counters are bit-identical whether the
+//! hub is empty or full.
+
+use crate::cache::Insert;
+use crate::engine::observe::{gstate_tag, src_tag};
+use crate::invariants::ProtoEvent;
+use crate::machine::{AccessOutcome, Machine, ServedBy};
+use crate::mcache::McacheOutcome;
+use crate::mesif::{GlobalState, MesifState};
+use crate::trace::hop_dist;
+use crate::SimTime;
+use knl_arch::{CoreId, MemTarget, TileId, LINE_SHIFT};
+
+impl Machine {
+    pub(crate) fn read(
+        &mut self,
+        core: CoreId,
+        tile: TileId,
+        line: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> AccessOutcome {
+        let t = self.cfg.timing.clone();
+        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+
+        // L1 hit.
+        if self.l1[core.0 as usize].lookup(line, ver) {
+            self.counters.l1_hits += 1;
+            self.hub.coherent_read(now, line, false);
+            let dur = self.jitter(t.l1_hit_ps, line);
+            self.hub.serve(now + dur, line, 'R', 'L', 0, dur);
+            return AccessOutcome {
+                complete: now + dur,
+                served_by: ServedBy::L1,
+            };
+        }
+
+        // Same-tile L2 hit.
+        let tile_state = self
+            .dir
+            .get(&line)
+            .map_or(MesifState::Invalid, |e| e.state_of(tile));
+        if tile_state != MesifState::Invalid && self.l2[tile.0 as usize].lookup(line, ver) {
+            self.counters.l2_hits += 1;
+            let is_m = tile_state == MesifState::Modified;
+            let is_e = tile_state == MesifState::Exclusive;
+            let lat = t.tile_l2_ps(is_m, is_e);
+            // Port occupancy bounds same-tile bandwidth.
+            let port = t.l2_port_ps_per_line + if is_m { t.l2_port_m_extra_ps } else { 0 };
+            let start = now.max(self.l2_port_busy[tile.0 as usize]);
+            self.l2_port_busy[tile.0 as usize] = start + port;
+            let complete = (start + self.jitter(lat, line)).max(start + port);
+            self.l1_fill(core, line, ver);
+            self.hub.coherent_read(now, line, false);
+            self.hub.serve(complete, line, 'R', 'T', 0, complete - now);
+            return AccessOutcome {
+                complete,
+                served_by: ServedBy::TileL2(tile_state),
+            };
+        }
+
+        // Remote path: requester -> home CHA.
+        let home = self.map.home_directory(addr);
+        let req_pos = self.topo.tile_position(tile);
+        let home_pos = self.topo.tile_position(home);
+        let t_req = self
+            .mesh
+            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        if self.hub.enabled() {
+            self.hub.issue(now, line, 'R');
+            self.hub.hop(t_req, line, 'q', hop_dist(req_pos, home_pos));
+        }
+
+        let entry = self.dir.entry(line).or_default();
+        let wait = entry.busy_until.saturating_sub(t_req);
+        let t_svc = t_req + wait + t.cha_lookup_ps;
+        entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
+
+        let supplier = entry.supplier().filter(|&s| s != tile);
+        let outcome = if let Some(sup) = supplier {
+            let st = entry.state_of(sup);
+            let extra = match st {
+                MesifState::Modified => t.remote_m_extra_ps,
+                MesifState::Exclusive => t.remote_e_extra_ps,
+                _ => 0,
+            };
+            let sup_pos = self.topo.tile_position(sup);
+            let t_data =
+                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
+            let complete = self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
+            self.counters.remote_cache_hits += 1;
+            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let from = gstate_tag(&entry.state);
+            if st == MesifState::Modified {
+                // Forced write-back downgrades M to S.
+                self.counters.writebacks += 1;
+            }
+            entry.grant_read(tile);
+            self.hub.dir_transition(
+                t_svc,
+                line,
+                from,
+                ProtoEvent::GrantRead { tile },
+                entry,
+                true,
+            );
+            self.hub.coherent_read(t_svc, line, false);
+            let jc = now + self.jitter(complete - now, line);
+            if self.hub.enabled() {
+                self.hub.hop(t_data, line, 'd', hop_dist(home_pos, sup_pos));
+                self.hub
+                    .hop(complete, line, 'r', hop_dist(sup_pos, req_pos));
+                if st == MesifState::Modified {
+                    self.hub.writeback(complete, line, false);
+                }
+                self.hub.serve(
+                    jc,
+                    line,
+                    'R',
+                    st.letter(),
+                    hop_dist(req_pos, sup_pos),
+                    jc - now,
+                );
+            }
+            AccessOutcome {
+                complete: jc,
+                served_by: ServedBy::RemoteCache {
+                    holder: sup,
+                    state: st,
+                },
+            }
+        } else {
+            let (ready, served_by) = self.memory_read(addr, line, home_pos, t_svc);
+            let served_pos = self.served_pos(served_by);
+            let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
+            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let from = gstate_tag(&entry.state);
+            entry.grant_read(tile);
+            self.hub.dir_transition(
+                t_svc,
+                line,
+                from,
+                ProtoEvent::GrantRead { tile },
+                entry,
+                true,
+            );
+            self.hub.coherent_read(t_svc, line, true);
+            let jc = now + self.jitter(complete - now, line);
+            if self.hub.enabled() {
+                self.hub
+                    .hop(complete, line, 'r', hop_dist(served_pos, req_pos));
+                self.hub.serve(
+                    jc,
+                    line,
+                    'R',
+                    src_tag(served_by),
+                    hop_dist(req_pos, served_pos),
+                    jc - now,
+                );
+            }
+            AccessOutcome {
+                complete: jc,
+                served_by,
+            }
+        };
+
+        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        self.l2_fill(tile, line, ver);
+        self.l1_fill(core, line, ver);
+        outcome
+    }
+
+    pub(crate) fn write(
+        &mut self,
+        core: CoreId,
+        tile: TileId,
+        line: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> AccessOutcome {
+        let t = self.cfg.timing.clone();
+        let tile_state = self
+            .dir
+            .get(&line)
+            .map_or(MesifState::Invalid, |e| e.state_of(tile));
+        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+
+        // Silent upgrade: tile already owns the line (M or E).
+        if matches!(tile_state, MesifState::Modified | MesifState::Exclusive)
+            && self.l2[tile.0 as usize].lookup(line, ver)
+        {
+            let in_l1 = self.l1[core.0 as usize].lookup(line, ver);
+            let lat = if in_l1 {
+                self.counters.l1_hits += 1;
+                t.l1_hit_ps
+            } else {
+                self.counters.l2_hits += 1;
+                t.tile_l2_ps(
+                    tile_state == MesifState::Modified,
+                    tile_state == MesifState::Exclusive,
+                )
+            };
+            let entry = self.dir.get_mut(&line).expect("owned line has entry");
+            let from = gstate_tag(&entry.state);
+            let invalidated = entry.grant_write(tile);
+            self.hub.dir_transition(
+                now,
+                line,
+                from,
+                ProtoEvent::GrantWrite { tile, invalidated },
+                entry,
+                true,
+            );
+            // The version advanced (sibling-core L1 copies die); re-stamp
+            // the writer's own caches.
+            let ver = entry.version;
+            self.l2_fill(tile, line, ver);
+            self.l1_fill(core, line, ver);
+            let dur = self.jitter(lat, line);
+            self.hub
+                .serve(now + dur, line, 'W', if in_l1 { 'L' } else { 'T' }, 0, dur);
+            return AccessOutcome {
+                complete: now + dur,
+                served_by: if in_l1 {
+                    ServedBy::L1
+                } else {
+                    ServedBy::TileL2(tile_state)
+                },
+            };
+        }
+
+        // RFO through the home directory.
+        let home = self.map.home_directory(addr);
+        let req_pos = self.topo.tile_position(tile);
+        let home_pos = self.topo.tile_position(home);
+        let t_req = self
+            .mesh
+            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
+        if self.hub.enabled() {
+            self.hub.issue(now, line, 'W');
+            self.hub.hop(t_req, line, 'q', hop_dist(req_pos, home_pos));
+        }
+
+        let entry = self.dir.entry(line).or_default();
+        let wait = entry.busy_until.saturating_sub(t_req);
+        let t_svc = t_req + wait + t.cha_lookup_ps;
+        entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
+
+        let supplier = entry.supplier().filter(|&s| s != tile);
+
+        let (data_ready, served_by) = if let Some(sup) = supplier {
+            let st = entry.state_of(sup);
+            let extra = match st {
+                MesifState::Modified => t.remote_m_extra_ps,
+                MesifState::Exclusive => t.remote_e_extra_ps,
+                _ => 0,
+            };
+            let sup_pos = self.topo.tile_position(sup);
+            let at_sup =
+                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
+            let ready = self.mesh.traverse(sup_pos, req_pos, at_sup + t.inject_ps);
+            self.counters.remote_cache_hits += 1;
+            if self.hub.enabled() {
+                self.hub.hop(at_sup, line, 'd', hop_dist(home_pos, sup_pos));
+                self.hub.hop(ready, line, 'r', hop_dist(sup_pos, req_pos));
+            }
+            (
+                ready,
+                ServedBy::RemoteCache {
+                    holder: sup,
+                    state: st,
+                },
+            )
+        } else if tile_state != MesifState::Invalid {
+            // Upgrade from S/F: data already local; only permission needed.
+            let ready = self.mesh.traverse(home_pos, req_pos, t_svc + t.inject_ps);
+            (ready, ServedBy::TileL2(tile_state))
+        } else {
+            let (ready, served) = self.memory_read(addr, line, home_pos, t_svc);
+            let served_pos = self.served_pos(served);
+            let ready = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps);
+            self.hub
+                .hop(ready, line, 'r', hop_dist(served_pos, req_pos));
+            (ready, served)
+        };
+
+        let entry = self.dir.get_mut(&line).expect("entry exists");
+        let from = gstate_tag(&entry.state);
+        // Fault injection (checker tests): remember one holder whose
+        // invalidation we are about to "forget".
+        let stale = if self.skip_invalidation {
+            match &entry.state {
+                GlobalState::Exclusive { owner } | GlobalState::Modified { owner }
+                    if *owner != tile =>
+                {
+                    Some(*owner)
+                }
+                GlobalState::Shared { .. } => entry.sharers.iter().copied().find(|&s| s != tile),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let invalidated = entry.grant_write(tile);
+        if let Some(s) = stale {
+            entry.sharers.push(s);
+        }
+        self.hub.dir_transition(
+            t_svc,
+            line,
+            from,
+            ProtoEvent::GrantWrite { tile, invalidated },
+            entry,
+            true,
+        );
+        self.counters.invalidations += invalidated as u64;
+        let inv_cost = invalidated as u64 * t.invalidate_per_sharer_ps;
+
+        let complete = data_ready + inv_cost + t.fill_ps;
+        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        self.l2_fill(tile, line, ver);
+        self.l1_fill(core, line, ver);
+        let jc = now + self.jitter(complete - now, line);
+        if self.hub.enabled() {
+            if invalidated > 0 {
+                self.hub.inv(t_svc, line, invalidated as u32);
+            }
+            let (src, hops) = match served_by {
+                ServedBy::TileL2(_) => ('T', hop_dist(req_pos, home_pos)),
+                other => (src_tag(other), hop_dist(req_pos, self.served_pos(other))),
+            };
+            self.hub.serve(jc, line, 'W', src, hops, jc - now);
+        }
+        AccessOutcome {
+            complete: jc,
+            served_by,
+        }
+    }
+
+    pub(crate) fn nt_store(
+        &mut self,
+        tile: TileId,
+        line: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> AccessOutcome {
+        let t = self.cfg.timing.clone();
+        self.counters.nt_stores += 1;
+        self.hub.issue(now, line, 'N');
+        // Invalidate any cached copies (rare for streaming workloads). One
+        // invalidation message goes to *each* holder — the same accounting
+        // as the RFO path, which the coherence checker reconciles exactly.
+        let mut extra = 0;
+        let mut destroyed = None;
+        if let Some(entry) = self.dir.get_mut(&line) {
+            let holders = entry.num_holders();
+            if holders > 0 {
+                let from = gstate_tag(&entry.state);
+                let dirty = entry.invalidate_all();
+                self.hub.dir_transition(
+                    now,
+                    line,
+                    from,
+                    ProtoEvent::InvalidateAll { holders, dirty },
+                    entry,
+                    true,
+                );
+                destroyed = Some((holders, dirty));
+            }
+        }
+        if let Some((holders, dirty)) = destroyed {
+            self.counters.invalidations += holders as u64;
+            extra = holders as u64 * t.invalidate_per_sharer_ps;
+            self.hub.inv(now, line, holders as u32);
+            if dirty {
+                self.counters.writebacks += 1;
+                self.hub.writeback(now, line, false);
+            }
+        }
+        self.hub.nt_store(now, line);
+        // Posted: the core only pays the issue cost; the device is occupied
+        // in the background. The accept time is returned to let callers
+        // throttle on write-combining-buffer capacity.
+        let req_pos = self.topo.tile_position(tile);
+        let accept = self.memory_write(addr, line, req_pos, now + t.issue_gap_ps);
+        AccessOutcome {
+            complete: accept + extra,
+            served_by: ServedBy::Posted,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory paths
+    // ------------------------------------------------------------------
+
+    /// Read `line` from memory; `from_pos` is where the request departs
+    /// (home CHA). Returns (data-ready-at-device time, provenance).
+    pub(crate) fn memory_read(
+        &mut self,
+        addr: u64,
+        line: u64,
+        from_pos: (i32, i32),
+        t0: SimTime,
+    ) -> (SimTime, ServedBy) {
+        let t = self.cfg.timing.clone();
+        let in_ddr = matches!(self.map.mem_target(addr), MemTarget::Ddr { .. });
+        if self.mcache.enabled() && in_ddr {
+            // Memory-side cache flow.
+            let edc = self.map.mcdram_cache_edc(addr);
+            let edc_pos = self.topo.edc_position(edc);
+            let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
+            let edc_dev = 6 + edc as usize;
+            match self.mcache.access(line, false) {
+                McacheOutcome::Hit => {
+                    self.counters.mcache_hits += 1;
+                    self.counters.mcdram_accesses += 1;
+                    if self.hub.enabled() {
+                        let depth = self.devices[edc_dev].backlog_lines(arrive);
+                        self.hub.mcache(arrive, line, edc, true);
+                        self.hub
+                            .dev_enter(arrive, line, edc_dev as u8, false, depth);
+                    }
+                    let ready = self.devices[edc_dev].read(arrive);
+                    self.hub.dev_leave(ready, line, edc_dev as u8);
+                    (ready, ServedBy::McacheHit { edc })
+                }
+                outcome => {
+                    self.counters.mcache_misses += 1;
+                    self.counters.ddr_accesses += 1;
+                    let target = self.map.mem_target(addr);
+                    let ddr_pos = self.ddr_pos(target);
+                    let at_ddr = self.mesh.traverse(edc_pos, ddr_pos, arrive + t.inject_ps);
+                    let ddr_dev = target.device_index();
+                    if self.hub.enabled() {
+                        self.hub.mcache(arrive, line, edc, false);
+                        self.hub.hop(at_ddr, line, 'd', hop_dist(edc_pos, ddr_pos));
+                        let depth = self.devices[ddr_dev].backlog_lines(at_ddr);
+                        self.hub
+                            .dev_enter(at_ddr, line, ddr_dev as u8, false, depth);
+                    }
+                    let ready = self.devices[ddr_dev].read(at_ddr);
+                    self.hub.dev_leave(ready, line, ddr_dev as u8);
+                    // Fill the cache line in the background ("data read from
+                    // DDR is sent to MCDRAM and the requesting tile
+                    // simultaneously").
+                    if self.hub.enabled() {
+                        let depth = self.devices[edc_dev].backlog_lines(ready);
+                        self.hub.dev_enter(ready, line, edc_dev as u8, true, depth);
+                    }
+                    self.devices[edc_dev].write(ready);
+                    if let McacheOutcome::MissDirtyEvict { victim_line } = outcome {
+                        // Victim write-back to DDR (plus the L2 snoop the
+                        // paper describes; both happen off the critical path).
+                        let victim_addr = victim_line << LINE_SHIFT;
+                        let vt = self.map.mem_target(victim_addr);
+                        if self.hub.enabled() {
+                            let depth = self.devices[vt.device_index()].backlog_lines(ready);
+                            self.hub.dev_enter(
+                                ready,
+                                victim_line,
+                                vt.device_index() as u8,
+                                true,
+                                depth,
+                            );
+                        }
+                        self.hub.writeback(ready, victim_line, true);
+                        self.devices[vt.device_index()].write(ready);
+                        self.counters.writebacks += 1;
+                    }
+                    (ready, ServedBy::Memory(target))
+                }
+            }
+        } else {
+            let target = self.map.mem_target(addr);
+            let pos = self.target_pos(target);
+            let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
+            let dev = target.device_index();
+            if self.hub.enabled() {
+                let depth = self.devices[dev].backlog_lines(arrive);
+                self.hub.dev_enter(arrive, line, dev as u8, false, depth);
+            }
+            let ready = self.devices[dev].read(arrive);
+            self.hub.dev_leave(ready, line, dev as u8);
+            match target {
+                MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
+                MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
+            }
+            (ready, ServedBy::Memory(target))
+        }
+    }
+
+    /// Write one line to memory (write-back or NT store). Returns accept time.
+    pub(crate) fn memory_write(
+        &mut self,
+        addr: u64,
+        line: u64,
+        from_pos: (i32, i32),
+        t0: SimTime,
+    ) -> SimTime {
+        let t = self.cfg.timing.clone();
+        let in_ddr = matches!(self.map.mem_target(addr), MemTarget::Ddr { .. });
+        if self.mcache.enabled() && in_ddr {
+            // Write-backs and NT stores land in the MCDRAM cache directly.
+            let edc = self.map.mcdram_cache_edc(addr);
+            let edc_pos = self.topo.edc_position(edc);
+            let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
+            let edc_dev = 6 + edc as usize;
+            if self.hub.enabled() {
+                let depth = self.devices[edc_dev].backlog_lines(arrive);
+                self.hub.dev_enter(arrive, line, edc_dev as u8, true, depth);
+            }
+            match self.mcache.access(line, true) {
+                McacheOutcome::Hit
+                | McacheOutcome::MissCold
+                | McacheOutcome::MissCleanEvict { .. } => {
+                    self.counters.mcdram_accesses += 1;
+                    let accept = self.devices[edc_dev].write(arrive);
+                    self.hub.dev_leave(accept, line, edc_dev as u8);
+                    accept
+                }
+                McacheOutcome::MissDirtyEvict { victim_line } => {
+                    self.counters.mcdram_accesses += 1;
+                    let accept = self.devices[edc_dev].write(arrive);
+                    self.hub.dev_leave(accept, line, edc_dev as u8);
+                    let victim_addr = victim_line << LINE_SHIFT;
+                    let vt = self.map.mem_target(victim_addr);
+                    // The dirty victim must drain to DDR before the cache
+                    // can accept the new line: evictions backpressure the
+                    // write stream (this is why cache-mode write bandwidth
+                    // collapses toward the DDR write rate in Table II).
+                    if self.hub.enabled() {
+                        let depth = self.devices[vt.device_index()].backlog_lines(accept);
+                        self.hub.dev_enter(
+                            accept,
+                            victim_line,
+                            vt.device_index() as u8,
+                            true,
+                            depth,
+                        );
+                    }
+                    self.hub.writeback(accept, victim_line, true);
+                    let drained = self.devices[vt.device_index()].write(accept);
+                    self.hub
+                        .dev_leave(drained, victim_line, vt.device_index() as u8);
+                    self.counters.writebacks += 1;
+                    drained
+                }
+            }
+        } else {
+            let target = self.map.mem_target(addr);
+            let pos = self.target_pos(target);
+            let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
+            let dev = target.device_index();
+            if self.hub.enabled() {
+                let depth = self.devices[dev].backlog_lines(arrive);
+                self.hub.dev_enter(arrive, line, dev as u8, true, depth);
+            }
+            match target {
+                MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
+                MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
+            }
+            let accept = self.devices[dev].write(arrive);
+            self.hub.dev_leave(accept, line, dev as u8);
+            accept
+        }
+    }
+
+    pub(crate) fn target_pos(&self, target: MemTarget) -> (i32, i32) {
+        match target {
+            MemTarget::Ddr { imc, .. } => self.topo.imc_position(imc),
+            MemTarget::Mcdram { edc } => self.topo.edc_position(edc),
+        }
+    }
+
+    pub(crate) fn ddr_pos(&self, target: MemTarget) -> (i32, i32) {
+        match target {
+            MemTarget::Ddr { imc, .. } => self.topo.imc_position(imc),
+            MemTarget::Mcdram { .. } => unreachable!("mcache backing store must be DDR"),
+        }
+    }
+
+    pub(crate) fn served_pos(&self, served: ServedBy) -> (i32, i32) {
+        match served {
+            ServedBy::Memory(t) => self.target_pos(t),
+            ServedBy::McacheHit { edc } => self.topo.edc_position(edc),
+            ServedBy::RemoteCache { holder, .. } => self.topo.tile_position(holder),
+            // L1/L2/Posted never route a reply across the mesh.
+            _ => (0, 0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fills & evictions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn l1_fill(&mut self, core: CoreId, line: u64, version: u32) {
+        // L1 evictions are silent (the tile L2 retains the line).
+        let _ = self.l1[core.0 as usize].insert(line, version);
+    }
+
+    pub(crate) fn l2_fill(&mut self, tile: TileId, line: u64, version: u32) {
+        if let Insert::Evicted(victim) = self.l2[tile.0 as usize].insert(line, version) {
+            let mut dirty = None;
+            let when = self.l2_port_busy[tile.0 as usize];
+            if let Some(entry) = self.dir.get_mut(&victim) {
+                let from = gstate_tag(&entry.state);
+                let d = entry.evict(tile);
+                self.hub.dir_transition(
+                    when,
+                    victim,
+                    from,
+                    ProtoEvent::Evict { tile, dirty: d },
+                    entry,
+                    true,
+                );
+                dirty = Some(d);
+            }
+            if dirty == Some(true) {
+                // Dirty victim: write back in the background.
+                self.counters.writebacks += 1;
+                self.hub.writeback(when, victim, false);
+                let victim_addr = victim << LINE_SHIFT;
+                let pos = self.topo.tile_position(tile);
+                self.memory_write(victim_addr, victim, pos, when);
+            }
+        }
+    }
+
+    /// Explicitly drop `addr`'s line from `core`'s tile (both L1s and the
+    /// shared L2), updating the directory; a dirty copy is written back in
+    /// the background. Returns the core-visible completion time. This is
+    /// the [`crate::ops::Op::Evict`] primitive the coherence fuzzer uses to
+    /// exercise eviction paths without overflowing the tag arrays.
+    pub fn evict_line(&mut self, core: CoreId, addr: u64, now: SimTime) -> SimTime {
+        let t = self.cfg.timing.clone();
+        let line = addr >> LINE_SHIFT;
+        let tile = core.tile();
+        self.hub.set_tile(tile.0);
+        for c in tile.cores() {
+            if (c.0 as usize) < self.l1.len() {
+                self.l1[c.0 as usize].remove(line);
+            }
+        }
+        self.l2[tile.0 as usize].remove(line);
+        let mut dirty = None;
+        if let Some(entry) = self.dir.get_mut(&line) {
+            let from = gstate_tag(&entry.state);
+            let d = entry.evict(tile);
+            self.hub.dir_transition(
+                now,
+                line,
+                from,
+                ProtoEvent::Evict { tile, dirty: d },
+                entry,
+                true,
+            );
+            dirty = Some(d);
+        }
+        if dirty == Some(true) {
+            self.counters.writebacks += 1;
+            self.hub.writeback(now, line, false);
+            let pos = self.topo.tile_position(tile);
+            self.memory_write(addr, line, pos, now + t.issue_gap_ps);
+        }
+        // The core pays only the flush issue; write-backs are posted.
+        now + t.l1_hit_ps
+    }
+
+    /// Pre-load a line into a tile's caches in a given state without timing
+    /// (benchmark state preparation). `core` receives an L1 copy too.
+    pub fn prepare_line(&mut self, core: CoreId, addr: u64, state: MesifState) {
+        let line = addr >> LINE_SHIFT;
+        let tile = core.tile();
+        match state {
+            MesifState::Invalid => {
+                if let Some(entry) = self.dir.get_mut(&line) {
+                    let from = gstate_tag(&entry.state);
+                    let holders = entry.num_holders();
+                    let dirty = entry.invalidate_all();
+                    self.hub.dir_transition(
+                        0,
+                        line,
+                        from,
+                        ProtoEvent::InvalidateAll { holders, dirty },
+                        entry,
+                        false,
+                    );
+                }
+            }
+            MesifState::Modified => {
+                let entry = self.dir.entry(line).or_default();
+                let from = gstate_tag(&entry.state);
+                let invalidated = entry.grant_write(tile);
+                self.hub.dir_transition(
+                    0,
+                    line,
+                    from,
+                    ProtoEvent::GrantWrite { tile, invalidated },
+                    entry,
+                    false,
+                );
+                let ver = entry.version;
+                self.l2_fill(tile, line, ver);
+                self.l1_fill(core, line, ver);
+            }
+            MesifState::Exclusive => {
+                let entry = self.dir.entry(line).or_default();
+                let from = gstate_tag(&entry.state);
+                let holders = entry.num_holders();
+                let dirty = entry.invalidate_all();
+                entry.grant_read(tile); // first reader ⇒ E
+                self.hub.dir_transition(
+                    0,
+                    line,
+                    from,
+                    ProtoEvent::InvalidateAll { holders, dirty },
+                    entry,
+                    false,
+                );
+                self.hub.dir_transition(
+                    0,
+                    line,
+                    from,
+                    ProtoEvent::GrantRead { tile },
+                    entry,
+                    false,
+                );
+                let ver = entry.version;
+                self.l2_fill(tile, line, ver);
+                self.l1_fill(core, line, ver);
+            }
+            MesifState::Shared | MesifState::Forward => {
+                // Owner reads, then a helper tile reads, leaving the owner S
+                // and the helper F; for an F request we re-read from `core`.
+                let entry = self.dir.entry(line).or_default();
+                let from = gstate_tag(&entry.state);
+                let holders = entry.num_holders();
+                let dirty = entry.invalidate_all();
+                let helper = TileId((tile.0 + 1) % self.cfg.active_tiles as u16);
+                let (first, second) = if state == MesifState::Shared {
+                    (tile, helper)
+                } else {
+                    (helper, tile)
+                };
+                entry.grant_read(first);
+                entry.grant_read(second);
+                self.hub.dir_transition(
+                    0,
+                    line,
+                    from,
+                    ProtoEvent::InvalidateAll { holders, dirty },
+                    entry,
+                    false,
+                );
+                self.hub.dir_transition(
+                    0,
+                    line,
+                    from,
+                    ProtoEvent::GrantRead { tile: second },
+                    entry,
+                    false,
+                );
+                let ver = entry.version;
+                self.l2_fill(tile, line, ver);
+                self.l1_fill(core, line, ver);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{AccessKind, Machine, ServedBy};
+    use crate::mesif::MesifState;
+    use knl_arch::{ClusterMode, CoreId, MachineConfig, MemTarget, MemoryMode, NumaKind, Schedule};
+
+    fn machine(cm: ClusterMode, mm: MemoryMode) -> Machine {
+        let mut m = Machine::new(MachineConfig::knl7210(cm, mm));
+        m.set_jitter(0);
+        m
+    }
+
+    fn ddr_addr(m: &Machine) -> u64 {
+        let mut a = m.arena();
+        a.alloc(NumaKind::Ddr, 4096)
+    }
+
+    #[test]
+    fn l1_hit_after_first_read() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let addr = ddr_addr(&m);
+        let c = CoreId(0);
+        let first = m.access(c, addr, AccessKind::Read, 0);
+        assert!(matches!(first.served_by, ServedBy::Memory(_)));
+        let second = m.access(c, addr, AccessKind::Read, first.complete);
+        assert!(matches!(second.served_by, ServedBy::L1));
+        assert_eq!(second.complete - first.complete, 3_800);
+    }
+
+    #[test]
+    fn memory_read_latency_near_140ns() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let c = CoreId(0);
+        let mut lat = Vec::new();
+        for i in 0..200u64 {
+            let addr = 4096 + i * 64;
+            let out = m.access(c, addr, AccessKind::Read, i * 1_000_000);
+            lat.push((out.complete - i * 1_000_000) as f64 / 1000.0);
+        }
+        let med = {
+            let mut v = lat.clone();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!((120.0..170.0).contains(&med), "DDR latency {med} ns");
+    }
+
+    #[test]
+    fn mcdram_latency_higher_than_ddr() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let c = CoreId(0);
+        let mut arena = m.arena();
+        let ddr = arena.alloc(NumaKind::Ddr, 1 << 16);
+        let mc = arena.alloc(NumaKind::Mcdram, 1 << 16);
+        let mut tddr = 0u64;
+        let mut tmc = 0u64;
+        for i in 0..100u64 {
+            let o = m.access(c, ddr + i * 64, AccessKind::Read, i * 1_000_000);
+            tddr += o.complete - i * 1_000_000;
+        }
+        for i in 0..100u64 {
+            let o = m.access(c, mc + i * 64, AccessKind::Read, (1000 + i) * 1_000_000);
+            tmc += o.complete - (1000 + i) * 1_000_000;
+        }
+        assert!(
+            tmc > tddr,
+            "MCDRAM latency must exceed DDR ({tmc} vs {tddr})"
+        );
+    }
+
+    #[test]
+    fn same_tile_transfer_states() {
+        // Table I: tile M 34 ns, E 18 ns, S/F 14 ns (plus port effects).
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let owner = CoreId(0);
+        let reader = CoreId(1); // same tile
+        for (state, expect_ns) in [
+            (MesifState::Modified, 34.0),
+            (MesifState::Exclusive, 18.0),
+            (MesifState::Shared, 14.0),
+        ] {
+            let addr = 1 << 16;
+            m.reset_caches();
+            m.prepare_line(owner, addr, state);
+            let out = m.access(reader, addr, AccessKind::Read, 1_000_000);
+            let ns = (out.complete - 1_000_000) as f64 / 1000.0;
+            assert!(
+                (ns - expect_ns).abs() < expect_ns * 0.35 + 2.0,
+                "state {state:?}: got {ns} ns, expected ~{expect_ns}"
+            );
+            assert!(
+                matches!(out.served_by, ServedBy::TileL2(_)),
+                "{:?}",
+                out.served_by
+            );
+        }
+    }
+
+    #[test]
+    fn remote_transfer_slower_than_tile() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let owner = CoreId(10); // tile 5
+        let reader = CoreId(0); // tile 0
+        let addr = 1 << 16;
+        m.prepare_line(owner, addr, MesifState::Modified);
+        let out = m.access(reader, addr, AccessKind::Read, 0);
+        assert!(matches!(out.served_by, ServedBy::RemoteCache { .. }));
+        let ns = out.complete as f64 / 1000.0;
+        assert!((80.0..170.0).contains(&ns), "remote M latency {ns} ns");
+    }
+
+    #[test]
+    fn remote_m_costs_more_than_sf() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let owner = CoreId(10);
+        let reader = CoreId(0);
+        let addr_m = 1 << 16;
+        let addr_s = 2 << 16;
+        m.prepare_line(owner, addr_m, MesifState::Modified);
+        m.prepare_line(owner, addr_s, MesifState::Forward);
+        let tm = m.access(reader, addr_m, AccessKind::Read, 0).complete;
+        let ts = m
+            .access(reader, addr_s, AccessKind::Read, 10_000_000)
+            .complete
+            - 10_000_000;
+        assert!(tm > ts, "M {tm} must exceed S/F {ts}");
+    }
+
+    #[test]
+    fn write_invalidates_readers() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let a = CoreId(0);
+        let b = CoreId(10);
+        let addr = 1 << 16;
+        // b owns; a reads (both share); b writes (invalidates a); a reads again.
+        m.prepare_line(b, addr, MesifState::Modified);
+        let r1 = m.access(a, addr, AccessKind::Read, 0);
+        assert!(matches!(r1.served_by, ServedBy::RemoteCache { .. }));
+        let w = m.access(b, addr, AccessKind::Write, r1.complete);
+        let c0 = m.counters();
+        assert!(c0.invalidations >= 1);
+        let r2 = m.access(a, addr, AccessKind::Read, w.complete + 1_000_000);
+        assert!(
+            matches!(r2.served_by, ServedBy::RemoteCache { .. }),
+            "invalidated reader must refetch, got {:?}",
+            r2.served_by
+        );
+    }
+
+    #[test]
+    fn contention_serializes_at_directory() {
+        // N readers hitting the same M line nearly simultaneously: the last
+        // completion grows roughly linearly with N (Table I: α + β·N).
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let owner = CoreId(0);
+        let addr = 1 << 16;
+        let last_for = |m: &mut Machine, n: usize| -> u64 {
+            m.reset_caches();
+            m.prepare_line(owner, addr, MesifState::Modified);
+            let mut worst = 0;
+            for i in 0..n {
+                let reader = Schedule::Scatter.core(i + 1, 64);
+                let out = m.access(reader, addr, AccessKind::Read, 0);
+                worst = worst.max(out.complete);
+            }
+            worst
+        };
+        let t8 = last_for(&mut m, 8);
+        let t32 = last_for(&mut m, 32);
+        let slope = (t32 - t8) as f64 / 24.0 / 1000.0;
+        assert!(
+            (20.0..50.0).contains(&slope),
+            "contention slope {slope} ns/thread (expect ~34)"
+        );
+    }
+
+    #[test]
+    fn cache_mode_hits_and_misses() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Cache);
+        let c = CoreId(0);
+        let addr = 1 << 20;
+        let miss = m.access(c, addr, AccessKind::Read, 0);
+        assert!(matches!(
+            miss.served_by,
+            ServedBy::Memory(MemTarget::Ddr { .. })
+        ));
+        // Evict from L1+L2 is hard; instead touch a different line mapping
+        // to the same mcache set? Simpler: re-read after clearing the tile
+        // caches — the memory-side cache keeps its content.
+        for l2 in &mut m.l1 {
+            l2.clear();
+        }
+        for l2 in &mut m.l2 {
+            l2.clear();
+        }
+        m.dir.clear();
+        let hit = m.access(c, addr, AccessKind::Read, 10_000_000);
+        assert!(
+            matches!(hit.served_by, ServedBy::McacheHit { .. }),
+            "{:?}",
+            hit.served_by
+        );
+        // Cache-mode hit latency exceeds a flat DDR access (tag check +
+        // MCDRAM's higher device latency), per Table II.
+        let hit_ns = (hit.complete - 10_000_000) as f64 / 1000.0;
+        assert!(
+            (140.0..210.0).contains(&hit_ns),
+            "cache-mode latency {hit_ns}"
+        );
+    }
+
+    #[test]
+    fn nt_store_is_posted_and_counted() {
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let c = CoreId(0);
+        let out = m.access(c, 4096, AccessKind::NtStore, 0);
+        assert!(matches!(out.served_by, ServedBy::Posted));
+        assert_eq!(m.counters().nt_stores, 1);
+    }
+
+    #[test]
+    fn nt_store_invalidates_every_holder() {
+        // An NT store destroys all cached copies; the invalidation counter
+        // must reflect each one, exactly like an RFO (audit fix pinned by
+        // the checker's counter reconciliation).
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let mut t = 0;
+        for c in [CoreId(0), CoreId(2), CoreId(4)] {
+            t = m.access(c, 4096, AccessKind::Read, t).complete;
+        }
+        let before = m.counters().invalidations;
+        m.access(CoreId(6), 4096, AccessKind::NtStore, t);
+        assert_eq!(m.counters().invalidations - before, 3);
+    }
+}

@@ -7,6 +7,7 @@
 //! to reproduce a reported violation (see DESIGN.md "Correctness
 //! checking").
 
+use crate::engine::observe::ObserverConfig;
 use crate::invariants::CheckLevel;
 use crate::machine::Machine;
 use crate::ops::Op;
@@ -28,7 +29,7 @@ const POOL_LINES: u64 = 12;
 /// At [`CheckLevel::FullOracle`] the checker's final reconciliation
 /// (counter deltas + flat-vs-visible memory image) runs before returning.
 pub fn fuzz_case(cfg: &MachineConfig, seed: u64, check: CheckLevel) -> Counters {
-    let mut m = Machine::with_check(cfg.clone(), check);
+    let mut m = Machine::with_observer_config(cfg.clone(), ObserverConfig::default().check(check));
     m.set_jitter(0);
 
     // A small pool of hot lines, DDR plus (when addressable) flat MCDRAM

@@ -177,7 +177,7 @@ impl CoherenceChecker {
     /// *after* the transition. `counted` transitions accumulate message
     /// counters (state-preparation shortcuts pass `false`: they mutate the
     /// directory without the machine counting messages).
-    pub fn on_event(&mut self, line: u64, event: ProtoEvent, entry: &DirEntry, counted: bool) {
+    pub fn on_transition(&mut self, line: u64, event: ProtoEvent, entry: &DirEntry, counted: bool) {
         self.events += 1;
         self.seq += 1;
         let prev = self.history.get(&line).and_then(|h| h.back());
@@ -511,11 +511,11 @@ mod tests {
         let mut ck = checker();
         let mut e = DirEntry::default();
         e.grant_read(T0);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
         e.grant_read(T1);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
         let inv = e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -535,7 +535,7 @@ mod tests {
         let mut e = DirEntry::default();
         e.grant_write(T0);
         e.sharers.push(T1); // corrupt: M state with a residual sharer
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -554,7 +554,7 @@ mod tests {
         e.grant_read(T0);
         e.grant_read(T1);
         e.sharers.push(T0);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
     }
 
     #[test]
@@ -563,7 +563,7 @@ mod tests {
         let mut ck = checker();
         let mut e = DirEntry::default();
         e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -575,7 +575,7 @@ mod tests {
         e.version = 0; // regress the epoch
         e.grant_read(T1);
         e.version = 0;
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
     }
 
     #[test]
@@ -587,10 +587,10 @@ mod tests {
             ..Default::default()
         };
         e.grant_read(T0);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
         e.busy_until = 5_000;
         e.grant_read(T1);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
     }
 
     #[test]
@@ -610,7 +610,7 @@ mod tests {
         let mut ck = checker();
         let mut e = DirEntry::default();
         e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -620,7 +620,7 @@ mod tests {
             true,
         );
         e.grant_read(T1);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T1 }, &e, true);
         assert_eq!(ck.writebacks, 1, "M->S downgrade implies one write-back");
     }
 
@@ -632,7 +632,7 @@ mod tests {
         e.grant_read(T1);
         let holders = e.num_holders();
         let dirty = e.invalidate_all();
-        ck.on_event(0, ProtoEvent::InvalidateAll { holders, dirty }, &e, false);
+        ck.on_transition(0, ProtoEvent::InvalidateAll { holders, dirty }, &e, false);
         assert_eq!(ck.invalidations, 0);
         assert_eq!(ck.events, 1);
     }
@@ -642,9 +642,9 @@ mod tests {
         let mut ck = checker();
         let mut e = DirEntry::default();
         e.grant_read(T0);
-        ck.on_event(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
+        ck.on_transition(0, ProtoEvent::GrantRead { tile: T0 }, &e, true);
         let inv = e.grant_write(T1);
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T1,
@@ -666,7 +666,7 @@ mod tests {
         let mut ck = checker();
         let mut e = DirEntry::default();
         let inv = e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             0,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -687,7 +687,7 @@ mod tests {
         let mut ck = CoherenceChecker::new(CheckLevel::FullOracle, Counters::default());
         let mut e = DirEntry::default();
         let inv = e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             7,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -699,7 +699,7 @@ mod tests {
         ck.observe_read(7, false);
         let holders = e.num_holders();
         let dirty = e.invalidate_all();
-        ck.on_event(7, ProtoEvent::InvalidateAll { holders, dirty }, &e, true);
+        ck.on_transition(7, ProtoEvent::InvalidateAll { holders, dirty }, &e, true);
         ck.on_nt_store(7);
         ck.observe_read(7, true);
         let shadow = ck.shadow().unwrap();
@@ -719,7 +719,7 @@ mod tests {
         let mut ck = CoherenceChecker::new(CheckLevel::FullOracle, Counters::default());
         let mut e = DirEntry::default();
         let inv = e.grant_write(T0);
-        ck.on_event(
+        ck.on_transition(
             3,
             ProtoEvent::GrantWrite {
                 tile: T0,
@@ -753,7 +753,7 @@ mod tests {
         for i in 0..(EVENT_WINDOW + 9) {
             let t = TileId((i % 2) as u16);
             e.grant_read(t);
-            ck.on_event(0, ProtoEvent::GrantRead { tile: t }, &e, true);
+            ck.on_transition(0, ProtoEvent::GrantRead { tile: t }, &e, true);
         }
         assert_eq!(ck.history[&0].len(), EVENT_WINDOW);
     }

@@ -26,6 +26,7 @@ pub mod alloc;
 pub mod analyze;
 pub mod cache;
 pub mod counters;
+pub mod engine;
 pub mod fuzz;
 pub mod invariants;
 pub mod machine;
@@ -42,6 +43,9 @@ pub mod trace;
 pub use alloc::Arena;
 pub use analyze::{analyze, AnalysisReport, AnalyzeLevel, Finding, Rule, Severity};
 pub use counters::Counters;
+pub use engine::observe::{
+    AnalyzeGate, MachineObserver, ObserverConfig, ObserverHub, ProtocolEvent,
+};
 pub use invariants::{CheckLevel, CoherenceChecker};
 pub use machine::{AccessKind, Machine};
 pub use mesif::MesifState;

@@ -6,22 +6,31 @@
 //! use [`Machine::stream_chunk`], which bypasses the coherence bookkeeping
 //! (streams touch fresh lines with no reuse) but keeps device queueing and —
 //! in cache mode — the memory-side cache behaviour.
+//!
+//! This file is the facade: state, construction, and the public accessor
+//! surface. The protocol paths live in [`crate::engine::serve`], bulk
+//! transfers in [`crate::engine::transfer`], and all instrumentation flows
+//! through the [`ObserverHub`] defined in [`crate::engine::observe`].
 
 use crate::alloc::Arena;
 use crate::analyze::AnalyzeLevel;
-use crate::cache::{Insert, TagCache};
+use crate::cache::TagCache;
 use crate::counters::Counters;
-use crate::invariants::{CheckLevel, CoherenceChecker, ProtoEvent};
-use crate::mcache::{McacheOutcome, MemorySideCache};
+use crate::engine::observe::{AnalyzeGate, MachineObserver, ObserverConfig, ObserverHub};
+use crate::invariants::{CheckLevel, CoherenceChecker};
+use crate::mcache::MemorySideCache;
 use crate::memdev::{DeviceParams, MemDevice};
 use crate::mesh::{Mesh, MeshConfig};
-use crate::mesif::{DirEntry, GlobalState, MesifState};
-use crate::trace::{hop_dist, EventKind, TraceLevel, Tracer, NO_TILE};
+use crate::mesif::{DirEntry, MesifState};
+use crate::program::Program;
+use crate::trace::{TraceLevel, Tracer};
 use crate::SimTime;
 use knl_arch::address::NUM_MEM_DEVICES;
 use knl_arch::topology::splitmix64;
 use knl_arch::{AddressMap, CoreId, MachineConfig, MemTarget, TileId, Topology, LINE_SHIFT};
 use std::collections::HashMap;
+
+pub use crate::engine::transfer::StreamState;
 
 /// Kind of a single coherent access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,83 +78,29 @@ pub struct AccessOutcome {
     pub served_by: ServedBy,
 }
 
-/// State carried across the chunks of one streaming kernel: rings of
-/// outstanding load/store completions implementing bounded MLP.
-#[derive(Debug, Clone, Default)]
-pub struct StreamState {
-    load_ring: Vec<SimTime>,
-    load_idx: usize,
-    nt_ring: Vec<SimTime>,
-    nt_idx: usize,
-    last_issue: SimTime,
-}
-
-impl StreamState {
-    fn gate_load(&mut self, ov: usize, issue: SimTime) -> SimTime {
-        if self.load_ring.len() < ov {
-            self.load_ring.push(0);
-        }
-        let slot = self.load_idx % self.load_ring.len().max(1);
-        self.load_idx += 1;
-        issue.max(self.load_ring[slot])
-    }
-
-    fn record_load(&mut self, complete: SimTime) {
-        let slot = (self.load_idx - 1) % self.load_ring.len().max(1);
-        self.load_ring[slot] = complete;
-    }
-
-    fn gate_nt(&mut self, ov: usize, issue: SimTime) -> SimTime {
-        if self.nt_ring.len() < ov {
-            self.nt_ring.push(0);
-        }
-        let slot = self.nt_idx % self.nt_ring.len().max(1);
-        self.nt_idx += 1;
-        issue.max(self.nt_ring[slot])
-    }
-
-    fn record_nt(&mut self, accept: SimTime) {
-        let slot = (self.nt_idx - 1) % self.nt_ring.len().max(1);
-        self.nt_ring[slot] = accept;
-    }
-
-    /// Time when every outstanding request has completed.
-    fn drain_time(&self) -> SimTime {
-        let l = self.load_ring.iter().copied().max().unwrap_or(0);
-        let n = self.nt_ring.iter().copied().max().unwrap_or(0);
-        l.max(n)
-    }
-}
-
 /// The simulated KNL.
 pub struct Machine {
-    cfg: MachineConfig,
-    topo: Topology,
-    map: AddressMap,
-    l1: Vec<TagCache>,
-    l2: Vec<TagCache>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) topo: Topology,
+    pub(crate) map: AddressMap,
+    pub(crate) l1: Vec<TagCache>,
+    pub(crate) l2: Vec<TagCache>,
     /// Data-port occupancy of each tile's L2.
-    l2_port_busy: Vec<SimTime>,
-    dir: HashMap<u64, DirEntry>,
-    mesh: Mesh,
-    devices: Vec<MemDevice>,
-    mcache: MemorySideCache,
-    counters: Counters,
+    pub(crate) l2_port_busy: Vec<SimTime>,
+    pub(crate) dir: HashMap<u64, DirEntry>,
+    pub(crate) mesh: Mesh,
+    pub(crate) devices: Vec<MemDevice>,
+    pub(crate) mcache: MemorySideCache,
+    pub(crate) counters: Counters,
     jitter_pct: u32,
     jitter_seq: u64,
-    /// Dynamic coherence checking; `None` at [`CheckLevel::Off`], so the
-    /// hot paths pay one never-taken branch when checking is disabled.
-    checker: Option<Box<CoherenceChecker>>,
-    /// Structured event tracing; same gating pattern as `checker`: `None`
-    /// at [`TraceLevel::Off`], one never-taken branch on the hot paths.
-    tracer: Option<Box<Tracer>>,
+    /// The event spine: every observer (coherence checker, tracer,
+    /// analyzer gate) hangs off this one hub. Empty by default, in which
+    /// case each emission point is a single never-taken branch.
+    pub(crate) hub: ObserverHub,
     /// Fault injection for checker tests: a write skips invalidating one
     /// stale holder (see [`Machine::debug_skip_invalidation`]).
-    skip_invalidation: bool,
-    /// Static workload analysis level. A plain `Copy` flag: the analyzer
-    /// is a pure pre-pass in [`crate::Runner::run`], never consulted on
-    /// the access hot paths, so `Off` costs nothing.
-    analyze: AnalyzeLevel,
+    pub(crate) skip_invalidation: bool,
 }
 
 // Sweep workers (knl-benchsuite's executor) each own a fresh Machine on a
@@ -207,37 +162,49 @@ impl Machine {
             counters: Counters::default(),
             jitter_pct,
             jitter_seq: 0,
-            checker: None,
-            tracer: None,
+            hub: ObserverHub::default(),
             skip_invalidation: false,
-            analyze: AnalyzeLevel::Off,
         }
     }
 
-    /// [`Machine::new`] with dynamic checking enabled at `level`.
-    pub fn with_check(cfg: MachineConfig, level: CheckLevel) -> Self {
+    /// [`Machine::new`] with the observers an [`ObserverConfig`] describes
+    /// attached — the one construction knob for checker, tracer, and
+    /// analyzer gate.
+    pub fn with_observer_config(cfg: MachineConfig, oc: ObserverConfig) -> Self {
         let mut m = Self::new(cfg);
-        m.set_check_level(level);
+        m.hub = ObserverHub::from_config(oc, m.counters);
         m
     }
 
-    /// Enable/disable dynamic coherence checking. Attaching mid-run is
-    /// fine: counter reconciliation works on the delta from this point.
-    pub fn set_check_level(&mut self, level: CheckLevel) {
-        self.checker = match level {
-            CheckLevel::Off => None,
-            _ => Some(Box::new(CoherenceChecker::new(level, self.counters))),
-        };
+    /// Attach a custom observer to the event spine. The built-in observers
+    /// are registered via [`Machine::with_observer_config`]; this is the
+    /// extension point for additional ones (profilers, energy models).
+    pub fn register_observer(&mut self, observer: Box<dyn MachineObserver>) {
+        self.hub.register(observer);
+    }
+
+    /// Is any observer registered (event consumer or not)?
+    pub fn has_observers(&self) -> bool {
+        !self.hub.is_empty()
+    }
+
+    /// Notify observers that a runner is about to execute `programs` with
+    /// `initial_flags` (sorted by address). The analyzer gate runs its
+    /// static pre-pass here.
+    pub fn observe_run_start(&mut self, programs: &[Program], initial_flags: &[(u64, u64)]) {
+        self.hub.on_run_start(programs, initial_flags);
     }
 
     /// The active checking level.
     pub fn check_level(&self) -> CheckLevel {
-        self.checker.as_ref().map_or(CheckLevel::Off, |c| c.level())
+        self.hub
+            .get::<CoherenceChecker>()
+            .map_or(CheckLevel::Off, |c| c.level())
     }
 
     /// The attached checker, if any (tests and diagnostics).
     pub fn checker(&self) -> Option<&CoherenceChecker> {
-        self.checker.as_deref()
+        self.hub.get::<CoherenceChecker>()
     }
 
     /// End-of-run verification: reconcile the checker's message counters
@@ -246,9 +213,7 @@ impl Machine {
     /// checking is off; panics with a `coherence violation` report on any
     /// divergence.
     pub fn finish_check(&self) {
-        if let Some(ck) = self.checker.as_ref() {
-            ck.finish(&self.counters);
-        }
+        self.hub.finish(&self.counters);
     }
 
     /// Fault injection for checker tests: while enabled, a write that
@@ -259,73 +224,41 @@ impl Machine {
         self.skip_invalidation = on;
     }
 
-    /// [`Machine::new`] with both observers (coherence checking and event
-    /// tracing) configured.
-    pub fn with_observers(cfg: MachineConfig, check: CheckLevel, trace: TraceLevel) -> Self {
-        let mut m = Self::new(cfg);
-        m.set_check_level(check);
-        m.set_trace_level(trace);
-        m
-    }
-
-    /// Enable/disable structured event tracing. Like the coherence
-    /// checker, the tracer is a pure observer: access timings and
-    /// counters are bit-identical at every level.
-    pub fn set_trace_level(&mut self, level: TraceLevel) {
-        self.tracer = match level {
-            TraceLevel::Off => None,
-            _ => Some(Box::new(Tracer::new(level))),
-        };
-    }
-
     /// The active tracing level.
     pub fn trace_level(&self) -> TraceLevel {
-        self.tracer.as_ref().map_or(TraceLevel::Off, |t| t.level())
+        self.hub
+            .get::<Tracer>()
+            .map_or(TraceLevel::Off, |t| t.level())
     }
 
     /// The attached tracer, if any (tests and diagnostics).
     pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_deref()
+        self.hub.get::<Tracer>()
     }
 
     /// Detach and return the tracer; sweep drivers serialize it per job
     /// and merge the sections in canonical job order.
     pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
-        self.tracer.take()
-    }
-
-    /// Enable/disable static workload analysis. The runner analyzes its
-    /// programs before executing (see [`crate::analyze`]); findings at
-    /// `Error` severity panic, lower severities print per the level. A
-    /// pure pre-pass: simulation results are bit-identical at every level.
-    pub fn set_analyze_level(&mut self, level: AnalyzeLevel) {
-        self.analyze = level;
+        self.hub.take::<Tracer>()
     }
 
     /// The active static-analysis level.
     pub fn analyze_level(&self) -> AnalyzeLevel {
-        self.analyze
+        self.hub
+            .get::<AnalyzeGate>()
+            .map_or(AnalyzeLevel::Off, |g| g.level())
     }
 
     /// Stamp subsequent trace events with the executing `thread` (set by
     /// the runner; machine-internal activity keeps the last context).
     pub fn set_trace_thread(&mut self, thread: u32) {
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.set_thread(thread);
-        }
+        self.hub.set_thread(thread);
     }
 
     /// Record a measured-interval boundary in the trace (runner
-    /// `MarkStart`/`MarkEnd`). No-op when tracing is off.
+    /// `MarkStart`/`MarkEnd`). No-op when no observer consumes events.
     pub fn trace_mark(&mut self, id: u32, start: bool, now: SimTime) {
-        self.trace(now, 0, EventKind::Mark { id, start });
-    }
-
-    #[inline]
-    fn trace(&mut self, time: SimTime, line: u64, kind: EventKind) {
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.record(time, line, kind);
-        }
+        self.hub.mark(now, id, start);
     }
 
     /// The configuration the machine was built with.
@@ -378,9 +311,7 @@ impl Machine {
         }
         self.l2_port_busy.fill(0);
         self.dir.clear();
-        if let Some(ck) = self.checker.as_mut() {
-            ck.on_reset();
-        }
+        self.hub.on_reset();
     }
 
     /// Clear device queue backlog (memory devices and mesh rings).
@@ -396,10 +327,6 @@ impl Machine {
         self.mcache.hit_rate()
     }
 
-    // ------------------------------------------------------------------
-    // Coherent single-line access
-    // ------------------------------------------------------------------
-
     /// Perform one coherent access; returns completion time and provenance.
     pub fn access(
         &mut self,
@@ -410,1146 +337,11 @@ impl Machine {
     ) -> AccessOutcome {
         let line = addr >> LINE_SHIFT;
         let tile = core.tile();
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.set_tile(tile.0);
-        }
+        self.hub.set_tile(tile.0);
         match kind {
             AccessKind::Read => self.read(core, tile, line, addr, now),
             AccessKind::Write => self.write(core, tile, line, addr, now),
             AccessKind::NtStore => self.nt_store(tile, line, addr, now),
-        }
-    }
-
-    fn read(
-        &mut self,
-        core: CoreId,
-        tile: TileId,
-        line: u64,
-        addr: u64,
-        now: SimTime,
-    ) -> AccessOutcome {
-        let t = self.cfg.timing.clone();
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
-
-        // L1 hit.
-        if self.l1[core.0 as usize].lookup(line, ver) {
-            self.counters.l1_hits += 1;
-            if let Some(ck) = self.checker.as_mut() {
-                ck.observe_read(line, false);
-            }
-            let dur = self.jitter(t.l1_hit_ps, line);
-            self.trace(
-                now + dur,
-                line,
-                EventKind::Serve {
-                    op: 'R',
-                    src: 'L',
-                    hops: 0,
-                    latency_ps: dur,
-                },
-            );
-            return AccessOutcome {
-                complete: now + dur,
-                served_by: ServedBy::L1,
-            };
-        }
-
-        // Same-tile L2 hit.
-        let tile_state = self
-            .dir
-            .get(&line)
-            .map_or(MesifState::Invalid, |e| e.state_of(tile));
-        if tile_state != MesifState::Invalid && self.l2[tile.0 as usize].lookup(line, ver) {
-            self.counters.l2_hits += 1;
-            let is_m = tile_state == MesifState::Modified;
-            let is_e = tile_state == MesifState::Exclusive;
-            let lat = t.tile_l2_ps(is_m, is_e);
-            // Port occupancy bounds same-tile bandwidth.
-            let port = t.l2_port_ps_per_line + if is_m { t.l2_port_m_extra_ps } else { 0 };
-            let start = now.max(self.l2_port_busy[tile.0 as usize]);
-            self.l2_port_busy[tile.0 as usize] = start + port;
-            let complete = (start + self.jitter(lat, line)).max(start + port);
-            self.l1_fill(core, line, ver);
-            if let Some(ck) = self.checker.as_mut() {
-                ck.observe_read(line, false);
-            }
-            self.trace(
-                complete,
-                line,
-                EventKind::Serve {
-                    op: 'R',
-                    src: 'T',
-                    hops: 0,
-                    latency_ps: complete - now,
-                },
-            );
-            return AccessOutcome {
-                complete,
-                served_by: ServedBy::TileL2(tile_state),
-            };
-        }
-
-        // Remote path: requester -> home CHA.
-        let home = self.map.home_directory(addr);
-        let req_pos = self.topo.tile_position(tile);
-        let home_pos = self.topo.tile_position(home);
-        let t_req = self
-            .mesh
-            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
-        if self.tracer.is_some() {
-            self.trace(now, line, EventKind::Issue { op: 'R' });
-            self.trace(
-                t_req,
-                line,
-                EventKind::Hop {
-                    leg: 'q',
-                    hops: hop_dist(req_pos, home_pos),
-                },
-            );
-        }
-
-        let entry = self.dir.entry(line).or_default();
-        let wait = entry.busy_until.saturating_sub(t_req);
-        let t_svc = t_req + wait + t.cha_lookup_ps;
-        entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
-
-        let supplier = entry.supplier().filter(|&s| s != tile);
-        let outcome = if let Some(sup) = supplier {
-            let st = entry.state_of(sup);
-            let extra = match st {
-                MesifState::Modified => t.remote_m_extra_ps,
-                MesifState::Exclusive => t.remote_e_extra_ps,
-                _ => 0,
-            };
-            let sup_pos = self.topo.tile_position(sup);
-            let t_data =
-                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
-            let complete = self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
-            self.counters.remote_cache_hits += 1;
-            let entry = self.dir.get_mut(&line).expect("entry exists");
-            let from = gstate_tag(&entry.state);
-            if st == MesifState::Modified {
-                // Forced write-back downgrades M to S.
-                self.counters.writebacks += 1;
-            }
-            entry.grant_read(tile);
-            if let Some(ck) = self.checker.as_mut() {
-                ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
-                ck.observe_read(line, false);
-            }
-            trace_dir(&mut self.tracer, t_svc, line, from, entry);
-            let jc = now + self.jitter(complete - now, line);
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.record(
-                    t_data,
-                    line,
-                    EventKind::Hop {
-                        leg: 'd',
-                        hops: hop_dist(home_pos, sup_pos),
-                    },
-                );
-                tr.record(
-                    complete,
-                    line,
-                    EventKind::Hop {
-                        leg: 'r',
-                        hops: hop_dist(sup_pos, req_pos),
-                    },
-                );
-                if st == MesifState::Modified {
-                    tr.record(complete, line, EventKind::Writeback);
-                }
-                tr.record(
-                    jc,
-                    line,
-                    EventKind::Serve {
-                        op: 'R',
-                        src: st.letter(),
-                        hops: hop_dist(req_pos, sup_pos),
-                        latency_ps: jc - now,
-                    },
-                );
-            }
-            AccessOutcome {
-                complete: jc,
-                served_by: ServedBy::RemoteCache {
-                    holder: sup,
-                    state: st,
-                },
-            }
-        } else {
-            let (ready, served_by) = self.memory_read(addr, line, home_pos, t_svc);
-            let served_pos = self.served_pos(served_by);
-            let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
-            let entry = self.dir.get_mut(&line).expect("entry exists");
-            let from = gstate_tag(&entry.state);
-            entry.grant_read(tile);
-            if let Some(ck) = self.checker.as_mut() {
-                ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, true);
-                ck.observe_read(line, true);
-            }
-            trace_dir(&mut self.tracer, t_svc, line, from, entry);
-            let jc = now + self.jitter(complete - now, line);
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.record(
-                    complete,
-                    line,
-                    EventKind::Hop {
-                        leg: 'r',
-                        hops: hop_dist(served_pos, req_pos),
-                    },
-                );
-                tr.record(
-                    jc,
-                    line,
-                    EventKind::Serve {
-                        op: 'R',
-                        src: src_tag(served_by),
-                        hops: hop_dist(req_pos, served_pos),
-                        latency_ps: jc - now,
-                    },
-                );
-            }
-            AccessOutcome {
-                complete: jc,
-                served_by,
-            }
-        };
-
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
-        self.l2_fill(tile, line, ver);
-        self.l1_fill(core, line, ver);
-        outcome
-    }
-
-    fn write(
-        &mut self,
-        core: CoreId,
-        tile: TileId,
-        line: u64,
-        addr: u64,
-        now: SimTime,
-    ) -> AccessOutcome {
-        let t = self.cfg.timing.clone();
-        let tile_state = self
-            .dir
-            .get(&line)
-            .map_or(MesifState::Invalid, |e| e.state_of(tile));
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
-
-        // Silent upgrade: tile already owns the line (M or E).
-        if matches!(tile_state, MesifState::Modified | MesifState::Exclusive)
-            && self.l2[tile.0 as usize].lookup(line, ver)
-        {
-            let in_l1 = self.l1[core.0 as usize].lookup(line, ver);
-            let lat = if in_l1 {
-                self.counters.l1_hits += 1;
-                t.l1_hit_ps
-            } else {
-                self.counters.l2_hits += 1;
-                t.tile_l2_ps(
-                    tile_state == MesifState::Modified,
-                    tile_state == MesifState::Exclusive,
-                )
-            };
-            let entry = self.dir.get_mut(&line).expect("owned line has entry");
-            let from = gstate_tag(&entry.state);
-            let invalidated = entry.grant_write(tile);
-            if let Some(ck) = self.checker.as_mut() {
-                ck.on_event(
-                    line,
-                    ProtoEvent::GrantWrite { tile, invalidated },
-                    entry,
-                    true,
-                );
-            }
-            trace_dir(&mut self.tracer, now, line, from, entry);
-            // The version advanced (sibling-core L1 copies die); re-stamp
-            // the writer's own caches.
-            let ver = entry.version;
-            self.l2_fill(tile, line, ver);
-            self.l1_fill(core, line, ver);
-            let dur = self.jitter(lat, line);
-            self.trace(
-                now + dur,
-                line,
-                EventKind::Serve {
-                    op: 'W',
-                    src: if in_l1 { 'L' } else { 'T' },
-                    hops: 0,
-                    latency_ps: dur,
-                },
-            );
-            return AccessOutcome {
-                complete: now + dur,
-                served_by: if in_l1 {
-                    ServedBy::L1
-                } else {
-                    ServedBy::TileL2(tile_state)
-                },
-            };
-        }
-
-        // RFO through the home directory.
-        let home = self.map.home_directory(addr);
-        let req_pos = self.topo.tile_position(tile);
-        let home_pos = self.topo.tile_position(home);
-        let t_req = self
-            .mesh
-            .traverse(req_pos, home_pos, now + t.l2_miss_detect_ps + t.inject_ps);
-        if self.tracer.is_some() {
-            self.trace(now, line, EventKind::Issue { op: 'W' });
-            self.trace(
-                t_req,
-                line,
-                EventKind::Hop {
-                    leg: 'q',
-                    hops: hop_dist(req_pos, home_pos),
-                },
-            );
-        }
-
-        let entry = self.dir.entry(line).or_default();
-        let wait = entry.busy_until.saturating_sub(t_req);
-        let t_svc = t_req + wait + t.cha_lookup_ps;
-        entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
-
-        let supplier = entry.supplier().filter(|&s| s != tile);
-        let other_sharers = match supplier {
-            Some(_) => entry
-                .num_holders()
-                .saturating_sub(usize::from(entry.sharers.contains(&tile))),
-            None => entry.num_holders(),
-        };
-
-        let (data_ready, served_by) = if let Some(sup) = supplier {
-            let st = entry.state_of(sup);
-            let extra = match st {
-                MesifState::Modified => t.remote_m_extra_ps,
-                MesifState::Exclusive => t.remote_e_extra_ps,
-                _ => 0,
-            };
-            let sup_pos = self.topo.tile_position(sup);
-            let at_sup =
-                self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
-            let ready = self.mesh.traverse(sup_pos, req_pos, at_sup + t.inject_ps);
-            self.counters.remote_cache_hits += 1;
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.record(
-                    at_sup,
-                    line,
-                    EventKind::Hop {
-                        leg: 'd',
-                        hops: hop_dist(home_pos, sup_pos),
-                    },
-                );
-                tr.record(
-                    ready,
-                    line,
-                    EventKind::Hop {
-                        leg: 'r',
-                        hops: hop_dist(sup_pos, req_pos),
-                    },
-                );
-            }
-            (
-                ready,
-                ServedBy::RemoteCache {
-                    holder: sup,
-                    state: st,
-                },
-            )
-        } else if tile_state != MesifState::Invalid {
-            // Upgrade from S/F: data already local; only permission needed.
-            let ready = self.mesh.traverse(home_pos, req_pos, t_svc + t.inject_ps);
-            (ready, ServedBy::TileL2(tile_state))
-        } else {
-            let (ready, served) = self.memory_read(addr, line, home_pos, t_svc);
-            let served_pos = self.served_pos(served);
-            let ready = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps);
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.record(
-                    ready,
-                    line,
-                    EventKind::Hop {
-                        leg: 'r',
-                        hops: hop_dist(served_pos, req_pos),
-                    },
-                );
-            }
-            (ready, served)
-        };
-
-        let entry = self.dir.get_mut(&line).expect("entry exists");
-        let from = gstate_tag(&entry.state);
-        // Fault injection (checker tests): remember one holder whose
-        // invalidation we are about to "forget".
-        let stale = if self.skip_invalidation {
-            match &entry.state {
-                GlobalState::Exclusive { owner } | GlobalState::Modified { owner }
-                    if *owner != tile =>
-                {
-                    Some(*owner)
-                }
-                GlobalState::Shared { .. } => entry.sharers.iter().copied().find(|&s| s != tile),
-                _ => None,
-            }
-        } else {
-            None
-        };
-        let invalidated = entry.grant_write(tile);
-        if let Some(s) = stale {
-            entry.sharers.push(s);
-        }
-        if let Some(ck) = self.checker.as_mut() {
-            ck.on_event(
-                line,
-                ProtoEvent::GrantWrite { tile, invalidated },
-                entry,
-                true,
-            );
-        }
-        trace_dir(&mut self.tracer, t_svc, line, from, entry);
-        self.counters.invalidations += invalidated as u64;
-        let inv_cost = invalidated as u64 * t.invalidate_per_sharer_ps;
-        let _ = other_sharers;
-
-        let complete = data_ready + inv_cost + t.fill_ps;
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
-        self.l2_fill(tile, line, ver);
-        self.l1_fill(core, line, ver);
-        let jc = now + self.jitter(complete - now, line);
-        if self.tracer.is_some() {
-            if invalidated > 0 {
-                self.trace(
-                    t_svc,
-                    line,
-                    EventKind::Inv {
-                        n: invalidated as u32,
-                    },
-                );
-            }
-            let (src, hops) = match served_by {
-                ServedBy::TileL2(_) => ('T', hop_dist(req_pos, home_pos)),
-                other => (src_tag(other), hop_dist(req_pos, self.served_pos(other))),
-            };
-            self.trace(
-                jc,
-                line,
-                EventKind::Serve {
-                    op: 'W',
-                    src,
-                    hops,
-                    latency_ps: jc - now,
-                },
-            );
-        }
-        AccessOutcome {
-            complete: jc,
-            served_by,
-        }
-    }
-
-    fn nt_store(&mut self, tile: TileId, line: u64, addr: u64, now: SimTime) -> AccessOutcome {
-        let t = self.cfg.timing.clone();
-        self.counters.nt_stores += 1;
-        self.trace(now, line, EventKind::Issue { op: 'N' });
-        // Invalidate any cached copies (rare for streaming workloads). One
-        // invalidation message goes to *each* holder — the same accounting
-        // as the RFO path, which the coherence checker reconciles exactly.
-        let mut extra = 0;
-        let mut destroyed = None;
-        if let Some(entry) = self.dir.get_mut(&line) {
-            let holders = entry.num_holders();
-            if holders > 0 {
-                let from = gstate_tag(&entry.state);
-                let dirty = entry.invalidate_all();
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.on_event(
-                        line,
-                        ProtoEvent::InvalidateAll { holders, dirty },
-                        entry,
-                        true,
-                    );
-                }
-                trace_dir(&mut self.tracer, now, line, from, entry);
-                destroyed = Some((holders, dirty));
-            }
-        }
-        if let Some((holders, dirty)) = destroyed {
-            self.counters.invalidations += holders as u64;
-            extra = holders as u64 * t.invalidate_per_sharer_ps;
-            if self.tracer.is_some() {
-                self.trace(now, line, EventKind::Inv { n: holders as u32 });
-            }
-            if dirty {
-                self.counters.writebacks += 1;
-                self.trace(now, line, EventKind::Writeback);
-            }
-        }
-        if let Some(ck) = self.checker.as_mut() {
-            ck.on_nt_store(line);
-        }
-        // Posted: the core only pays the issue cost; the device is occupied
-        // in the background. The accept time is returned to let callers
-        // throttle on write-combining-buffer capacity.
-        let req_pos = self.topo.tile_position(tile);
-        let accept = self.memory_write(addr, line, req_pos, now + t.issue_gap_ps);
-        AccessOutcome {
-            complete: accept + extra,
-            served_by: ServedBy::Posted,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Memory paths
-    // ------------------------------------------------------------------
-
-    /// Read `line` from memory; `from_pos` is where the request departs
-    /// (home CHA). Returns (data-ready-at-device time, provenance).
-    fn memory_read(
-        &mut self,
-        addr: u64,
-        line: u64,
-        from_pos: (i32, i32),
-        t0: SimTime,
-    ) -> (SimTime, ServedBy) {
-        let t = self.cfg.timing.clone();
-        let in_ddr = matches!(self.map.mem_target(addr), MemTarget::Ddr { .. });
-        if self.mcache.enabled() && in_ddr {
-            // Memory-side cache flow.
-            let edc = self.map.mcdram_cache_edc(addr);
-            let edc_pos = self.topo.edc_position(edc);
-            let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
-            let edc_dev = 6 + edc as usize;
-            match self.mcache.access(line, false) {
-                McacheOutcome::Hit => {
-                    self.counters.mcache_hits += 1;
-                    self.counters.mcdram_accesses += 1;
-                    if self.tracer.is_some() {
-                        let depth = self.devices[edc_dev].backlog_lines(arrive);
-                        self.trace(arrive, line, EventKind::Mcache { edc, hit: true });
-                        self.trace(
-                            arrive,
-                            line,
-                            EventKind::DevEnter {
-                                dev: edc_dev as u8,
-                                write: false,
-                                depth,
-                            },
-                        );
-                    }
-                    let ready = self.devices[edc_dev].read(arrive);
-                    self.trace(ready, line, EventKind::DevLeave { dev: edc_dev as u8 });
-                    (ready, ServedBy::McacheHit { edc })
-                }
-                outcome => {
-                    self.counters.mcache_misses += 1;
-                    self.counters.ddr_accesses += 1;
-                    let target = self.map.mem_target(addr);
-                    let ddr_pos = self.ddr_pos(target);
-                    let at_ddr = self.mesh.traverse(edc_pos, ddr_pos, arrive + t.inject_ps);
-                    let ddr_dev = target.device_index();
-                    if self.tracer.is_some() {
-                        self.trace(arrive, line, EventKind::Mcache { edc, hit: false });
-                        self.trace(
-                            at_ddr,
-                            line,
-                            EventKind::Hop {
-                                leg: 'd',
-                                hops: hop_dist(edc_pos, ddr_pos),
-                            },
-                        );
-                        let depth = self.devices[ddr_dev].backlog_lines(at_ddr);
-                        self.trace(
-                            at_ddr,
-                            line,
-                            EventKind::DevEnter {
-                                dev: ddr_dev as u8,
-                                write: false,
-                                depth,
-                            },
-                        );
-                    }
-                    let ready = self.devices[ddr_dev].read(at_ddr);
-                    self.trace(ready, line, EventKind::DevLeave { dev: ddr_dev as u8 });
-                    // Fill the cache line in the background ("data read from
-                    // DDR is sent to MCDRAM and the requesting tile
-                    // simultaneously").
-                    if self.tracer.is_some() {
-                        let depth = self.devices[edc_dev].backlog_lines(ready);
-                        self.trace(
-                            ready,
-                            line,
-                            EventKind::DevEnter {
-                                dev: edc_dev as u8,
-                                write: true,
-                                depth,
-                            },
-                        );
-                    }
-                    self.devices[edc_dev].write(ready);
-                    if let McacheOutcome::MissDirtyEvict { victim_line } = outcome {
-                        // Victim write-back to DDR (plus the L2 snoop the
-                        // paper describes; both happen off the critical path).
-                        let victim_addr = victim_line << LINE_SHIFT;
-                        let vt = self.map.mem_target(victim_addr);
-                        if self.tracer.is_some() {
-                            let depth = self.devices[vt.device_index()].backlog_lines(ready);
-                            self.trace(
-                                ready,
-                                victim_line,
-                                EventKind::DevEnter {
-                                    dev: vt.device_index() as u8,
-                                    write: true,
-                                    depth,
-                                },
-                            );
-                            self.trace(ready, victim_line, EventKind::Writeback);
-                        }
-                        self.devices[vt.device_index()].write(ready);
-                        self.counters.writebacks += 1;
-                        if let Some(ck) = self.checker.as_mut() {
-                            ck.note_external_writeback();
-                        }
-                    }
-                    (ready, ServedBy::Memory(target))
-                }
-            }
-        } else {
-            let target = self.map.mem_target(addr);
-            let pos = self.target_pos(target);
-            let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
-            let dev = target.device_index();
-            if self.tracer.is_some() {
-                let depth = self.devices[dev].backlog_lines(arrive);
-                self.trace(
-                    arrive,
-                    line,
-                    EventKind::DevEnter {
-                        dev: dev as u8,
-                        write: false,
-                        depth,
-                    },
-                );
-            }
-            let ready = self.devices[dev].read(arrive);
-            self.trace(ready, line, EventKind::DevLeave { dev: dev as u8 });
-            match target {
-                MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
-                MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
-            }
-            (ready, ServedBy::Memory(target))
-        }
-    }
-
-    /// Write one line to memory (write-back or NT store). Returns accept time.
-    fn memory_write(&mut self, addr: u64, line: u64, from_pos: (i32, i32), t0: SimTime) -> SimTime {
-        let t = self.cfg.timing.clone();
-        let in_ddr = matches!(self.map.mem_target(addr), MemTarget::Ddr { .. });
-        if self.mcache.enabled() && in_ddr {
-            // Write-backs and NT stores land in the MCDRAM cache directly.
-            let edc = self.map.mcdram_cache_edc(addr);
-            let edc_pos = self.topo.edc_position(edc);
-            let arrive = self.mesh.traverse(from_pos, edc_pos, t0 + t.inject_ps) + t.mcache_tag_ps;
-            let edc_dev = 6 + edc as usize;
-            if self.tracer.is_some() {
-                let depth = self.devices[edc_dev].backlog_lines(arrive);
-                self.trace(
-                    arrive,
-                    line,
-                    EventKind::DevEnter {
-                        dev: edc_dev as u8,
-                        write: true,
-                        depth,
-                    },
-                );
-            }
-            match self.mcache.access(line, true) {
-                McacheOutcome::Hit
-                | McacheOutcome::MissCold
-                | McacheOutcome::MissCleanEvict { .. } => {
-                    self.counters.mcdram_accesses += 1;
-                    let accept = self.devices[edc_dev].write(arrive);
-                    self.trace(accept, line, EventKind::DevLeave { dev: edc_dev as u8 });
-                    accept
-                }
-                McacheOutcome::MissDirtyEvict { victim_line } => {
-                    self.counters.mcdram_accesses += 1;
-                    let accept = self.devices[edc_dev].write(arrive);
-                    self.trace(accept, line, EventKind::DevLeave { dev: edc_dev as u8 });
-                    let victim_addr = victim_line << LINE_SHIFT;
-                    let vt = self.map.mem_target(victim_addr);
-                    // The dirty victim must drain to DDR before the cache
-                    // can accept the new line: evictions backpressure the
-                    // write stream (this is why cache-mode write bandwidth
-                    // collapses toward the DDR write rate in Table II).
-                    if self.tracer.is_some() {
-                        let depth = self.devices[vt.device_index()].backlog_lines(accept);
-                        self.trace(
-                            accept,
-                            victim_line,
-                            EventKind::DevEnter {
-                                dev: vt.device_index() as u8,
-                                write: true,
-                                depth,
-                            },
-                        );
-                        self.trace(accept, victim_line, EventKind::Writeback);
-                    }
-                    let drained = self.devices[vt.device_index()].write(accept);
-                    if self.tracer.is_some() {
-                        self.trace(
-                            drained,
-                            victim_line,
-                            EventKind::DevLeave {
-                                dev: vt.device_index() as u8,
-                            },
-                        );
-                    }
-                    self.counters.writebacks += 1;
-                    if let Some(ck) = self.checker.as_mut() {
-                        ck.note_external_writeback();
-                    }
-                    drained
-                }
-            }
-        } else {
-            let target = self.map.mem_target(addr);
-            let pos = self.target_pos(target);
-            let arrive = self.mesh.traverse(from_pos, pos, t0 + t.inject_ps);
-            let dev = target.device_index();
-            if self.tracer.is_some() {
-                let depth = self.devices[dev].backlog_lines(arrive);
-                self.trace(
-                    arrive,
-                    line,
-                    EventKind::DevEnter {
-                        dev: dev as u8,
-                        write: true,
-                        depth,
-                    },
-                );
-            }
-            match target {
-                MemTarget::Ddr { .. } => self.counters.ddr_accesses += 1,
-                MemTarget::Mcdram { .. } => self.counters.mcdram_accesses += 1,
-            }
-            let accept = self.devices[dev].write(arrive);
-            self.trace(accept, line, EventKind::DevLeave { dev: dev as u8 });
-            accept
-        }
-    }
-
-    fn target_pos(&self, target: MemTarget) -> (i32, i32) {
-        match target {
-            MemTarget::Ddr { imc, .. } => self.topo.imc_position(imc),
-            MemTarget::Mcdram { edc } => self.topo.edc_position(edc),
-        }
-    }
-
-    fn ddr_pos(&self, target: MemTarget) -> (i32, i32) {
-        match target {
-            MemTarget::Ddr { imc, .. } => self.topo.imc_position(imc),
-            MemTarget::Mcdram { .. } => unreachable!("mcache backing store must be DDR"),
-        }
-    }
-
-    fn served_pos(&self, served: ServedBy) -> (i32, i32) {
-        match served {
-            ServedBy::Memory(t) => self.target_pos(t),
-            ServedBy::McacheHit { edc } => self.topo.edc_position(edc),
-            ServedBy::RemoteCache { holder, .. } => self.topo.tile_position(holder),
-            // L1/L2/Posted never route a reply across the mesh.
-            _ => (0, 0),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Cached multi-line transfers (cache-to-cache benchmarks, Fig. 5)
-    // ------------------------------------------------------------------
-
-    /// Copy `bytes` from `src` to `dst` through the caches (both coherent),
-    /// overlapping reads up to the copy MLP cap. Returns completion time.
-    pub fn copy_buf(
-        &mut self,
-        core: CoreId,
-        src: u64,
-        dst: u64,
-        bytes: u64,
-        vectorized: bool,
-        now: SimTime,
-    ) -> SimTime {
-        let t = self.cfg.timing.clone();
-        let ov = if vectorized {
-            t.ov_c2c_copy_vec
-        } else {
-            t.ov_c2c_copy_scalar
-        } as usize;
-        let lines = knl_arch::lines_for(bytes);
-        let mut ring: Vec<SimTime> = vec![now; ov.max(1)];
-        let mut issue = now;
-        let mut done = now;
-        for i in 0..lines {
-            let slot = (i as usize) % ring.len();
-            let gated = issue.max(ring[slot]);
-            let r = self.access(core, src + i * 64, AccessKind::Read, gated);
-            // The local store is buffered; it costs a write access that is
-            // overlapped with subsequent reads, so only its ownership fetch
-            // (first touch) shows up via the cache state.
-            let w = self.access(core, dst + i * 64, AccessKind::Write, r.complete);
-            ring[slot] = r.complete;
-            done = w.complete;
-            issue += t.issue_gap_ps;
-        }
-        done
-    }
-
-    /// Read `bytes` from `src` into registers (no destination buffer),
-    /// overlapping up to the read MLP cap.
-    pub fn read_buf(
-        &mut self,
-        core: CoreId,
-        src: u64,
-        bytes: u64,
-        vectorized: bool,
-        now: SimTime,
-    ) -> SimTime {
-        let t = self.cfg.timing.clone();
-        let ov = if vectorized {
-            t.ov_c2c_read_vec
-        } else {
-            t.ov_c2c_read_scalar
-        } as usize;
-        let lines = knl_arch::lines_for(bytes);
-        let mut ring: Vec<SimTime> = vec![now; ov.max(1)];
-        let mut issue = now;
-        let mut done = now;
-        for i in 0..lines {
-            let slot = (i as usize) % ring.len();
-            let gated = issue.max(ring[slot]);
-            let r = self.access(core, src + i * 64, AccessKind::Read, gated);
-            ring[slot] = r.complete;
-            done = done.max(r.complete);
-            issue += t.issue_gap_ps;
-        }
-        done
-    }
-
-    // ------------------------------------------------------------------
-    // Bulk streaming (memory bandwidth benchmarks, Table II / Fig. 9)
-    // ------------------------------------------------------------------
-
-    /// Stream up to `max_lines` lines of a memory kernel starting at line
-    /// offset `start_line` within the kernel's buffers, stopping early when
-    /// the issue frontier passes `deadline` (the runner's time slice, which
-    /// bounds how far out of order device arrivals can be). Coherence
-    /// bookkeeping is bypassed (fresh lines, no reuse); device queueing and
-    /// the memory-side cache are fully modelled.
-    ///
-    /// Returns `(time, lines_done)`: when the kernel finished (`lines_done
-    /// == max_lines`), `time` is the drain time of all outstanding requests;
-    /// otherwise it is the issue frontier where the slice stopped.
-    #[allow(clippy::too_many_arguments)]
-    pub fn stream_chunk(
-        &mut self,
-        core: CoreId,
-        kind: crate::ops::StreamKind,
-        a: u64,
-        b: u64,
-        c: u64,
-        start_line: u64,
-        max_lines: u64,
-        vectorized: bool,
-        state: &mut StreamState,
-        now: SimTime,
-        deadline: SimTime,
-    ) -> (SimTime, u64) {
-        self.stream_chunk_shared(
-            core, kind, a, b, c, start_line, max_lines, vectorized, state, now, deadline, 1,
-        )
-    }
-
-    /// [`Machine::stream_chunk`] with `core_threads` HyperThreads sharing
-    /// the core: MLP caps and issue bandwidth are divided among co-resident
-    /// threads (they share MSHRs and load ports).
-    #[allow(clippy::too_many_arguments)]
-    pub fn stream_chunk_shared(
-        &mut self,
-        core: CoreId,
-        kind: crate::ops::StreamKind,
-        a: u64,
-        b: u64,
-        c: u64,
-        start_line: u64,
-        max_lines: u64,
-        vectorized: bool,
-        state: &mut StreamState,
-        now: SimTime,
-        deadline: SimTime,
-        core_threads: u32,
-    ) -> (SimTime, u64) {
-        use crate::ops::StreamKind::*;
-        let t = self.cfg.timing.clone();
-        let share = core_threads.max(1);
-        let ov_load = ((if vectorized {
-            t.ov_mem_vec
-        } else {
-            t.ov_mem_scalar
-        }) / share)
-            .max(1) as usize;
-        let ov_nt = (t.max_nt_outstanding / share).max(1) as usize;
-        let issue_gap = t.issue_gap_ps * share as u64;
-        let tile = core.tile();
-        let req_pos = self.topo.tile_position(tile);
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.set_tile(tile.0);
-        }
-        state.last_issue = state.last_issue.max(now);
-        let mut lines_done = 0u64;
-        for i in start_line..start_line + max_lines {
-            state.last_issue += issue_gap;
-            let issue = state.last_issue;
-            match kind {
-                Read => {
-                    self.stream_load(b + i * 64, req_pos, ov_load, issue, state);
-                }
-                Write => {
-                    self.stream_nt(a + i * 64, req_pos, ov_nt, issue, state);
-                }
-                Copy => {
-                    self.stream_load(b + i * 64, req_pos, ov_load, issue, state);
-                    self.stream_nt(a + i * 64, req_pos, ov_nt, issue, state);
-                }
-                Triad => {
-                    self.stream_load(b + i * 64, req_pos, ov_load, issue, state);
-                    state.last_issue += issue_gap;
-                    self.stream_load(c + i * 64, req_pos, ov_load, state.last_issue, state);
-                    self.stream_nt(a + i * 64, req_pos, ov_nt, state.last_issue, state);
-                }
-            }
-            lines_done += 1;
-            if state.last_issue > deadline {
-                break;
-            }
-        }
-        if lines_done == max_lines {
-            (state.drain_time().max(state.last_issue), lines_done)
-        } else {
-            (state.last_issue, lines_done)
-        }
-    }
-
-    fn stream_load(
-        &mut self,
-        addr: u64,
-        req_pos: (i32, i32),
-        ov: usize,
-        issue: SimTime,
-        state: &mut StreamState,
-    ) -> SimTime {
-        let t = self.cfg.timing.clone();
-        let gated = state.gate_load(ov, issue);
-        // The issue frontier tracks real issue times so MLP backpressure
-        // throttles the stream (and slice deadlines stay meaningful).
-        state.last_issue = state.last_issue.max(gated);
-        let line = addr >> LINE_SHIFT;
-        let home = self.map.home_directory(addr);
-        let home_pos = self.topo.tile_position(home);
-        let t_svc =
-            self.mesh
-                .traverse(req_pos, home_pos, gated + t.l2_miss_detect_ps + t.inject_ps)
-                + t.cha_lookup_ps;
-        let (ready, served) = self.memory_read(addr, line, home_pos, t_svc);
-        let served_pos = self.served_pos(served);
-        let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
-        let complete = gated + self.jitter(complete - gated, line);
-        if self.tracer.is_some() {
-            self.trace(
-                complete,
-                line,
-                EventKind::Serve {
-                    op: 'R',
-                    src: src_tag(served),
-                    hops: hop_dist(req_pos, served_pos),
-                    latency_ps: complete - gated,
-                },
-            );
-        }
-        state.record_load(complete);
-        complete
-    }
-
-    fn stream_nt(
-        &mut self,
-        addr: u64,
-        req_pos: (i32, i32),
-        ov: usize,
-        issue: SimTime,
-        state: &mut StreamState,
-    ) -> SimTime {
-        let gated = state.gate_nt(ov, issue);
-        state.last_issue = state.last_issue.max(gated);
-        let line = addr >> LINE_SHIFT;
-        self.counters.nt_stores += 1;
-        let accept = self.memory_write(addr, line, req_pos, gated);
-        state.record_nt(accept);
-        // The core moves on immediately; the gate above models WC-buffer
-        // backpressure.
-        gated.max(issue)
-    }
-
-    // ------------------------------------------------------------------
-    // Fills & evictions
-    // ------------------------------------------------------------------
-
-    fn l1_fill(&mut self, core: CoreId, line: u64, version: u32) {
-        // L1 evictions are silent (the tile L2 retains the line).
-        let _ = self.l1[core.0 as usize].insert(line, version);
-    }
-
-    fn l2_fill(&mut self, tile: TileId, line: u64, version: u32) {
-        if let Insert::Evicted(victim) = self.l2[tile.0 as usize].insert(line, version) {
-            let mut dirty = None;
-            let when = self.l2_port_busy[tile.0 as usize];
-            if let Some(entry) = self.dir.get_mut(&victim) {
-                let from = gstate_tag(&entry.state);
-                let d = entry.evict(tile);
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.on_event(victim, ProtoEvent::Evict { tile, dirty: d }, entry, true);
-                }
-                trace_dir(&mut self.tracer, when, victim, from, entry);
-                dirty = Some(d);
-            }
-            if dirty == Some(true) {
-                // Dirty victim: write back in the background.
-                self.counters.writebacks += 1;
-                self.trace(when, victim, EventKind::Writeback);
-                let victim_addr = victim << LINE_SHIFT;
-                let pos = self.topo.tile_position(tile);
-                self.memory_write(victim_addr, victim, pos, when);
-            }
-        }
-    }
-
-    /// Explicitly drop `addr`'s line from `core`'s tile (both L1s and the
-    /// shared L2), updating the directory; a dirty copy is written back in
-    /// the background. Returns the core-visible completion time. This is
-    /// the [`crate::ops::Op::Evict`] primitive the coherence fuzzer uses to
-    /// exercise eviction paths without overflowing the tag arrays.
-    pub fn evict_line(&mut self, core: CoreId, addr: u64, now: SimTime) -> SimTime {
-        let t = self.cfg.timing.clone();
-        let line = addr >> LINE_SHIFT;
-        let tile = core.tile();
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.set_tile(tile.0);
-        }
-        for c in tile.cores() {
-            if (c.0 as usize) < self.l1.len() {
-                self.l1[c.0 as usize].remove(line);
-            }
-        }
-        self.l2[tile.0 as usize].remove(line);
-        let mut dirty = None;
-        if let Some(entry) = self.dir.get_mut(&line) {
-            let from = gstate_tag(&entry.state);
-            let d = entry.evict(tile);
-            if let Some(ck) = self.checker.as_mut() {
-                ck.on_event(line, ProtoEvent::Evict { tile, dirty: d }, entry, true);
-            }
-            trace_dir(&mut self.tracer, now, line, from, entry);
-            dirty = Some(d);
-        }
-        if dirty == Some(true) {
-            self.counters.writebacks += 1;
-            self.trace(now, line, EventKind::Writeback);
-            let pos = self.topo.tile_position(tile);
-            self.memory_write(addr, line, pos, now + t.issue_gap_ps);
-        }
-        // The core pays only the flush issue; write-backs are posted.
-        now + t.l1_hit_ps
-    }
-
-    /// Pre-load a line into a tile's caches in a given state without timing
-    /// (benchmark state preparation). `core` receives an L1 copy too.
-    pub fn prepare_line(&mut self, core: CoreId, addr: u64, state: MesifState) {
-        let line = addr >> LINE_SHIFT;
-        let tile = core.tile();
-        match state {
-            MesifState::Invalid => {
-                if let Some(entry) = self.dir.get_mut(&line) {
-                    let holders = entry.num_holders();
-                    let dirty = entry.invalidate_all();
-                    if let Some(ck) = self.checker.as_mut() {
-                        ck.on_event(
-                            line,
-                            ProtoEvent::InvalidateAll { holders, dirty },
-                            entry,
-                            false,
-                        );
-                    }
-                }
-            }
-            MesifState::Modified => {
-                let entry = self.dir.entry(line).or_default();
-                let invalidated = entry.grant_write(tile);
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.on_event(
-                        line,
-                        ProtoEvent::GrantWrite { tile, invalidated },
-                        entry,
-                        false,
-                    );
-                }
-                let ver = entry.version;
-                self.l2_fill(tile, line, ver);
-                self.l1_fill(core, line, ver);
-            }
-            MesifState::Exclusive => {
-                let entry = self.dir.entry(line).or_default();
-                let holders = entry.num_holders();
-                let dirty = entry.invalidate_all();
-                entry.grant_read(tile); // first reader ⇒ E
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.on_event(
-                        line,
-                        ProtoEvent::InvalidateAll { holders, dirty },
-                        entry,
-                        false,
-                    );
-                    ck.on_event(line, ProtoEvent::GrantRead { tile }, entry, false);
-                }
-                let ver = entry.version;
-                self.l2_fill(tile, line, ver);
-                self.l1_fill(core, line, ver);
-            }
-            MesifState::Shared | MesifState::Forward => {
-                // Owner reads, then a helper tile reads, leaving the owner S
-                // and the helper F; for an F request we re-read from `core`.
-                let entry = self.dir.entry(line).or_default();
-                let holders = entry.num_holders();
-                let dirty = entry.invalidate_all();
-                let helper = TileId((tile.0 + 1) % self.cfg.active_tiles as u16);
-                let (first, second) = if state == MesifState::Shared {
-                    (tile, helper)
-                } else {
-                    (helper, tile)
-                };
-                entry.grant_read(first);
-                entry.grant_read(second);
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.on_event(
-                        line,
-                        ProtoEvent::InvalidateAll { holders, dirty },
-                        entry,
-                        false,
-                    );
-                    ck.on_event(line, ProtoEvent::GrantRead { tile: second }, entry, false);
-                }
-                let ver = entry.version;
-                self.l2_fill(tile, line, ver);
-                self.l1_fill(core, line, ver);
-            }
         }
     }
 
@@ -1561,7 +353,7 @@ impl Machine {
             .map_or(MesifState::Invalid, |e| e.state_of(tile))
     }
 
-    fn jitter(&mut self, dur: SimTime, line: u64) -> SimTime {
+    pub(crate) fn jitter(&mut self, dur: SimTime, line: u64) -> SimTime {
         if self.jitter_pct == 0 {
             return dur;
         }
@@ -1573,569 +365,18 @@ impl Machine {
     }
 }
 
-/// Directory global-state tag for trace events (`U`/`E`/`M`/`S`).
-fn gstate_tag(s: &GlobalState) -> char {
-    match s {
-        GlobalState::Uncached => 'U',
-        GlobalState::Exclusive { .. } => 'E',
-        GlobalState::Modified { .. } => 'M',
-        GlobalState::Shared { .. } => 'S',
-    }
-}
-
-/// Trace source tag for a [`ServedBy`] provenance.
-fn src_tag(served: ServedBy) -> char {
-    match served {
-        ServedBy::L1 => 'L',
-        ServedBy::TileL2(_) => 'T',
-        ServedBy::RemoteCache { state, .. } => state.letter(),
-        ServedBy::Memory(MemTarget::Ddr { .. }) => 'D',
-        ServedBy::Memory(MemTarget::Mcdram { .. }) => 'C',
-        ServedBy::McacheHit { .. } => 'H',
-        ServedBy::Posted => 'N',
-    }
-}
-
-/// Record a directory-transition event. A free function so call sites can
-/// hold a `&mut DirEntry` (borrowed from `self.dir`) while the tracer
-/// (a disjoint field) records — the same split-borrow shape as the
-/// checker's `on_event` calls.
-fn trace_dir(
-    tracer: &mut Option<Box<Tracer>>,
-    time: SimTime,
-    line: u64,
-    from: char,
-    entry: &DirEntry,
-) {
-    if let Some(tr) = tracer.as_mut() {
-        let forwarder = match &entry.state {
-            GlobalState::Uncached => NO_TILE,
-            GlobalState::Exclusive { owner } | GlobalState::Modified { owner } => owner.0,
-            GlobalState::Shared { forward } => forward.map_or(NO_TILE, |t| t.0),
-        };
-        tr.record(
-            time,
-            line,
-            EventKind::Dir {
-                from,
-                to: gstate_tag(&entry.state),
-                forwarder,
-                sharers: entry.num_holders() as u16,
-            },
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use knl_arch::{ClusterMode, MemoryMode, NumaKind, Schedule};
-
-    fn machine(cm: ClusterMode, mm: MemoryMode) -> Machine {
-        let mut m = Machine::new(MachineConfig::knl7210(cm, mm));
-        m.set_jitter(0);
-        m
-    }
-
-    fn ddr_addr(m: &Machine) -> u64 {
-        let mut a = m.arena();
-        a.alloc(NumaKind::Ddr, 4096)
-    }
-
-    #[test]
-    fn l1_hit_after_first_read() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let addr = ddr_addr(&m);
-        let c = CoreId(0);
-        let first = m.access(c, addr, AccessKind::Read, 0);
-        assert!(matches!(first.served_by, ServedBy::Memory(_)));
-        let second = m.access(c, addr, AccessKind::Read, first.complete);
-        assert!(matches!(second.served_by, ServedBy::L1));
-        assert_eq!(second.complete - first.complete, 3_800);
-    }
-
-    #[test]
-    fn memory_read_latency_near_140ns() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let c = CoreId(0);
-        let mut lat = Vec::new();
-        for i in 0..200u64 {
-            let addr = 4096 + i * 64;
-            let out = m.access(c, addr, AccessKind::Read, i * 1_000_000);
-            lat.push((out.complete - i * 1_000_000) as f64 / 1000.0);
-        }
-        let med = {
-            let mut v = lat.clone();
-            v.sort_by(f64::total_cmp);
-            v[v.len() / 2]
-        };
-        assert!((120.0..170.0).contains(&med), "DDR latency {med} ns");
-    }
-
-    #[test]
-    fn mcdram_latency_higher_than_ddr() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let c = CoreId(0);
-        let mut arena = m.arena();
-        let ddr = arena.alloc(NumaKind::Ddr, 1 << 16);
-        let mc = arena.alloc(NumaKind::Mcdram, 1 << 16);
-        let mut tddr = 0u64;
-        let mut tmc = 0u64;
-        for i in 0..100u64 {
-            let o = m.access(c, ddr + i * 64, AccessKind::Read, i * 1_000_000);
-            tddr += o.complete - i * 1_000_000;
-        }
-        for i in 0..100u64 {
-            let o = m.access(c, mc + i * 64, AccessKind::Read, (1000 + i) * 1_000_000);
-            tmc += o.complete - (1000 + i) * 1_000_000;
-        }
-        assert!(
-            tmc > tddr,
-            "MCDRAM latency must exceed DDR ({tmc} vs {tddr})"
-        );
-    }
-
-    #[test]
-    fn same_tile_transfer_states() {
-        // Table I: tile M 34 ns, E 18 ns, S/F 14 ns (plus port effects).
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let owner = CoreId(0);
-        let reader = CoreId(1); // same tile
-        for (state, expect_ns) in [
-            (MesifState::Modified, 34.0),
-            (MesifState::Exclusive, 18.0),
-            (MesifState::Shared, 14.0),
-        ] {
-            let addr = 1 << 16;
-            m.reset_caches();
-            m.prepare_line(owner, addr, state);
-            let out = m.access(reader, addr, AccessKind::Read, 1_000_000);
-            let ns = (out.complete - 1_000_000) as f64 / 1000.0;
-            assert!(
-                (ns - expect_ns).abs() < expect_ns * 0.35 + 2.0,
-                "state {state:?}: got {ns} ns, expected ~{expect_ns}"
-            );
-            assert!(
-                matches!(out.served_by, ServedBy::TileL2(_)),
-                "{:?}",
-                out.served_by
-            );
-        }
-    }
-
-    #[test]
-    fn remote_transfer_slower_than_tile() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let owner = CoreId(10); // tile 5
-        let reader = CoreId(0); // tile 0
-        let addr = 1 << 16;
-        m.prepare_line(owner, addr, MesifState::Modified);
-        let out = m.access(reader, addr, AccessKind::Read, 0);
-        assert!(matches!(out.served_by, ServedBy::RemoteCache { .. }));
-        let ns = out.complete as f64 / 1000.0;
-        assert!((80.0..170.0).contains(&ns), "remote M latency {ns} ns");
-    }
-
-    #[test]
-    fn remote_m_costs_more_than_sf() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let owner = CoreId(10);
-        let reader = CoreId(0);
-        let addr_m = 1 << 16;
-        let addr_s = 2 << 16;
-        m.prepare_line(owner, addr_m, MesifState::Modified);
-        m.prepare_line(owner, addr_s, MesifState::Forward);
-        let tm = m.access(reader, addr_m, AccessKind::Read, 0).complete;
-        let ts = m
-            .access(reader, addr_s, AccessKind::Read, 10_000_000)
-            .complete
-            - 10_000_000;
-        assert!(tm > ts, "M {tm} must exceed S/F {ts}");
-    }
-
-    #[test]
-    fn write_invalidates_readers() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let a = CoreId(0);
-        let b = CoreId(10);
-        let addr = 1 << 16;
-        // b owns; a reads (both share); b writes (invalidates a); a reads again.
-        m.prepare_line(b, addr, MesifState::Modified);
-        let r1 = m.access(a, addr, AccessKind::Read, 0);
-        assert!(matches!(r1.served_by, ServedBy::RemoteCache { .. }));
-        let w = m.access(b, addr, AccessKind::Write, r1.complete);
-        let c0 = m.counters();
-        assert!(c0.invalidations >= 1);
-        let r2 = m.access(a, addr, AccessKind::Read, w.complete + 1_000_000);
-        assert!(
-            matches!(r2.served_by, ServedBy::RemoteCache { .. }),
-            "invalidated reader must refetch, got {:?}",
-            r2.served_by
-        );
-    }
-
-    #[test]
-    fn contention_serializes_at_directory() {
-        // N readers hitting the same M line nearly simultaneously: the last
-        // completion grows roughly linearly with N (Table I: α + β·N).
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let owner = CoreId(0);
-        let addr = 1 << 16;
-        let last_for = |m: &mut Machine, n: usize| -> u64 {
-            m.reset_caches();
-            m.prepare_line(owner, addr, MesifState::Modified);
-            let mut worst = 0;
-            for i in 0..n {
-                let reader = Schedule::Scatter.core(i + 1, 64);
-                let out = m.access(reader, addr, AccessKind::Read, 0);
-                worst = worst.max(out.complete);
-            }
-            worst
-        };
-        let t8 = last_for(&mut m, 8);
-        let t32 = last_for(&mut m, 32);
-        let slope = (t32 - t8) as f64 / 24.0 / 1000.0;
-        assert!(
-            (20.0..50.0).contains(&slope),
-            "contention slope {slope} ns/thread (expect ~34)"
-        );
-    }
-
-    #[test]
-    fn cache_mode_hits_and_misses() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Cache);
-        let c = CoreId(0);
-        let addr = 1 << 20;
-        let miss = m.access(c, addr, AccessKind::Read, 0);
-        assert!(matches!(
-            miss.served_by,
-            ServedBy::Memory(MemTarget::Ddr { .. })
-        ));
-        // Evict from L1+L2 is hard; instead touch a different line mapping
-        // to the same mcache set? Simpler: re-read after clearing the tile
-        // caches — the memory-side cache keeps its content.
-        for l2 in &mut m.l1 {
-            l2.clear();
-        }
-        for l2 in &mut m.l2 {
-            l2.clear();
-        }
-        m.dir.clear();
-        let hit = m.access(c, addr, AccessKind::Read, 10_000_000);
-        assert!(
-            matches!(hit.served_by, ServedBy::McacheHit { .. }),
-            "{:?}",
-            hit.served_by
-        );
-        // Cache-mode hit latency exceeds a flat DDR access (tag check +
-        // MCDRAM's higher device latency), per Table II.
-        let hit_ns = (hit.complete - 10_000_000) as f64 / 1000.0;
-        assert!(
-            (140.0..210.0).contains(&hit_ns),
-            "cache-mode latency {hit_ns}"
-        );
-    }
-
-    #[test]
-    fn nt_store_is_posted_and_counted() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let c = CoreId(0);
-        let out = m.access(c, 4096, AccessKind::NtStore, 0);
-        assert!(matches!(out.served_by, ServedBy::Posted));
-        assert_eq!(m.counters().nt_stores, 1);
-    }
-
-    #[test]
-    fn nt_store_invalidates_every_holder() {
-        // An NT store destroys all cached copies; the invalidation counter
-        // must reflect each one, exactly like an RFO (audit fix pinned by
-        // the checker's counter reconciliation).
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let mut t = 0;
-        for c in [CoreId(0), CoreId(2), CoreId(4)] {
-            t = m.access(c, 4096, AccessKind::Read, t).complete;
-        }
-        let before = m.counters().invalidations;
-        m.access(CoreId(6), 4096, AccessKind::NtStore, t);
-        assert_eq!(m.counters().invalidations - before, 3);
-    }
-
-    #[test]
-    fn checked_machine_matches_unchecked_timing() {
-        // CheckLevel must be a pure observer: identical access timings and
-        // counters with the oracle on or off.
-        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
-        let mut plain = Machine::new(cfg.clone());
-        let mut checked = Machine::with_check(cfg, crate::invariants::CheckLevel::FullOracle);
-        plain.set_jitter(0);
-        checked.set_jitter(0);
-        let mut tp = 0;
-        let mut tc = 0;
-        for (i, kind) in [
-            AccessKind::Read,
-            AccessKind::Write,
-            AccessKind::Read,
-            AccessKind::NtStore,
-            AccessKind::Read,
-        ]
-        .iter()
-        .enumerate()
-        {
-            let c = CoreId((i as u16 % 4) * 2);
-            tp = plain.access(c, 4096, *kind, tp).complete;
-            tc = checked.access(c, 4096, *kind, tc).complete;
-            assert_eq!(tp, tc, "op {i}");
-        }
-        assert_eq!(plain.counters(), checked.counters());
-        checked.finish_check();
-    }
-
-    #[test]
-    fn traced_machine_matches_untraced_timing() {
-        // TraceLevel must be a pure observer: identical access timings and
-        // counters with tracing on or off.
-        let cfg = MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Cache);
-        let mut plain = Machine::new(cfg.clone());
-        let mut traced = Machine::with_observers(cfg, CheckLevel::Off, TraceLevel::Full);
-        plain.set_jitter(0);
-        traced.set_jitter(0);
-        let mut tp = 0;
-        let mut tc = 0;
-        for (i, kind) in [
-            AccessKind::Read,
-            AccessKind::Write,
-            AccessKind::Read,
-            AccessKind::NtStore,
-            AccessKind::Read,
-            AccessKind::Write,
-        ]
-        .iter()
-        .enumerate()
-        {
-            let c = CoreId((i as u16 % 4) * 2);
-            tp = plain.access(c, 4096, *kind, tp).complete;
-            tc = traced.access(c, 4096, *kind, tc).complete;
-            assert_eq!(tp, tc, "op {i}");
-        }
-        tp = plain.evict_line(CoreId(0), 4096, tp);
-        tc = traced.evict_line(CoreId(0), 4096, tc);
-        assert_eq!(tp, tc);
-        assert_eq!(plain.counters(), traced.counters());
-        assert!(!traced
-            .tracer()
-            .expect("tracer attached")
-            .events()
-            .is_empty());
-    }
-
-    #[test]
-    fn remote_serve_traced_with_state_and_hops() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        m.set_trace_level(TraceLevel::Full);
-        let addr = ddr_addr(&m);
-        let owner = CoreId(0);
-        let reader = CoreId(10);
-        let t = m.access(owner, addr, AccessKind::Write, 0).complete;
-        let out = m.access(reader, addr, AccessKind::Read, t);
-        let holder = match out.served_by {
-            ServedBy::RemoteCache { holder, state } => {
-                assert_eq!(state, MesifState::Modified);
-                holder
-            }
-            other => panic!("expected remote-cache serve, got {other:?}"),
-        };
-        let want_hops = hop_dist(
-            m.topology().tile_position(reader.tile()),
-            m.topology().tile_position(holder),
-        );
-        let tr = m.tracer().expect("tracer attached");
-        let srv = tr
-            .events()
-            .iter()
-            .rev()
-            .find_map(|e| match e.kind {
-                EventKind::Serve {
-                    op: 'R', src, hops, ..
-                } => Some((src, hops, e.tile)),
-                _ => None,
-            })
-            .expect("remote read recorded a Serve event");
-        assert_eq!(srv.0, 'M', "supplier held the line Modified");
-        assert_eq!(srv.1, want_hops);
-        assert_eq!(srv.2, reader.tile().0, "stamped with requesting tile");
-    }
-
-    #[test]
-    fn trace_metrics_reconcile_with_counters() {
-        // Every Inv/Writeback/Mcache event the tracer aggregates must match
-        // the machine's own hardware counters, at Summary as well as Full.
-        for level in [TraceLevel::Summary, TraceLevel::Full] {
-            let mut m = machine(ClusterMode::Snc4, MemoryMode::Cache);
-            m.set_trace_level(level);
-            let addr = {
-                let mut a = m.arena();
-                a.alloc(NumaKind::Ddr, 1 << 20)
-            };
-            let mut t = 0;
-            for i in 0..512u64 {
-                let c = CoreId((i % 8 * 2) as u16);
-                let a = addr + (i % 64) * 64;
-                let kind = match i % 3 {
-                    0 => AccessKind::Read,
-                    1 => AccessKind::Write,
-                    _ => AccessKind::NtStore,
-                };
-                t = m.access(c, a, kind, t).complete;
-            }
-            let ctr = m.counters();
-            let tr = m.take_tracer().expect("tracer attached");
-            let mm = tr.metrics();
-            assert_eq!(mm.invalidations, ctr.invalidations, "{level:?}");
-            assert_eq!(mm.writebacks, ctr.writebacks, "{level:?}");
-            assert_eq!(mm.mcache_hits, ctr.mcache_hits, "{level:?}");
-            assert_eq!(mm.mcache_misses, ctr.mcache_misses, "{level:?}");
-            // Every Serve lands in exactly one histogram and one tile row,
-            // and remote serves reconcile with the remote-hit counter.
-            let serves: u64 = mm.tiles.values().map(|s| s.serves).sum();
-            let hist_total: u64 = mm.hist.values().map(|h| h.count).sum();
-            assert_eq!(serves, hist_total, "{level:?}");
-            let remote: u64 = mm.tiles.values().map(|s| s.remote).sum();
-            assert_eq!(remote, ctr.remote_cache_hits, "{level:?}");
-        }
-    }
-
-    #[test]
-    fn stream_read_ddr_saturates_near_77gbps() {
-        // 32 cores streaming reads concurrently (via the runner, which
-        // interleaves chunks in time order): aggregate must approach the
-        // 77 GB/s DDR peak.
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let lines_per_core = 4096u64;
-        let progs: Vec<crate::program::Program> = (0..32usize)
-            .map(|i| {
-                let core = Schedule::FillTiles.core(i, 64);
-                let mut p = crate::program::Program::on_core(core);
-                p.push(crate::ops::Op::Stream {
-                    kind: crate::ops::StreamKind::Read,
-                    a: 0,
-                    b: (i as u64) * (1 << 22),
-                    c: 0,
-                    lines: lines_per_core,
-                    vectorized: true,
-                });
-                p
-            })
-            .collect();
-        let r = crate::runner::run_programs(&mut m, progs);
-        let bytes = 32 * lines_per_core * 64;
-        let gbps = (bytes as f64 / 1e9) / (r.end_time as f64 / 1e12);
-        assert!(
-            (55.0..85.0).contains(&gbps),
-            "aggregate DDR read {gbps} GB/s"
-        );
-    }
-
-    #[test]
-    fn single_thread_mem_read_near_8gbps() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let mut st = StreamState::default();
-        let (done, n) = m.stream_chunk(
-            CoreId(0),
-            crate::ops::StreamKind::Read,
-            0,
-            0,
-            0,
-            0,
-            8192,
-            true,
-            &mut st,
-            0,
-            u64::MAX,
-        );
-        assert_eq!(n, 8192);
-        let gbps = (8192.0 * 64.0 / 1e9) / (done as f64 / 1e12);
-        assert!(
-            (5.0..11.0).contains(&gbps),
-            "single-thread DDR read {gbps} GB/s"
-        );
-    }
-
-    #[test]
-    fn stream_chunk_respects_deadline() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let mut st = StreamState::default();
-        let (t, n) = m.stream_chunk(
-            CoreId(0),
-            crate::ops::StreamKind::Read,
-            0,
-            0,
-            0,
-            0,
-            1_000_000,
-            true,
-            &mut st,
-            0,
-            100_000, // 100 ns slice
-        );
-        assert!(n < 1_000_000, "slice must stop early, did {n} lines");
-        assert!(
-            (100_000..400_000).contains(&t),
-            "frontier near deadline: {t}"
-        );
-    }
-
-    #[test]
-    fn mcdram_stream_faster_than_ddr_aggregate() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let mut arena = m.arena();
-        let mc = arena.alloc(NumaKind::Mcdram, 64 << 20);
-        let run = |m: &mut Machine, base: u64| -> f64 {
-            m.reset_devices();
-            m.reset_caches();
-            let lines = 2048u64;
-            let progs: Vec<crate::program::Program> = (0..64usize)
-                .map(|i| {
-                    let core = Schedule::FillTiles.core(i, 64);
-                    let mut p = crate::program::Program::on_core(core);
-                    p.push(crate::ops::Op::Stream {
-                        kind: crate::ops::StreamKind::Read,
-                        a: 0,
-                        b: base + (i as u64) * lines * 64,
-                        c: 0,
-                        lines,
-                        vectorized: true,
-                    });
-                    p
-                })
-                .collect();
-            let r = crate::runner::run_programs(m, progs);
-            (64.0 * 2048.0 * 64.0 / 1e9) / (r.end_time as f64 / 1e12)
-        };
-        let ddr = run(&mut m, 0);
-        let mcd = run(&mut m, mc);
-        assert!(mcd > 2.0 * ddr, "MCDRAM {mcd} must be well above DDR {ddr}");
-    }
-
-    #[test]
-    fn copy_buf_remote_bandwidth_band() {
-        // Table I: remote copy ≈ 7.5 GB/s single-thread.
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
-        let owner = CoreId(20);
-        let reader = CoreId(0);
-        let bytes = 64 * 1024u64;
-        let src = 1 << 20;
-        let dst = 8 << 20;
-        for l in 0..knl_arch::lines_for(bytes) {
-            m.prepare_line(owner, src + l * 64, MesifState::Modified);
-        }
-        let done = m.copy_buf(reader, src, dst, bytes, true, 0);
-        let gbps = (bytes as f64 / 1e9) / (done as f64 / 1e12);
-        assert!((4.0..12.0).contains(&gbps), "remote copy {gbps} GB/s");
-    }
+    use knl_arch::{ClusterMode, MemoryMode};
 
     #[test]
     fn counters_accumulate() {
-        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        let mut m = Machine::new(MachineConfig::knl7210(
+            ClusterMode::Quadrant,
+            MemoryMode::Flat,
+        ));
+        m.set_jitter(0);
         let before = m.counters();
         m.access(CoreId(0), 4096, AccessKind::Read, 0);
         m.access(CoreId(0), 4096, AccessKind::Read, 1_000_000);

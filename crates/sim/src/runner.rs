@@ -152,15 +152,15 @@ impl<'m> Runner<'m> {
 
     /// Run to completion.
     pub fn run(mut self) -> RunResult {
-        let analyze_level = self.machine.analyze_level();
-        if analyze_level != crate::analyze::AnalyzeLevel::Off {
-            // Static pre-pass over the programs about to execute, with the
-            // pre-set flags as the initial flag state. Pure observer: it
-            // panics on Error findings and prints lower severities, but
-            // never changes what the simulation computes.
+        if self.machine.has_observers() {
+            // Observer run-start hook, with the pre-set flags as the initial
+            // flag state (sorted for determinism). The analyzer gate does
+            // its static pre-pass here — pure observers all: they may panic
+            // (Error findings, coherence violations) but never change what
+            // the simulation computes.
             let mut initial: Vec<(u64, u64)> = self.flags.iter().map(|(&a, &v)| (a, v)).collect();
             initial.sort_unstable();
-            crate::analyze::analyze(&self.programs, &initial).enforce(analyze_level);
+            self.machine.observe_run_start(&self.programs, &initial);
         }
         for tid in 0..self.programs.len() {
             self.enqueue(0, tid);
@@ -503,9 +503,13 @@ mod tests {
 
     #[test]
     fn runner_stamps_trace_events_with_thread_and_marks() {
+        use crate::engine::observe::ObserverConfig;
         use crate::trace::{EventKind, TraceLevel};
-        let mut m = machine();
-        m.set_trace_level(TraceLevel::Full);
+        let mut m = Machine::with_observer_config(
+            MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
+            ObserverConfig::default().trace(TraceLevel::Full),
+        );
+        m.set_jitter(0);
         let mk = |core: u16| {
             let mut p = Program::on_core(CoreId(core));
             p.push(Op::MarkStart(7))

@@ -10,7 +10,7 @@
 
 use knl::arch::MachineConfig;
 use knl::sim::fuzz::fuzz_case;
-use knl::sim::{AccessKind, CheckLevel, Machine};
+use knl::sim::{AccessKind, CheckLevel, Machine, ObserverConfig};
 
 fn fuzz_cases() -> u64 {
     std::env::var("KNL_FUZZ_CASES")
@@ -50,7 +50,8 @@ fn injected_skipped_invalidation_is_caught() {
     // invalidate one stale holder. The invariant checker must flag the
     // surviving sharer the moment the write transition is observed.
     let cfg = MachineConfig::all_fifteen().remove(0);
-    let mut m = Machine::with_check(cfg, CheckLevel::Invariants);
+    let mut m =
+        Machine::with_observer_config(cfg, ObserverConfig::default().check(CheckLevel::Invariants));
     m.set_jitter(0);
     use knl::arch::CoreId;
     let t = m.access(CoreId(0), 4096, AccessKind::Read, 0).complete;

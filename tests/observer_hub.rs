@@ -1,0 +1,125 @@
+//! The observer-hub contract: checker, tracer, and analyzer gate ride one
+//! event spine and are *pure* observers. Turning all three on at once must
+//! not move a single bit of simulated output — end times, per-iteration
+//! durations, hardware counters, and (across `--jobs` worker counts) the
+//! merged trace bytes are compared against the empty-hub run.
+
+use knl::arch::{ClusterMode, CoreId, MachineConfig, MemoryMode};
+use knl::benchsuite::{pointer_chase, SweepExecutor};
+use knl::sim::{
+    AnalyzeLevel, CheckLevel, CoherenceChecker, Counters, Machine, ObserverConfig, Runner,
+    TraceLevel, Tracer,
+};
+
+const ITERS: usize = 5;
+
+fn configs() -> Vec<MachineConfig> {
+    vec![
+        // All flat-mode (the transfer workload's flag line sits at 1 GiB,
+        // just past cache mode's addressable DDR range).
+        MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
+        MachineConfig::knl7210(ClusterMode::Snc4, MemoryMode::Flat),
+        MachineConfig::knl7210(ClusterMode::A2A, MemoryMode::Flat),
+    ]
+}
+
+fn all_on() -> ObserverConfig {
+    ObserverConfig::default()
+        .check(CheckLevel::FullOracle)
+        .trace(TraceLevel::Full)
+        .analyze(AnalyzeLevel::Error)
+}
+
+/// Run the ownership-transfer workload on a fresh machine under `oc`;
+/// returns everything an observer could have perturbed (plus the detached
+/// tracer's serialized bytes, `None` when tracing was off).
+fn run_case(
+    cfg: &MachineConfig,
+    oc: ObserverConfig,
+) -> (u64, Vec<Option<u64>>, Counters, Option<String>) {
+    let mut m = Machine::with_observer_config(cfg.clone(), oc);
+    let programs = pointer_chase::transfer_programs(CoreId(8), CoreId(0), ITERS);
+    let result = Runner::new(&mut m, programs).run();
+    let durations: Vec<_> = (0..ITERS).map(|k| result.duration_ps(1, k)).collect();
+    m.finish_check();
+    let trace = m.take_tracer().map(|tr| {
+        let mut s = String::new();
+        tr.serialize_into(&mut s);
+        s
+    });
+    (result.end_time, durations, m.counters(), trace)
+}
+
+#[test]
+fn all_observers_on_is_bit_identical_to_off() {
+    for cfg in configs() {
+        let label = cfg.label();
+        let (end_off, dur_off, ctr_off, trace_off) = run_case(&cfg, ObserverConfig::default());
+        let (end_on, dur_on, ctr_on, trace_on) = run_case(&cfg, all_on());
+        assert_eq!(end_off, end_on, "{label}: end_time moved");
+        assert_eq!(dur_off, dur_on, "{label}: iteration durations moved");
+        assert_eq!(ctr_off, ctr_on, "{label}: counters moved");
+        assert_eq!(trace_off, None, "{label}: empty hub must have no tracer");
+        assert!(
+            trace_on.is_some(),
+            "{label}: full hub must hand back a trace"
+        );
+    }
+}
+
+#[test]
+fn merged_trace_bytes_identical_across_jobs() {
+    // The same merge the figure binaries' `TraceSink` performs: per-job
+    // sections in canonical job order. Worker count must not leak into a
+    // single byte of it.
+    let configs = configs();
+    let merged = |jobs: usize| -> String {
+        let sections = SweepExecutor::new(jobs).run("observer-hub", &configs, |i, cfg| {
+            let (end, _, _, trace) = run_case(cfg, all_on());
+            (i, end, trace.expect("tracing is on"))
+        });
+        let mut out = String::new();
+        for (i, end, s) in sections {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "# job {i} end={end}");
+            out.push_str(&s);
+        }
+        out
+    };
+    let serial = merged(1);
+    let pooled = merged(2);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, pooled,
+        "merged trace differs between --jobs 1 and 2"
+    );
+}
+
+#[test]
+fn registration_order_does_not_affect_output() {
+    // The hub dispatches every event to every observer; whether the
+    // checker or the tracer registered first must be unobservable in the
+    // results, the counters, and the emitted metrics/trace bytes.
+    let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
+    let run = |checker_first: bool| {
+        let mut m = Machine::new(cfg.clone());
+        let ck = CoherenceChecker::new(CheckLevel::FullOracle, Counters::default()); // knl-lint: allow(observer-construct)
+        let tr = Tracer::new(TraceLevel::Full); // knl-lint: allow(observer-construct)
+        if checker_first {
+            m.register_observer(Box::new(ck));
+            m.register_observer(Box::new(tr));
+        } else {
+            m.register_observer(Box::new(tr));
+            m.register_observer(Box::new(ck));
+        }
+        let programs = pointer_chase::transfer_programs(CoreId(8), CoreId(0), ITERS);
+        let result = Runner::new(&mut m, programs).run();
+        m.finish_check();
+        let mut s = String::new();
+        m.take_tracer()
+            .expect("tracer registered")
+            .serialize_into(&mut s);
+        (result.end_time, m.counters(), s)
+    };
+    assert_eq!(run(true), run(false));
+}

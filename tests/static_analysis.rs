@@ -9,7 +9,9 @@ use knl::benchsuite::{cachebw, congestion, contention, membw, memlat, pointer_ch
 use knl::collectives::plan::RankPlan;
 use knl::collectives::simspec::{self, SimLayout};
 use knl::model::tree_opt::binomial_tree;
-use knl::sim::{analyze, AnalyzeLevel, Machine, Op, Program, Rule, Runner, Severity, StreamKind};
+use knl::sim::{
+    analyze, AnalyzeLevel, Machine, ObserverConfig, Op, Program, Rule, Runner, Severity, StreamKind,
+};
 use knl::sort::simsort::{simsort_programs, SimSortSpec};
 
 fn snc4_flat() -> MachineConfig {
@@ -198,8 +200,8 @@ fn analyzer_on_is_bit_identical_to_off() {
     let cfg = MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat);
     let iters = 7;
     let run = |level: AnalyzeLevel| {
-        let mut m = Machine::new(cfg.clone());
-        m.set_analyze_level(level);
+        let mut m =
+            Machine::with_observer_config(cfg.clone(), ObserverConfig::default().analyze(level));
         let programs = pointer_chase::transfer_programs(CoreId(8), CoreId(0), iters);
         let result = Runner::new(&mut m, programs).run();
         let durations: Vec<_> = (0..iters).map(|k| result.duration_ps(1, k)).collect();
@@ -219,8 +221,10 @@ fn analyzer_enforces_clean_on_all_fifteen_configs() {
     let flag = 3u64 << 28;
     for cfg in MachineConfig::all_fifteen() {
         let label = cfg.label();
-        let mut m = Machine::new(cfg);
-        m.set_analyze_level(AnalyzeLevel::Error);
+        let mut m = Machine::with_observer_config(
+            cfg,
+            ObserverConfig::default().analyze(AnalyzeLevel::Error),
+        );
         let mut po = Program::on_core(CoreId(1));
         let mut pr = Program::on_core(CoreId(0));
         for it in 0..3usize {
