@@ -1,189 +1,15 @@
 //! How fast is the simulator itself? Accesses and streamed lines per
 //! second of host time (guards against regressions that would make the
 //! paper-scale sweeps impractical).
+//!
+//! The cases live in `knl_bench::benchcases` so this console view and the
+//! `knl-bench-record` trajectory writer measure identical workloads.
 
-use knl_arch::{ClusterMode, CoreId, MachineConfig, MemoryMode, Schedule};
+use knl_bench::benchcases::simulator_throughput_suite;
 use knl_bench::microbench::case;
-use knl_sim::{
-    AccessKind, AnalyzeLevel, CheckLevel, Machine, ObserverConfig, Op, Program, Runner, StreamKind,
-    TraceLevel,
-};
-
-fn machine() -> Machine {
-    Machine::new(MachineConfig::knl7210(
-        ClusterMode::Quadrant,
-        MemoryMode::Flat,
-    ))
-}
-
-fn machine_with(oc: ObserverConfig) -> Machine {
-    Machine::with_observer_config(
-        MachineConfig::knl7210(ClusterMode::Quadrant, MemoryMode::Flat),
-        oc,
-    )
-}
 
 fn main() {
-    {
-        let mut m = machine();
-        let mut now = m.access(CoreId(0), 4096, AccessKind::Read, 0).complete;
-        case("sim_access", "l1_hit", None, || {
-            now = m.access(CoreId(0), 4096, AccessKind::Read, now).complete;
-            now
-        });
-    }
-
-    {
-        let mut m = machine();
-        let mut addr = 1u64 << 22;
-        let mut now = 0;
-        case("sim_access", "memory_miss", None, || {
-            addr += 4096;
-            if addr > (1 << 29) {
-                addr = 1 << 22;
-                m.reset_caches();
-            }
-            now = m.access(CoreId(0), addr, AccessKind::Read, now).complete;
-            now
-        });
-    }
-
-    {
-        let mut m = machine();
-        let mut now = 0;
-        let mut flip = false;
-        case("sim_access", "remote_transfer", None, || {
-            // Ping-pong one line between two tiles: every access is a
-            // remote ownership transfer.
-            let core = if flip { CoreId(0) } else { CoreId(30) };
-            flip = !flip;
-            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
-            now
-        });
-    }
-
-    // `--check off` must be free (the acceptance bar for leaving the hook
-    // compiled into the hot paths), and the checked levels' cost should
-    // stay visible here so it never silently creeps into `off`.
-    for (name, level) in [
-        ("remote_transfer_check_off", CheckLevel::Off),
-        ("remote_transfer_check_inv", CheckLevel::Invariants),
-        ("remote_transfer_check_full", CheckLevel::FullOracle),
-    ] {
-        let mut m = machine_with(ObserverConfig::default().check(level));
-        let mut now = 0;
-        let mut flip = false;
-        case("sim_access", name, None, || {
-            let core = if flip { CoreId(0) } else { CoreId(30) };
-            flip = !flip;
-            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
-            now
-        });
-    }
-
-    // Same acceptance bar for the tracer: `--trace-level off` must be
-    // free, and the summary/full costs stay measured so they never bleed
-    // into the off path.
-    for (name, trace) in [
-        ("remote_transfer_trace_off", TraceLevel::Off),
-        ("remote_transfer_trace_summary", TraceLevel::Summary),
-        ("remote_transfer_trace_full", TraceLevel::Full),
-    ] {
-        let mut m = machine_with(ObserverConfig::default().trace(trace));
-        let mut now = 0;
-        let mut flip = false;
-        case("sim_access", name, None, || {
-            let core = if flip { CoreId(0) } else { CoreId(30) };
-            flip = !flip;
-            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
-            now
-        });
-    }
-
-    // And for the static analyzer: `--analyze off` skips the pre-pass
-    // entirely, so the off case must track the raw runner; the on case
-    // measures the happens-before construction for a small flag-handoff
-    // workload (the pre-pass runs once per `Runner::run`).
-    for (name, level) in [
-        ("remote_transfer_analyze_off", AnalyzeLevel::Off),
-        ("remote_transfer_analyze_on", AnalyzeLevel::Error),
-    ] {
-        let mut m = machine_with(ObserverConfig::default().analyze(level));
-        case("sim_access", name, None, || {
-            let flag = 3u64 << 28;
-            let mut po = Program::on_core(CoreId(30));
-            let mut pr = Program::on_core(CoreId(0));
-            for it in 0..16usize {
-                let gen = it as u64 + 1;
-                let addr = (1u64 << 21) + (it as u64) * 64;
-                po.push(Op::Write(addr)).push(Op::SetFlag {
-                    addr: flag,
-                    val: gen,
-                });
-                pr.push(Op::WaitFlag {
-                    addr: flag,
-                    val: gen,
-                })
-                .push(Op::Read(addr));
-            }
-            let end = Runner::new(&mut m, vec![po, pr]).run().end_time;
-            m.reset_caches();
-            end
-        });
-    }
-
-    // The refactor's guard pair: an empty hub (`off`) must track the raw
-    // `remote_transfer` case bit-for-bit in cost, while the fully loaded
-    // hub (`on` = full oracle + full trace + analyze gate) measures the
-    // dispatch overhead of every observer at once.
-    for (name, oc) in [
-        (
-            "remote_transfer_all_observers_off",
-            ObserverConfig::default(),
-        ),
-        (
-            "remote_transfer_all_observers_on",
-            ObserverConfig::default()
-                .check(CheckLevel::FullOracle)
-                .trace(TraceLevel::Full)
-                .analyze(AnalyzeLevel::Error),
-        ),
-    ] {
-        let mut m = machine_with(oc);
-        let mut now = 0;
-        let mut flip = false;
-        case("sim_access", name, None, || {
-            let core = if flip { CoreId(0) } else { CoreId(30) };
-            flip = !flip;
-            now = m.access(core, 1 << 21, AccessKind::Write, now).complete;
-            now
-        });
-    }
-
-    {
-        let lines = 64 * 1024u64;
-        case(
-            "sim_stream",
-            "8_threads_triad",
-            Some(lines * 8 * 64),
-            || {
-                let mut m = machine();
-                let progs: Vec<Program> = (0..8usize)
-                    .map(|i| {
-                        let mut p = Program::new(Schedule::FillTiles.place(i, 64));
-                        p.push(Op::Stream {
-                            kind: StreamKind::Triad,
-                            a: (i as u64) << 24,
-                            b: (i as u64) << 24 | 1 << 23,
-                            c: (i as u64) << 24 | 1 << 22,
-                            lines,
-                            vectorized: true,
-                        });
-                        p
-                    })
-                    .collect();
-                Runner::new(&mut m, progs).run().end_time
-            },
-        );
+    for mut c in simulator_throughput_suite() {
+        case(c.group, c.name, c.bytes, &mut c.run);
     }
 }

@@ -6,9 +6,17 @@
 //!   through the observer-honouring `sweep::machine` helper, never raw
 //!   `Machine::new` (a raw machine silently ignores `--check`, `--trace`
 //!   and `--analyze`).
-//! * `hash-collection` — result/serialization/metrics paths must not use
-//!   `HashMap`/`HashSet`: their iteration order is nondeterministic, which
-//!   breaks the bit-identical-output contract (`BTreeMap` rule).
+//! * `hash-collection` — all of `crates/sim` plus result/serialization
+//!   paths elsewhere must not use `HashMap`/`HashSet`: their iteration
+//!   order is nondeterministic, which breaks the bit-identical-output
+//!   contract. Use `BTreeMap`, the hot-path `fxmap::LineMap` (which
+//!   exposes no order-dependent iteration), or `svmap::SortedVecMap`;
+//!   sites where order provably never escapes carry a
+//!   `// knl-lint: allow(hash-collection)` justification. `fxmap.rs`
+//!   itself is exempt (it documents and model-tests against the std map
+//!   it replaces). This rule originally covered only
+//!   metrics/trace/serial/output paths — the gap that let `mcache.rs`
+//!   ship a SipHash map on the per-access hot path.
 //! * `wallclock` — `crates/sim` must not read host time
 //!   (`std::time::Instant`/`SystemTime`): simulated time is integer
 //!   picoseconds, and wall-clock reads make runs irreproducible.
@@ -83,10 +91,12 @@ fn rules() -> Vec<LintRule> {
         },
         LintRule {
             name: "hash-collection",
-            message: "result/serialization/metrics paths must use ordered \
-                      collections (BTreeMap/BTreeSet) for deterministic output",
+            message: "use ordered collections (BTreeMap/BTreeSet), LineMap, or \
+                      SortedVecMap for deterministic output; allow-comment \
+                      sites where order provably never escapes",
             applies: |p| {
-                p.ends_with("/metrics.rs")
+                (p.contains("crates/sim/") && !p.ends_with("/fxmap.rs"))
+                    || p.ends_with("/metrics.rs")
                     || p.ends_with("/trace.rs")
                     || p.ends_with("/serial.rs")
                     || p.ends_with("/output.rs")
@@ -259,8 +269,39 @@ mod tests {
             find("/crates/bench/src/output.rs", &bad),
             ["hash-collection"]
         );
-        // Fine elsewhere (e.g. the runner's internal state).
-        assert!(find("/crates/sim/src/runner.rs", &bad).is_empty());
+        // Fine outside crates/sim and the serialization paths.
+        assert!(find("/crates/bench/src/microbench.rs", &bad).is_empty());
+        assert!(find("/tests/golden_snapshots.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_across_all_of_sim() {
+        // The rule that closed the mcache.rs gap: a bare std hash map
+        // anywhere in crates/sim is a violation…
+        let bad = format!("use std::collections::{};\n", HASH_MAP);
+        for path in [
+            "/crates/sim/src/mcache.rs",
+            "/crates/sim/src/machine.rs",
+            "/crates/sim/src/runner.rs",
+            "/crates/sim/src/engine/serve.rs",
+        ] {
+            assert_eq!(find(path, &bad), ["hash-collection"], "{path}");
+        }
+        let bad_set = format!("let s: {}<u8> = Default::default();\n", HASH_SET);
+        assert_eq!(
+            find("/crates/sim/src/alloc.rs", &bad_set),
+            ["hash-collection"]
+        );
+        // …unless justified with an allow comment where order never
+        // escapes (the runner's internal maps)…
+        let allowed = format!(
+            "    flags: {}<u64, u64>, // knl-lint: allow(hash-collection)\n",
+            HASH_MAP
+        );
+        assert!(find("/crates/sim/src/runner.rs", &allowed).is_empty());
+        // …and fxmap.rs itself is exempt: it is the sanctioned
+        // replacement and model-tests against the std map.
+        assert!(find("/crates/sim/src/fxmap.rs", &bad).is_empty());
     }
 
     #[test]

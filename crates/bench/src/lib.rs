@@ -13,6 +13,7 @@
 //! *shape* (who wins, by what factor, where crossovers fall) is the
 //! reproduction target (see EXPERIMENTS.md).
 
+pub mod benchcases;
 pub mod collective_fig;
 pub mod microbench;
 pub mod modelfit;

@@ -1,7 +1,15 @@
 //! A tiny timing harness for the `benches/` targets (which build with
 //! `harness = false` and no external crates): warm up, auto-size a batch,
 //! take a handful of samples, report the median.
+//!
+//! Results can also be captured machine-readably: [`BenchResult`] encodes
+//! one case, and [`trajectory_json`]/[`parse_trajectory`] encode a whole
+//! suite run as the `BENCH_<pr>.json` format `knl-bench-record` writes and
+//! diffs (DESIGN.md §6). Encoding goes through [`knl_stats::json`], so key
+//! order is sorted and floats are shortest-round-trip — renders are
+//! bit-stable and diff-friendly.
 
+use knl_stats::json::Json;
 use std::time::{Duration, Instant};
 
 /// Samples per case (median is reported).
@@ -9,19 +17,30 @@ const SAMPLES: usize = 7;
 /// Minimum wall time of one sample batch.
 const MIN_BATCH: Duration = Duration::from_millis(5);
 
+/// Batch size forced by `KNL_BENCH_BATCH` (CI sets this so recorded
+/// trajectories use the same batch shape on every run), or `None` to
+/// auto-size by doubling until a batch takes [`MIN_BATCH`].
+fn fixed_batch() -> Option<usize> {
+    std::env::var("KNL_BENCH_BATCH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&b| b > 0)
+}
+
 /// Measure one logical iteration of `f` and return the median ns/iter.
 pub fn measure<R>(mut f: impl FnMut() -> R) -> f64 {
     for _ in 0..3 {
         std::hint::black_box(f());
     }
-    // Double the batch until one batch is long enough to time reliably.
-    let mut batch = 1usize;
+    // Double the batch until one batch is long enough to time reliably
+    // (or use the fixed CI batch size verbatim).
+    let mut batch = fixed_batch().unwrap_or(1);
     loop {
         let t = Instant::now();
         for _ in 0..batch {
             std::hint::black_box(f());
         }
-        if t.elapsed() >= MIN_BATCH || batch >= 1 << 22 {
+        if t.elapsed() >= MIN_BATCH || batch >= 1 << 22 || fixed_batch().is_some() {
             break;
         }
         batch *= 2;
@@ -56,6 +75,106 @@ pub fn case<R>(group: &str, name: &str, bytes: Option<u64>, f: impl FnMut() -> R
     report(group, name, ns, bytes);
 }
 
+/// One measured case of a recorded suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    pub group: String,
+    pub name: String,
+    /// Median wall time of one logical iteration.
+    pub ns_per_iter: f64,
+    /// Bytes moved per iteration, when the case is a bandwidth case.
+    pub bytes: Option<u64>,
+}
+
+impl BenchResult {
+    /// Stable identity used to match cases across trajectories.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.group, self.name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("group", Json::Str(self.group.clone())),
+            ("name", Json::Str(self.name.clone())),
+            ("ns_per_iter", Json::Num(self.ns_per_iter)),
+            (
+                "bytes",
+                self.bytes.map_or(Json::Null, |b| Json::Num(b as f64)),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<BenchResult> {
+        Some(BenchResult {
+            group: v.get("group")?.as_str()?.to_string(),
+            name: v.get("name")?.as_str()?.to_string(),
+            ns_per_iter: v.get("ns_per_iter")?.as_f64()?,
+            bytes: v.get("bytes").and_then(Json::as_u64),
+        })
+    }
+}
+
+/// Format tag of the `BENCH_<pr>.json` trajectory files.
+pub const TRAJECTORY_FORMAT: &str = "knl-bench-trajectory-v1";
+
+/// Encode one suite run as a trajectory document. Rendering the returned
+/// value is bit-stable: keys are sorted and floats round-trip exactly.
+pub fn trajectory_json(pr: u64, suite: &str, results: &[BenchResult]) -> Json {
+    Json::obj(vec![
+        ("format", Json::Str(TRAJECTORY_FORMAT.to_string())),
+        ("pr", Json::Num(pr as f64)),
+        ("suite", Json::Str(suite.to_string())),
+        ("results", Json::arr(results, BenchResult::to_json)),
+    ])
+}
+
+/// Decode a trajectory document; `None` if the format tag or any case is
+/// malformed (callers treat that as "no baseline").
+pub fn parse_trajectory(doc: &Json) -> Option<Vec<BenchResult>> {
+    if doc.get("format")?.as_str()? != TRAJECTORY_FORMAT {
+        return None;
+    }
+    doc.get("results")?
+        .as_arr()?
+        .iter()
+        .map(BenchResult::from_json)
+        .collect()
+}
+
+/// One case present in both an old and a new trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    pub key: String,
+    pub old_ns: f64,
+    pub new_ns: f64,
+}
+
+impl BenchDelta {
+    /// `new / old`: 1.0 is unchanged, above 1.0 is slower.
+    pub fn ratio(&self) -> f64 {
+        if self.old_ns > 0.0 {
+            self.new_ns / self.old_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Pair up cases shared by two trajectories, in the old document's order.
+/// Cases only one side has are skipped (the bin reports them separately).
+pub fn diff_trajectories(old: &[BenchResult], new: &[BenchResult]) -> Vec<BenchDelta> {
+    old.iter()
+        .filter_map(|o| {
+            let n = new.iter().find(|n| n.key() == o.key())?;
+            Some(BenchDelta {
+                key: o.key(),
+                old_ns: o.ns_per_iter,
+                new_ns: n.ns_per_iter,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +183,63 @@ mod tests {
     fn measure_returns_positive() {
         let ns = measure(|| (0..100u64).sum::<u64>());
         assert!(ns > 0.0);
+    }
+
+    fn sample_results() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                group: "sim_access".into(),
+                name: "l1_hit".into(),
+                ns_per_iter: 38.7,
+                bytes: None,
+            },
+            BenchResult {
+                group: "sim_stream".into(),
+                name: "8_threads_triad".into(),
+                ns_per_iter: 98706672.0,
+                bytes: Some(64 * 1024 * 8 * 64),
+            },
+        ]
+    }
+
+    #[test]
+    fn trajectory_roundtrips_bit_exactly() {
+        let doc = trajectory_json(6, "simulator_throughput", &sample_results());
+        let rendered = doc.render();
+        let reparsed = Json::parse(&rendered).unwrap();
+        assert_eq!(reparsed.render(), rendered);
+        assert_eq!(parse_trajectory(&reparsed).unwrap(), sample_results());
+    }
+
+    #[test]
+    fn trajectory_render_is_canonical() {
+        // Sorted keys and shortest-round-trip floats: the exact bytes are
+        // part of the format (diffs of checked-in BENCH_*.json stay clean).
+        let doc = trajectory_json(6, "s", &sample_results()[..1]);
+        assert_eq!(
+            doc.render(),
+            r#"{"format":"knl-bench-trajectory-v1","pr":6.0,"results":[{"bytes":null,"group":"sim_access","name":"l1_hit","ns_per_iter":38.7}],"suite":"s"}"#
+        );
+    }
+
+    #[test]
+    fn wrong_format_tag_is_no_baseline() {
+        let doc = Json::obj(vec![
+            ("format", Json::Str("something-else".into())),
+            ("results", Json::Arr(vec![])),
+        ]);
+        assert!(parse_trajectory(&doc).is_none());
+    }
+
+    #[test]
+    fn diff_matches_by_key_and_ratios() {
+        let old = sample_results();
+        let mut new = sample_results();
+        new[0].ns_per_iter = 77.4; // 2x slower
+        new[1].name = "renamed".into(); // no longer matches
+        let deltas = diff_trajectories(&old, &new);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].key, "sim_access/l1_hit");
+        assert!((deltas[0].ratio() - 2.0).abs() < 1e-12);
     }
 }

@@ -53,26 +53,47 @@ impl Counters {
         )
     }
 
-    /// Difference since an earlier snapshot. Saturates at zero per field:
-    /// a snapshot taken before a counter reset (e.g. a fresh `Machine` for
-    /// the next sweep job) must not panic the whole run in debug builds or
-    /// wrap to garbage in release builds.
+    /// Difference since an earlier snapshot.
+    ///
+    /// A machine's counters are monotone for its whole lifetime (cache
+    /// resets do not zero them), so `earlier` must be a snapshot of *this*
+    /// machine taken no later than `self`. A field running backwards means
+    /// an accounting bug — the class PR 2 caught in `nt_store` — and is
+    /// caught per field by a `debug_assert`. Release builds saturate at
+    /// zero instead of wrapping to garbage, so a production sweep degrades
+    /// to a zero delta rather than reporting 2^64-ish counts.
     pub fn since(&self, earlier: &Counters) -> Counters {
         Counters {
-            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
-            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
-            remote_cache_hits: self
-                .remote_cache_hits
-                .saturating_sub(earlier.remote_cache_hits),
-            ddr_accesses: self.ddr_accesses.saturating_sub(earlier.ddr_accesses),
-            mcdram_accesses: self.mcdram_accesses.saturating_sub(earlier.mcdram_accesses),
-            mcache_hits: self.mcache_hits.saturating_sub(earlier.mcache_hits),
-            mcache_misses: self.mcache_misses.saturating_sub(earlier.mcache_misses),
-            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
-            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
-            nt_stores: self.nt_stores.saturating_sub(earlier.nt_stores),
+            l1_hits: delta(self.l1_hits, earlier.l1_hits, "l1_hits"),
+            l2_hits: delta(self.l2_hits, earlier.l2_hits, "l2_hits"),
+            remote_cache_hits: delta(
+                self.remote_cache_hits,
+                earlier.remote_cache_hits,
+                "remote_cache_hits",
+            ),
+            ddr_accesses: delta(self.ddr_accesses, earlier.ddr_accesses, "ddr_accesses"),
+            mcdram_accesses: delta(
+                self.mcdram_accesses,
+                earlier.mcdram_accesses,
+                "mcdram_accesses",
+            ),
+            mcache_hits: delta(self.mcache_hits, earlier.mcache_hits, "mcache_hits"),
+            mcache_misses: delta(self.mcache_misses, earlier.mcache_misses, "mcache_misses"),
+            writebacks: delta(self.writebacks, earlier.writebacks, "writebacks"),
+            invalidations: delta(self.invalidations, earlier.invalidations, "invalidations"),
+            nt_stores: delta(self.nt_stores, earlier.nt_stores, "nt_stores"),
         }
     }
+}
+
+/// One [`Counters::since`] field: `later - earlier`, with the regression
+/// named in debug builds and saturated to zero in release builds.
+fn delta(later: u64, earlier: u64, field: &str) -> u64 {
+    debug_assert!(
+        later >= earlier,
+        "counter `{field}` regressed: later snapshot has {later}, earlier has {earlier}"
+    );
+    later.saturating_sub(earlier)
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -130,18 +151,39 @@ mod tests {
         assert_eq!(d.memory_accesses(), 5);
     }
 
+    /// A fabricated regression (a "later" snapshot with smaller counts) is
+    /// caught by the per-field debug assert in debug builds…
+    #[cfg(debug_assertions)]
     #[test]
-    fn since_saturates_after_reset() {
+    #[should_panic(expected = "counter `l1_hits` regressed")]
+    fn since_catches_regression_in_debug() {
         let before = Counters {
             l1_hits: 100,
             writebacks: 7,
             ..Default::default()
         };
-        let after_reset = Counters {
+        let bogus_later = Counters {
             l1_hits: 3,
             ..Default::default()
         };
-        let d = after_reset.since(&before);
+        let _ = bogus_later.since(&before);
+    }
+
+    /// …and still saturates to zero in release builds, so a production
+    /// sweep reports a zero delta instead of 2^64-ish garbage.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn since_saturates_in_release() {
+        let before = Counters {
+            l1_hits: 100,
+            writebacks: 7,
+            ..Default::default()
+        };
+        let bogus_later = Counters {
+            l1_hits: 3,
+            ..Default::default()
+        };
+        let d = bogus_later.since(&before);
         assert_eq!(d.l1_hits, 0);
         assert_eq!(d.writebacks, 0);
     }

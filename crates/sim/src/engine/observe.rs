@@ -195,9 +195,24 @@ impl ObserverConfig {
 /// The composable observer bus: owns the registered observers and fans
 /// each emitted event out to those that want events. Emission helpers are
 /// the *single* construction site of each [`ProtocolEvent`] variant.
+///
+/// The two built-in event consumers live in *typed slots* rather than the
+/// `dyn` vector: the common single-observer configurations (`--check` or
+/// `--trace` alone, and both together) then dispatch statically — no
+/// vtable load, and the observer bodies can inline into the fan-out
+/// (DESIGN.md §6). Custom observers still go through `dyn` in `others`.
+/// Fan-out order is fixed: checker, then tracer, then `others` in
+/// registration order — observers are pure (see the module docs), so the
+/// order is unobservable in simulated results; the equivalence tests pin
+/// this.
 #[derive(Default)]
 pub struct ObserverHub {
-    observers: Vec<Box<dyn MachineObserver>>,
+    /// Typed fast slot for the first registered [`CoherenceChecker`].
+    checker: Option<Box<CoherenceChecker>>,
+    /// Typed fast slot for the first registered [`Tracer`].
+    tracer: Option<Box<Tracer>>,
+    /// Everything else (custom observers, duplicate built-ins).
+    others: Vec<Box<dyn MachineObserver>>,
     /// Cached `any(wants_events)` — the empty-hub fast path.
     events: bool,
 }
@@ -220,10 +235,26 @@ impl ObserverHub {
         hub
     }
 
-    /// Attach an observer.
+    /// Attach an observer. The first checker and the first tracer land in
+    /// their typed fast slots; anything else joins the `dyn` vector.
     pub fn register(&mut self, observer: Box<dyn MachineObserver>) {
-        self.observers.push(observer);
-        self.events = self.observers.iter().any(|o| o.wants_events());
+        // `into_any` consumes the box, so type-test with `as_any` first.
+        if self.checker.is_none() && observer.as_any().is::<CoherenceChecker>() {
+            self.checker = observer.into_any().downcast().ok();
+        } else if self.tracer.is_none() && observer.as_any().is::<Tracer>() {
+            self.tracer = observer.into_any().downcast().ok();
+        } else {
+            self.others.push(observer);
+        }
+        self.recompute_events();
+    }
+
+    /// Re-derive the cached `any(wants_events)` flag.
+    fn recompute_events(&mut self) {
+        // Both built-in slot types consume events (`wants_events` default).
+        self.events = self.checker.is_some()
+            || self.tracer.is_some()
+            || self.others.iter().any(|o| o.wants_events());
     }
 
     /// Is any registered observer consuming events? The engine gates
@@ -236,19 +267,39 @@ impl ObserverHub {
 
     /// Is anything registered at all (event consumer or not)?
     pub fn is_empty(&self) -> bool {
-        self.observers.is_empty()
+        self.checker.is_none() && self.tracer.is_none() && self.others.is_empty()
     }
 
     /// The first registered observer of concrete type `T`, if any.
     pub fn get<T: MachineObserver>(&self) -> Option<&T> {
-        self.observers
-            .iter()
-            .find_map(|o| o.as_any().downcast_ref::<T>())
+        self.checker
+            .as_deref()
+            .and_then(|c| (c as &dyn Any).downcast_ref::<T>())
+            .or_else(|| {
+                self.tracer
+                    .as_deref()
+                    .and_then(|t| (t as &dyn Any).downcast_ref::<T>())
+            })
+            .or_else(|| {
+                self.others
+                    .iter()
+                    .find_map(|o| o.as_any().downcast_ref::<T>())
+            })
     }
 
     /// Mutable access to the first observer of type `T`.
     pub fn get_mut<T: MachineObserver>(&mut self) -> Option<&mut T> {
-        self.observers
+        if let Some(c) = self.checker.as_deref_mut() {
+            if let Some(t) = (c as &mut dyn Any).downcast_mut::<T>() {
+                return Some(t);
+            }
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if let Some(t) = (tr as &mut dyn Any).downcast_mut::<T>() {
+                return Some(t);
+            }
+        }
+        self.others
             .iter_mut()
             .find_map(|o| o.as_any_mut().downcast_mut::<T>())
     }
@@ -256,15 +307,40 @@ impl ObserverHub {
     /// Detach and return the first observer of type `T` (sweep drivers
     /// take the tracer to serialize it per job).
     pub fn take<T: MachineObserver>(&mut self) -> Option<Box<T>> {
-        let idx = self.observers.iter().position(|o| o.as_any().is::<T>())?;
-        let taken = self.observers.remove(idx).into_any().downcast::<T>().ok();
-        self.events = self.observers.iter().any(|o| o.wants_events());
+        let taken = if self
+            .checker
+            .as_deref()
+            .is_some_and(|c| (c as &dyn Any).is::<T>())
+        {
+            (self.checker.take().expect("checked") as Box<dyn Any>)
+                .downcast::<T>()
+                .ok()
+        } else if self
+            .tracer
+            .as_deref()
+            .is_some_and(|t| (t as &dyn Any).is::<T>())
+        {
+            (self.tracer.take().expect("checked") as Box<dyn Any>)
+                .downcast::<T>()
+                .ok()
+        } else {
+            let idx = self.others.iter().position(|o| o.as_any().is::<T>())?;
+            self.others.remove(idx).into_any().downcast::<T>().ok()
+        };
+        self.recompute_events();
         taken
     }
 
-    /// Fan one event out (the outlined slow path of every emitter).
+    /// Fan one event out (the outlined slow path of every emitter). The
+    /// typed slots dispatch statically; only `others` goes through `dyn`.
     fn emit(&mut self, time: SimTime, line: u64, event: &ProtocolEvent<'_>) {
-        for o in &mut self.observers {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.on_event(time, line, event);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_event(time, line, event);
+        }
+        for o in &mut self.others {
             if o.wants_events() {
                 o.on_event(time, line, event);
             }
@@ -416,7 +492,13 @@ impl ObserverHub {
     #[inline]
     pub(crate) fn set_thread(&mut self, thread: u32) {
         if self.events {
-            for o in &mut self.observers {
+            if let Some(c) = self.checker.as_deref_mut() {
+                MachineObserver::set_thread(c, thread);
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                MachineObserver::set_thread(t, thread);
+            }
+            for o in &mut self.others {
                 o.set_thread(thread);
             }
         }
@@ -426,7 +508,13 @@ impl ObserverHub {
     #[inline]
     pub(crate) fn set_tile(&mut self, tile: u16) {
         if self.events {
-            for o in &mut self.observers {
+            if let Some(c) = self.checker.as_deref_mut() {
+                MachineObserver::set_tile(c, tile);
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                MachineObserver::set_tile(t, tile);
+            }
+            for o in &mut self.others {
                 o.set_tile(tile);
             }
         }
@@ -434,21 +522,39 @@ impl ObserverHub {
 
     /// Forward a cache/directory reset.
     pub(crate) fn on_reset(&mut self) {
-        for o in &mut self.observers {
+        if let Some(c) = self.checker.as_deref_mut() {
+            MachineObserver::on_reset(c);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            MachineObserver::on_reset(t);
+        }
+        for o in &mut self.others {
             o.on_reset();
         }
     }
 
     /// Forward a run start (analyzer pre-pass).
     pub(crate) fn on_run_start(&mut self, programs: &[Program], initial_flags: &[(u64, u64)]) {
-        for o in &mut self.observers {
+        if let Some(c) = self.checker.as_deref_mut() {
+            MachineObserver::on_run_start(c, programs, initial_flags);
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            MachineObserver::on_run_start(t, programs, initial_flags);
+        }
+        for o in &mut self.others {
             o.on_run_start(programs, initial_flags);
         }
     }
 
     /// Forward end-of-run verification.
     pub(crate) fn finish(&self, counters: &Counters) {
-        for o in &self.observers {
+        if let Some(c) = self.checker.as_deref() {
+            MachineObserver::finish(c, counters);
+        }
+        if let Some(t) = self.tracer.as_deref() {
+            MachineObserver::finish(t, counters);
+        }
+        for o in &self.others {
             o.finish(counters);
         }
     }

@@ -27,7 +27,7 @@ impl Machine {
         now: SimTime,
     ) -> AccessOutcome {
         let t = self.cfg.timing.clone();
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        let ver = self.dir.get(line).map_or(0, |e| e.version);
 
         // L1 hit.
         if self.l1[core.0 as usize].lookup(line, ver) {
@@ -44,7 +44,7 @@ impl Machine {
         // Same-tile L2 hit.
         let tile_state = self
             .dir
-            .get(&line)
+            .get(line)
             .map_or(MesifState::Invalid, |e| e.state_of(tile));
         if tile_state != MesifState::Invalid && self.l2[tile.0 as usize].lookup(line, ver) {
             self.counters.l2_hits += 1;
@@ -77,7 +77,7 @@ impl Machine {
             self.hub.hop(t_req, line, 'q', hop_dist(req_pos, home_pos));
         }
 
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.get_or_insert_default(line);
         let wait = entry.busy_until.saturating_sub(t_req);
         let t_svc = t_req + wait + t.cha_lookup_ps;
         entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
@@ -95,7 +95,7 @@ impl Machine {
                 self.mesh.traverse(home_pos, sup_pos, t_svc + t.inject_ps) + t.remote_l2_ps + extra;
             let complete = self.mesh.traverse(sup_pos, req_pos, t_data + t.inject_ps) + t.fill_ps;
             self.counters.remote_cache_hits += 1;
-            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let entry = self.dir.get_mut(line).expect("entry exists");
             let from = gstate_tag(&entry.state);
             if st == MesifState::Modified {
                 // Forced write-back downgrades M to S.
@@ -139,7 +139,7 @@ impl Machine {
             let (ready, served_by) = self.memory_read(addr, line, home_pos, t_svc);
             let served_pos = self.served_pos(served_by);
             let complete = self.mesh.traverse(served_pos, req_pos, ready + t.inject_ps) + t.fill_ps;
-            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let entry = self.dir.get_mut(line).expect("entry exists");
             let from = gstate_tag(&entry.state);
             entry.grant_read(tile);
             self.hub.dir_transition(
@@ -170,7 +170,7 @@ impl Machine {
             }
         };
 
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        let ver = self.dir.get(line).map_or(0, |e| e.version);
         self.l2_fill(tile, line, ver);
         self.l1_fill(core, line, ver);
         outcome
@@ -187,9 +187,9 @@ impl Machine {
         let t = self.cfg.timing.clone();
         let tile_state = self
             .dir
-            .get(&line)
+            .get(line)
             .map_or(MesifState::Invalid, |e| e.state_of(tile));
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        let ver = self.dir.get(line).map_or(0, |e| e.version);
 
         // Silent upgrade: tile already owns the line (M or E).
         if matches!(tile_state, MesifState::Modified | MesifState::Exclusive)
@@ -206,7 +206,7 @@ impl Machine {
                     tile_state == MesifState::Exclusive,
                 )
             };
-            let entry = self.dir.get_mut(&line).expect("owned line has entry");
+            let entry = self.dir.get_mut(line).expect("owned line has entry");
             let from = gstate_tag(&entry.state);
             let invalidated = entry.grant_write(tile);
             self.hub.dir_transition(
@@ -247,7 +247,7 @@ impl Machine {
             self.hub.hop(t_req, line, 'q', hop_dist(req_pos, home_pos));
         }
 
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.get_or_insert_default(line);
         let wait = entry.busy_until.saturating_sub(t_req);
         let t_svc = t_req + wait + t.cha_lookup_ps;
         entry.busy_until = t_req + wait + t.cha_line_serialize_ps;
@@ -290,7 +290,7 @@ impl Machine {
             (ready, served)
         };
 
-        let entry = self.dir.get_mut(&line).expect("entry exists");
+        let entry = self.dir.get_mut(line).expect("entry exists");
         let from = gstate_tag(&entry.state);
         // Fault injection (checker tests): remember one holder whose
         // invalidation we are about to "forget".
@@ -323,7 +323,7 @@ impl Machine {
         let inv_cost = invalidated as u64 * t.invalidate_per_sharer_ps;
 
         let complete = data_ready + inv_cost + t.fill_ps;
-        let ver = self.dir.get(&line).map_or(0, |e| e.version);
+        let ver = self.dir.get(line).map_or(0, |e| e.version);
         self.l2_fill(tile, line, ver);
         self.l1_fill(core, line, ver);
         let jc = now + self.jitter(complete - now, line);
@@ -358,7 +358,7 @@ impl Machine {
         // as the RFO path, which the coherence checker reconciles exactly.
         let mut extra = 0;
         let mut destroyed = None;
-        if let Some(entry) = self.dir.get_mut(&line) {
+        if let Some(entry) = self.dir.get_mut(line) {
             let holders = entry.num_holders();
             if holders > 0 {
                 let from = gstate_tag(&entry.state);
@@ -608,7 +608,7 @@ impl Machine {
         if let Insert::Evicted(victim) = self.l2[tile.0 as usize].insert(line, version) {
             let mut dirty = None;
             let when = self.l2_port_busy[tile.0 as usize];
-            if let Some(entry) = self.dir.get_mut(&victim) {
+            if let Some(entry) = self.dir.get_mut(victim) {
                 let from = gstate_tag(&entry.state);
                 let d = entry.evict(tile);
                 self.hub.dir_transition(
@@ -649,7 +649,7 @@ impl Machine {
         }
         self.l2[tile.0 as usize].remove(line);
         let mut dirty = None;
-        if let Some(entry) = self.dir.get_mut(&line) {
+        if let Some(entry) = self.dir.get_mut(line) {
             let from = gstate_tag(&entry.state);
             let d = entry.evict(tile);
             self.hub.dir_transition(
@@ -679,7 +679,7 @@ impl Machine {
         let tile = core.tile();
         match state {
             MesifState::Invalid => {
-                if let Some(entry) = self.dir.get_mut(&line) {
+                if let Some(entry) = self.dir.get_mut(line) {
                     let from = gstate_tag(&entry.state);
                     let holders = entry.num_holders();
                     let dirty = entry.invalidate_all();
@@ -694,7 +694,7 @@ impl Machine {
                 }
             }
             MesifState::Modified => {
-                let entry = self.dir.entry(line).or_default();
+                let entry = self.dir.get_or_insert_default(line);
                 let from = gstate_tag(&entry.state);
                 let invalidated = entry.grant_write(tile);
                 self.hub.dir_transition(
@@ -710,7 +710,7 @@ impl Machine {
                 self.l1_fill(core, line, ver);
             }
             MesifState::Exclusive => {
-                let entry = self.dir.entry(line).or_default();
+                let entry = self.dir.get_or_insert_default(line);
                 let from = gstate_tag(&entry.state);
                 let holders = entry.num_holders();
                 let dirty = entry.invalidate_all();
@@ -738,7 +738,7 @@ impl Machine {
             MesifState::Shared | MesifState::Forward => {
                 // Owner reads, then a helper tile reads, leaving the owner S
                 // and the helper F; for an F request we re-read from `core`.
-                let entry = self.dir.entry(line).or_default();
+                let entry = self.dir.get_or_insert_default(line);
                 let from = gstate_tag(&entry.state);
                 let holders = entry.num_holders();
                 let dirty = entry.invalidate_all();
@@ -983,6 +983,35 @@ mod tests {
             (140.0..210.0).contains(&hit_ns),
             "cache-mode latency {hit_ns}"
         );
+    }
+
+    #[test]
+    fn flat_mode_never_touches_disabled_mcache() {
+        // In flat mode the memory-side cache has sets == 0. Every serve
+        // path (reads, writes, NT stores, evictions — DDR and MCDRAM
+        // targets alike) must stay behind the `mcache.enabled()` guards:
+        // an unguarded access would trip the disabled-cache debug assert
+        // (or `set_of`'s modulo-by-zero) right here.
+        let mut m = machine(ClusterMode::Quadrant, MemoryMode::Flat);
+        assert!(!m.mcache.enabled());
+        let mut a = m.arena();
+        let ddr = a.alloc(knl_arch::NumaKind::Ddr, 1 << 16);
+        let mcdram = a.alloc(knl_arch::NumaKind::Mcdram, 1 << 16);
+        let mut t = 0;
+        for base in [ddr, mcdram] {
+            for i in 0..32u64 {
+                let c = CoreId((i % 8 * 2) as u16);
+                let addr = base + i * 64;
+                t = m.access(c, addr, AccessKind::Read, t).complete;
+                t = m.access(c, addr, AccessKind::Write, t).complete;
+                t = m.access(c, addr, AccessKind::NtStore, t).complete;
+            }
+        }
+        t = m.evict_line(CoreId(0), ddr, t);
+        m.reset_caches(); // must skip the disabled mcache
+        m.access(CoreId(0), ddr, AccessKind::Read, t);
+        assert_eq!(m.counters().mcache_hits + m.counters().mcache_misses, 0);
+        assert_eq!(m.mcache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -28,9 +28,10 @@
 //! enough to reproduce and debug a failure.
 
 use crate::counters::Counters;
+use crate::fxmap::LineMap;
 use crate::mesif::{DirEntry, GlobalState};
 use knl_arch::TileId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How many protocol events per line are kept for violation reports.
 pub const EVENT_WINDOW: usize = 16;
@@ -128,8 +129,10 @@ pub struct CoherenceChecker {
     /// Counters snapshot when the checker was attached (reconciliation is
     /// over the delta).
     base: Counters,
-    /// Per-line ring of recent protocol events.
-    history: HashMap<u64, VecDeque<EventRecord>>,
+    /// Per-line ring of recent protocol events. A [`LineMap`]: this is
+    /// updated on every directory transition (hot at any check level) and
+    /// only ever read back per line, never iterated.
+    history: LineMap<VecDeque<EventRecord>>,
     seq: u64,
     /// Total transitions observed.
     pub events: u64,
@@ -153,7 +156,7 @@ impl CoherenceChecker {
         CoherenceChecker {
             level,
             base,
-            history: HashMap::new(),
+            history: LineMap::new(),
             seq: 0,
             events: 0,
             invalidations: 0,
@@ -180,7 +183,7 @@ impl CoherenceChecker {
     pub fn on_transition(&mut self, line: u64, event: ProtoEvent, entry: &DirEntry, counted: bool) {
         self.events += 1;
         self.seq += 1;
-        let prev = self.history.get(&line).and_then(|h| h.back());
+        let prev = self.history.get(line).and_then(|h| h.back());
         let (prev_state, prev_version, prev_busy) = match prev {
             Some(r) => (r.state.clone(), r.version, r.busy_until),
             None => (GlobalState::Uncached, 0, 0),
@@ -230,7 +233,7 @@ impl CoherenceChecker {
             version: entry.version,
             busy_until: entry.busy_until,
         };
-        let ring = self.history.entry(line).or_default();
+        let ring = self.history.get_or_insert_default(line);
         if ring.len() == EVENT_WINDOW {
             ring.pop_front();
         }
@@ -310,7 +313,7 @@ impl CoherenceChecker {
             return;
         };
         shadow.reads_checked += 1;
-        if from_memory && shadow.cached.contains_key(&line) {
+        if from_memory && shadow.cached.contains_key(line) {
             let detail = "read served from memory while a dirty cached copy exists".to_string();
             self.oracle_fail(line, &detail);
         }
@@ -320,7 +323,7 @@ impl CoherenceChecker {
             .as_ref()
             .expect("shadow")
             .flat
-            .get(&line)
+            .get(line)
             .copied()
             .unwrap_or(0);
         if visible != expected {
@@ -373,7 +376,9 @@ impl CoherenceChecker {
             );
         }
         if let Some(shadow) = self.shadow.as_ref() {
-            for (&line, &expected) in &shadow.flat {
+            // sorted_keys keeps the first-divergence report deterministic.
+            for line in shadow.flat.sorted_keys() {
+                let expected = *shadow.flat.get(line).expect("key just listed");
                 let visible = shadow.visible(line);
                 if visible != expected {
                     self.oracle_fail(
@@ -390,7 +395,7 @@ impl CoherenceChecker {
     /// Render the last protocol events of `line` (oldest first).
     fn dump(&self, line: u64) -> String {
         let mut out = String::new();
-        match self.history.get(&line) {
+        match self.history.get(line) {
             None => out.push_str("    (no recorded events)\n"),
             Some(ring) => {
                 for r in ring {
@@ -441,12 +446,15 @@ impl CoherenceChecker {
 #[derive(Debug, Default)]
 pub struct ShadowMemory {
     next_val: u64,
-    /// line -> dirty value currently held by some cache.
-    cached: HashMap<u64, u64>,
+    /// line -> dirty value currently held by some cache. The shadow maps
+    /// are [`LineMap`]s: the oracle runs on every coherent op at
+    /// [`CheckLevel::FullOracle`], and the only walk (the end-of-run image
+    /// comparison) goes through [`LineMap::sorted_keys`].
+    cached: LineMap<u64>,
     /// line -> value materialized in memory by the protocol.
-    mem: HashMap<u64, u64>,
+    mem: LineMap<u64>,
     /// line -> value of the flat sequential reference.
-    flat: HashMap<u64, u64>,
+    flat: LineMap<u64>,
     /// Reads checked against the reference (observability for tests).
     pub reads_checked: u64,
 }
@@ -455,8 +463,8 @@ impl ShadowMemory {
     /// The value the protocol-side image makes visible for `line`.
     pub fn visible(&self, line: u64) -> u64 {
         self.cached
-            .get(&line)
-            .or_else(|| self.mem.get(&line))
+            .get(line)
+            .or_else(|| self.mem.get(line))
             .copied()
             .unwrap_or(0)
     }
@@ -476,13 +484,13 @@ impl ShadowMemory {
         self.next_val += 1;
         // NT stores bypass the caches; any cached copy was invalidated (and
         // written back, if dirty) before this point.
-        self.cached.remove(&line);
+        self.cached.remove(line);
         self.mem.insert(line, self.next_val);
         self.flat.insert(line, self.next_val);
     }
 
     fn writeback(&mut self, line: u64) {
-        if let Some(v) = self.cached.remove(&line) {
+        if let Some(v) = self.cached.remove(line) {
             self.mem.insert(line, v);
         }
     }
@@ -755,7 +763,7 @@ mod tests {
             e.grant_read(t);
             ck.on_transition(0, ProtoEvent::GrantRead { tile: t }, &e, true);
         }
-        assert_eq!(ck.history[&0].len(), EVENT_WINDOW);
+        assert_eq!(ck.history.get(0).unwrap().len(), EVENT_WINDOW);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cache;
 pub mod counters;
 pub mod engine;
 pub mod fuzz;
+pub mod fxmap;
 pub mod invariants;
 pub mod machine;
 pub mod mcache;
@@ -38,6 +39,7 @@ pub mod metrics;
 pub mod ops;
 pub mod program;
 pub mod runner;
+pub mod svmap;
 pub mod trace;
 
 pub use alloc::Arena;

@@ -17,6 +17,7 @@ use crate::analyze::AnalyzeLevel;
 use crate::cache::TagCache;
 use crate::counters::Counters;
 use crate::engine::observe::{AnalyzeGate, MachineObserver, ObserverConfig, ObserverHub};
+use crate::fxmap::LineMap;
 use crate::invariants::{CheckLevel, CoherenceChecker};
 use crate::mcache::MemorySideCache;
 use crate::memdev::{DeviceParams, MemDevice};
@@ -28,7 +29,6 @@ use crate::SimTime;
 use knl_arch::address::NUM_MEM_DEVICES;
 use knl_arch::topology::splitmix64;
 use knl_arch::{AddressMap, CoreId, MachineConfig, MemTarget, TileId, Topology, LINE_SHIFT};
-use std::collections::HashMap;
 
 pub use crate::engine::transfer::StreamState;
 
@@ -87,7 +87,10 @@ pub struct Machine {
     pub(crate) l2: Vec<TagCache>,
     /// Data-port occupancy of each tile's L2.
     pub(crate) l2_port_busy: Vec<SimTime>,
-    pub(crate) dir: HashMap<u64, DirEntry>,
+    /// Distributed tag directory, keyed by line address. A [`LineMap`]
+    /// because the directory walk is on the serve path of every access
+    /// (DESIGN.md §6); it is never iterated, so map order cannot escape.
+    pub(crate) dir: LineMap<DirEntry>,
     pub(crate) mesh: Mesh,
     pub(crate) devices: Vec<MemDevice>,
     pub(crate) mcache: MemorySideCache,
@@ -155,7 +158,7 @@ impl Machine {
             l1: (0..num_cores).map(|_| TagCache::knl_l1()).collect(),
             l2: (0..num_tiles).map(|_| TagCache::knl_l2()).collect(),
             l2_port_busy: vec![0; num_tiles],
-            dir: HashMap::new(),
+            dir: LineMap::new(),
             mesh,
             devices,
             mcache,
@@ -349,7 +352,7 @@ impl Machine {
     pub fn line_state(&self, addr: u64, tile: TileId) -> MesifState {
         let line = addr >> LINE_SHIFT;
         self.dir
-            .get(&line)
+            .get(line)
             .map_or(MesifState::Invalid, |e| e.state_of(tile))
     }
 

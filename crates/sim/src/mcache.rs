@@ -7,10 +7,14 @@
 //! evicted from MCDRAM, there is a snoop to check if a modified copy exists
 //! in L2."
 //!
-//! The tag store is sparse (hash map keyed by set index) because the
-//! simulated capacities are large relative to touched footprints.
+//! The tag store is sparse (keyed by set index) because the simulated
+//! capacities are large relative to touched footprints. It is a
+//! [`LineMap`], not a `std` hash map: the tag lookup runs on *every*
+//! simulated memory access in cache/hybrid modes, and SipHash dominated
+//! the profile (DESIGN.md §6). The map is never iterated, so its internal
+//! order cannot leak into observable output.
 
-use std::collections::HashMap;
+use crate::fxmap::LineMap;
 
 /// Outcome of a lookup/fill on the memory-side cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,18 +35,31 @@ pub enum McacheOutcome {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Entry {
     line: u64,
     dirty: bool,
 }
 
 /// Direct-mapped memory-side cache over physical line addresses.
+///
+/// # Disabled-cache contract
+///
+/// A cache built with zero capacity (`sets == 0`, the flat mode) has no
+/// sets, so a set index cannot even be computed for it. Callers must gate
+/// every [`MemorySideCache::access`] on [`MemorySideCache::enabled`] —
+/// exactly what the `engine/serve.rs` call sites do with their
+/// `self.mcache.enabled() && in_ddr` guards. Calling `access` while
+/// disabled is a caller bug: it is caught by a `debug_assert` in debug
+/// builds (and would divide by zero in release, so the assert is not load-
+/// bearing for memory safety — it exists to give the bug a name). The
+/// read-only [`MemorySideCache::contains`] probe is total and simply
+/// reports `false` when disabled.
 #[derive(Debug, Clone)]
 pub struct MemorySideCache {
     /// Number of 64 B sets (= capacity in lines). 0 disables the cache.
     sets: u64,
-    tags: HashMap<u64, Entry>,
+    tags: LineMap<Entry>,
     /// Lifetime hit count (see [`MemorySideCache::reset_stats`]).
     pub hits: u64,
     /// Lifetime miss count.
@@ -54,7 +71,7 @@ impl MemorySideCache {
     pub fn new(capacity_bytes: u64) -> Self {
         MemorySideCache {
             sets: capacity_bytes >> knl_arch::LINE_SHIFT,
-            tags: HashMap::new(),
+            tags: LineMap::new(),
             hits: 0,
             misses: 0,
         }
@@ -65,17 +82,24 @@ impl MemorySideCache {
         self.sets > 0
     }
 
+    /// Set index of `line`. Only meaningful when [`Self::enabled`]; the
+    /// `debug_assert` keeps the `% 0` case from ever reaching the modulo
+    /// silently (see the disabled-cache contract on the type).
     fn set_of(&self, line: u64) -> u64 {
+        debug_assert!(self.enabled(), "set_of on a disabled memory-side cache");
         line % self.sets
     }
 
     /// Access `line` (a physical address >> 6). On miss the line is filled
     /// (the memory-side cache allocates on both reads and writes). `dirty`
     /// marks the line dirty (write-backs from L2 and NT stores land dirty).
+    ///
+    /// Callers must check [`Self::enabled`] first — see the disabled-cache
+    /// contract on the type.
     pub fn access(&mut self, line: u64, dirty: bool) -> McacheOutcome {
-        assert!(self.enabled(), "memory-side cache disabled");
+        debug_assert!(self.enabled(), "memory-side cache disabled");
         let set = self.set_of(line);
-        match self.tags.get_mut(&set) {
+        match self.tags.get_mut(set) {
             Some(e) if e.line == line => {
                 e.dirty |= dirty;
                 self.hits += 1;
@@ -103,12 +127,13 @@ impl MemorySideCache {
         }
     }
 
-    /// Peek without filling (used by diagnostics).
+    /// Peek without filling (used by diagnostics). Total: reports `false`
+    /// when the cache is disabled.
     pub fn contains(&self, line: u64) -> bool {
         self.enabled()
             && self
                 .tags
-                .get(&self.set_of(line))
+                .get(self.set_of(line))
                 .is_some_and(|e| e.line == line)
     }
 
@@ -185,12 +210,29 @@ mod tests {
     fn disabled_cache() {
         let c = MemorySideCache::new(0);
         assert!(!c.enabled());
+        // `contains` is total: false, never a panic, on the sets == 0
+        // (flat-mode) path, even though no set index exists.
         assert!(!c.contains(3));
+        assert!(!c.contains(0));
+        assert_eq!(c.hit_rate(), 0.0);
     }
 
     #[test]
+    fn sub_line_capacity_is_disabled() {
+        // Fewer than 64 bytes rounds down to zero sets: the flat-mode
+        // contract applies, `set_of`'s modulo can never see zero.
+        let c = MemorySideCache::new(63);
+        assert!(!c.enabled());
+        assert!(!c.contains(0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "disabled")]
-    fn access_disabled_panics() {
+    fn access_disabled_panics_in_debug() {
+        // The contract violation is named in debug builds; release builds
+        // would hit the modulo-by-zero instead (callers must gate on
+        // `enabled()`, as every engine/serve.rs site does).
         MemorySideCache::new(0).access(0, false);
     }
 

@@ -14,11 +14,19 @@
 //! * protocol totals (directory transitions by `from→to` pair,
 //!   invalidations, write-backs, mcache hits/misses).
 //!
-//! Metrics serialize to deterministic text lines (all maps are `BTreeMap`s
-//! or sorted at serialization time) and merge additively, so per-job
-//! sections of a parallel sweep can be re-aggregated by `knl-trace` in any
-//! grouping with identical results.
+//! Metrics serialize to deterministic text lines (all maps iterate in
+//! ascending key order or are sorted at serialization time) and merge
+//! additively, so per-job sections of a parallel sweep can be
+//! re-aggregated by `knl-trace` in any grouping with identical results.
+//!
+//! The keyed aggregates are [`SortedVecMap`]s — iteration order identical
+//! to the `BTreeMap`s they replaced, but with dense binary-search lookups
+//! on the per-event record path (DESIGN.md §6). The exception is
+//! [`Metrics::hot_lines`]: its keyspace is one entry per distinct line, so
+//! it stays a `BTreeMap` (a sorted vec would shift the tail on every new
+//! line of a streaming workload).
 
+use crate::svmap::SortedVecMap;
 use crate::trace::{EventKind, TraceEvent};
 use crate::SimTime;
 use std::collections::BTreeMap;
@@ -148,18 +156,20 @@ pub struct DevStat {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Latency histograms keyed by (source tag, hop distance).
-    pub hist: BTreeMap<(char, u32), Hist>,
+    pub hist: SortedVecMap<(char, u32), Hist>,
     /// Per-tile serve breakdown.
-    pub tiles: BTreeMap<u16, TileStat>,
+    pub tiles: SortedVecMap<u16, TileStat>,
     /// Per-device queue statistics.
-    pub devices: BTreeMap<u8, DevStat>,
+    pub devices: SortedVecMap<u8, DevStat>,
     /// Lines entering each device per time bin.
-    pub dev_bins: BTreeMap<(u8, u64), u64>,
+    pub dev_bins: SortedVecMap<(u8, u64), u64>,
     /// Serves per tile per time bin.
-    pub tile_bins: BTreeMap<(u16, u64), u64>,
+    pub tile_bins: SortedVecMap<(u16, u64), u64>,
     /// Directory transitions by (from, to) state tag.
-    pub dir_transitions: BTreeMap<(char, char), u64>,
+    pub dir_transitions: SortedVecMap<(char, char), u64>,
     /// Exact per-line access counts (pruned to a top-N on serialize).
+    /// Deliberately still a `BTreeMap`: one key per distinct line makes
+    /// this the lone unbounded, insert-heavy keyspace here.
     pub hot_lines: BTreeMap<u64, u64>,
     /// Requests that left a tile for the home CHA.
     pub issues: u64,
@@ -192,8 +202,8 @@ impl Metrics {
                 latency_ps,
                 ..
             } => {
-                self.hist.entry((src, hops)).or_default().add(latency_ps);
-                let t = self.tiles.entry(ev.tile).or_default();
+                self.hist.entry_or_default((src, hops)).add(latency_ps);
+                let t = self.tiles.entry_or_default(ev.tile);
                 t.serves += 1;
                 match src {
                     'L' => t.l1 += 1,
@@ -202,18 +212,15 @@ impl Metrics {
                     'H' => t.mcache += 1,
                     _ => t.mem += 1,
                 }
-                *self
-                    .tile_bins
-                    .entry((ev.tile, ev.time / BIN_PS))
-                    .or_default() += 1;
+                *self.tile_bins.entry_or_default((ev.tile, ev.time / BIN_PS)) += 1;
                 *self.hot_lines.entry(ev.line).or_default() += 1;
             }
             EventKind::Dir { from, to, .. } => {
-                *self.dir_transitions.entry((from, to)).or_default() += 1;
+                *self.dir_transitions.entry_or_default((from, to)) += 1;
             }
             EventKind::Hop { hops, .. } => self.mesh_hops += hops as u64,
             EventKind::DevEnter { dev, write, depth } => {
-                let d = self.devices.entry(dev).or_default();
+                let d = self.devices.entry_or_default(dev);
                 if write {
                     d.writes += 1;
                 } else {
@@ -221,7 +228,7 @@ impl Metrics {
                 }
                 d.depth_peak = d.depth_peak.max(depth);
                 d.depth_sum += depth as u64;
-                *self.dev_bins.entry((dev, ev.time / BIN_PS)).or_default() += 1;
+                *self.dev_bins.entry_or_default((dev, ev.time / BIN_PS)) += 1;
             }
             EventKind::DevLeave { .. } => {}
             EventKind::Mcache { hit, .. } => {
@@ -240,10 +247,10 @@ impl Metrics {
     /// Merge another aggregation into this one (additive; order-free).
     pub fn merge(&mut self, o: &Metrics) {
         for (k, h) in &o.hist {
-            self.hist.entry(*k).or_default().merge(h);
+            self.hist.entry_or_default(*k).merge(h);
         }
         for (k, t) in &o.tiles {
-            let d = self.tiles.entry(*k).or_default();
+            let d = self.tiles.entry_or_default(*k);
             d.serves += t.serves;
             d.l1 += t.l1;
             d.l2 += t.l2;
@@ -252,20 +259,20 @@ impl Metrics {
             d.mcache += t.mcache;
         }
         for (k, s) in &o.devices {
-            let d = self.devices.entry(*k).or_default();
+            let d = self.devices.entry_or_default(*k);
             d.reads += s.reads;
             d.writes += s.writes;
             d.depth_peak = d.depth_peak.max(s.depth_peak);
             d.depth_sum += s.depth_sum;
         }
         for (k, n) in &o.dev_bins {
-            *self.dev_bins.entry(*k).or_default() += n;
+            *self.dev_bins.entry_or_default(*k) += n;
         }
         for (k, n) in &o.tile_bins {
-            *self.tile_bins.entry(*k).or_default() += n;
+            *self.tile_bins.entry_or_default(*k) += n;
         }
         for (k, n) in &o.dir_transitions {
-            *self.dir_transitions.entry(*k).or_default() += n;
+            *self.dir_transitions.entry_or_default(*k) += n;
         }
         for (k, n) in &o.hot_lines {
             *self.hot_lines.entry(*k).or_default() += n;
@@ -367,7 +374,7 @@ impl Metrics {
                         }
                         h.bins[i] = b.parse().ok()?;
                     }
-                    self.hist.entry((src, hops)).or_default().merge(&h);
+                    self.hist.entry_or_default((src, hops)).merge(&h);
                 }
                 "T" => {
                     let tile: u16 = it.next()?.parse().ok()?;
@@ -375,7 +382,7 @@ impl Metrics {
                     if vals.len() != 6 {
                         return None;
                     }
-                    let d = self.tiles.entry(tile).or_default();
+                    let d = self.tiles.entry_or_default(tile);
                     d.serves += vals[0];
                     d.l1 += vals[1];
                     d.l2 += vals[2];
@@ -385,7 +392,7 @@ impl Metrics {
                 }
                 "D" => {
                     let dev: u8 = it.next()?.parse().ok()?;
-                    let d = self.devices.entry(dev).or_default();
+                    let d = self.devices.entry_or_default(dev);
                     d.reads += it.next()?.parse::<u64>().ok()?;
                     d.writes += it.next()?.parse::<u64>().ok()?;
                     d.depth_peak = d.depth_peak.max(it.next()?.parse().ok()?);
@@ -394,19 +401,19 @@ impl Metrics {
                 "B" => {
                     let dev: u8 = it.next()?.parse().ok()?;
                     let bin: u64 = it.next()?.parse().ok()?;
-                    *self.dev_bins.entry((dev, bin)).or_default() +=
+                    *self.dev_bins.entry_or_default((dev, bin)) +=
                         it.next()?.parse::<u64>().ok()?;
                 }
                 "U" => {
                     let tile: u16 = it.next()?.parse().ok()?;
                     let bin: u64 = it.next()?.parse().ok()?;
-                    *self.tile_bins.entry((tile, bin)).or_default() +=
+                    *self.tile_bins.entry_or_default((tile, bin)) +=
                         it.next()?.parse::<u64>().ok()?;
                 }
                 "X" => {
                     let from = it.next()?.chars().next()?;
                     let to = it.next()?.chars().next()?;
-                    *self.dir_transitions.entry((from, to)).or_default() +=
+                    *self.dir_transitions.entry_or_default((from, to)) +=
                         it.next()?.parse::<u64>().ok()?;
                 }
                 "L" => {

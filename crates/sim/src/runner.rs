@@ -13,7 +13,10 @@ use crate::program::Program;
 use crate::SimTime;
 use knl_arch::topology::splitmix64;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+// The runner's maps never leak iteration order: intervals/mark_open are
+// read back per key, flags are sorted before escaping to observers, and
+// waiter wake-ups go through the deterministic event queue.
+use std::collections::{BinaryHeap, HashMap}; // knl-lint: allow(hash-collection)
 
 /// Simulated-time span of one scheduling slice of a bulk streaming op. Must
 /// stay below the memory devices' reorder window so cross-thread arrival
@@ -26,7 +29,7 @@ const CHASE_CHUNK_LINES: u64 = 8;
 #[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// (thread, interval-id) → [(start, end)].
-    intervals: HashMap<(usize, usize), Vec<(SimTime, SimTime)>>,
+    intervals: HashMap<(usize, usize), Vec<(SimTime, SimTime)>>, // knl-lint: allow(hash-collection)
     /// Time the last thread finished.
     pub end_time: SimTime,
     /// Number of threads that ran.
@@ -99,7 +102,7 @@ struct ThreadState {
     /// Progress inside a sliced bulk op (lines done).
     bulk_done: u64,
     stream: StreamState,
-    mark_open: HashMap<usize, SimTime>,
+    mark_open: HashMap<usize, SimTime>, // knl-lint: allow(hash-collection)
     parked_on: Option<(u64, u64)>,
     finished: bool,
 }
@@ -111,8 +114,8 @@ pub struct Runner<'m> {
     /// Number of programs sharing each program's core (HyperThreading).
     core_threads: Vec<u32>,
     threads: Vec<ThreadState>,
-    flags: HashMap<u64, u64>,
-    waiters: HashMap<u64, Vec<usize>>,
+    flags: HashMap<u64, u64>,          // knl-lint: allow(hash-collection)
+    waiters: HashMap<u64, Vec<usize>>, // knl-lint: allow(hash-collection)
     queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
     seq: u64,
     result: RunResult,
@@ -124,7 +127,7 @@ impl<'m> Runner<'m> {
         let n = programs.len();
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, ThreadState::default);
-        let mut per_core: HashMap<knl_arch::CoreId, u32> = HashMap::new();
+        let mut per_core: HashMap<knl_arch::CoreId, u32> = HashMap::new(); // knl-lint: allow(hash-collection)
         for p in &programs {
             *per_core.entry(p.core()).or_insert(0) += 1;
         }
@@ -134,8 +137,8 @@ impl<'m> Runner<'m> {
             machine,
             programs,
             threads,
-            flags: HashMap::new(),
-            waiters: HashMap::new(),
+            flags: HashMap::new(),   // knl-lint: allow(hash-collection)
+            waiters: HashMap::new(), // knl-lint: allow(hash-collection)
             queue: BinaryHeap::new(),
             seq: 0,
             result: RunResult {

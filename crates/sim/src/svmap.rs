@@ -1,0 +1,168 @@
+//! A sorted-vec map for small, ordered aggregation keyspaces.
+//!
+//! [`crate::metrics::Metrics`] folds every traced event into half a dozen
+//! keyed aggregates. The keyspaces are small and stable — source tags ×
+//! hop distances, tile ids, device ids, time bins that grow append-mostly —
+//! so a pair of parallel sorted vectors beats a `BTreeMap`: lookups are a
+//! binary search over a dense array (no pointer chasing), iteration is a
+//! linear scan, and iteration order is ascending by key exactly like the
+//! `BTreeMap` it replaces, which keeps serialized output byte-identical
+//! (DESIGN.md §6).
+//!
+//! Not suitable for large, insert-heavy keyspaces (e.g. the per-line
+//! hot-line profile): a miss inserts by shifting the tail, which is O(n)
+//! per new key.
+
+use std::ops::Index;
+
+/// A map backed by parallel key/value vectors kept sorted by key.
+///
+/// Iteration ([`SortedVecMap::iter`], [`SortedVecMap::values`], `&map` in
+/// a `for` loop) is always in ascending key order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedVecMap<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+}
+
+impl<K, V> Default for SortedVecMap<K, V> {
+    fn default() -> Self {
+        SortedVecMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy, V> SortedVecMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Shared-reference lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.keys.binary_search(key).ok().map(|i| &self.vals[i])
+    }
+
+    /// Mutable reference to the value under `key`, inserting
+    /// `V::default()` first if absent (the `entry(k).or_default()` idiom).
+    pub fn entry_or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        let i = match self.keys.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                self.keys.insert(i, key);
+                self.vals.insert(i, V::default());
+                i
+            }
+        };
+        &mut self.vals[i]
+    }
+
+    /// Entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+
+    /// Values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.vals.iter()
+    }
+}
+
+impl<K: Ord + Copy, V> Index<&K> for SortedVecMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
+impl<'a, K: Ord + Copy, V> IntoIterator for &'a SortedVecMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Zip<std::slice::Iter<'a, K>, std::slice::Iter<'a, V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().zip(self.vals.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let m: SortedVecMap<u16, u64> = SortedVecMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn entry_inserts_and_updates() {
+        let mut m: SortedVecMap<u16, u64> = SortedVecMap::new();
+        *m.entry_or_default(5) += 2;
+        *m.entry_or_default(1) += 7;
+        *m.entry_or_default(5) += 3;
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&5], 5);
+        assert_eq!(m[&1], 7);
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let mut m: SortedVecMap<(char, u32), u64> = SortedVecMap::new();
+        for k in [('M', 4), ('E', 2), ('M', 1), ('D', 9)] {
+            *m.entry_or_default(k) += 1;
+        }
+        let keys: Vec<_> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![('D', 9), ('E', 2), ('M', 1), ('M', 4)]);
+        // Matches BTreeMap order for the same inserts.
+        let mut bt = std::collections::BTreeMap::new();
+        for k in [('M', 4), ('E', 2), ('M', 1), ('D', 9)] {
+            *bt.entry(k).or_insert(0u64) += 1;
+        }
+        let bt_keys: Vec<_> = bt.keys().copied().collect();
+        assert_eq!(keys, bt_keys);
+    }
+
+    #[test]
+    fn values_follow_key_order() {
+        let mut m: SortedVecMap<u8, u64> = SortedVecMap::new();
+        *m.entry_or_default(9) = 90;
+        *m.entry_or_default(2) = 20;
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec![20, 90]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_history() {
+        let mut a: SortedVecMap<u8, u64> = SortedVecMap::new();
+        let mut b: SortedVecMap<u8, u64> = SortedVecMap::new();
+        *a.entry_or_default(1) = 1;
+        *a.entry_or_default(2) = 2;
+        *b.entry_or_default(2) = 2;
+        *b.entry_or_default(1) = 1;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry found")]
+    fn index_missing_panics() {
+        let m: SortedVecMap<u8, u64> = SortedVecMap::new();
+        let _ = m[&1];
+    }
+}
